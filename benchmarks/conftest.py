@@ -1,0 +1,24 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (or one of the
+ablations listed in DESIGN.md) on a reduced grid, prints the corresponding
+rows/series, and times the run with pytest-benchmark.  Set the environment
+variable ``REPRO_PAPER_SCALE=1`` to run the paper-sized grids instead (much
+slower; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def paper_scale_requested() -> bool:
+    """Whether the user asked for the full paper-sized parameter grids."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return paper_scale_requested()

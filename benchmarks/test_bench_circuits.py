@@ -1,0 +1,51 @@
+"""Benchmark E6 — circuit constructions (Figs. 2, 6, 7): build + simulation cost.
+
+Times the three circuit constructions the paper draws and prints their
+resource counts (qubits, gates, depth), which is the information an
+implementer needs when moving from the paper's figures to an SDK.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hamiltonian import build_hamiltonian
+from repro.core.mixed_state import maximally_mixed_state_circuit
+from repro.core.qtda_circuit import circuit_resource_summary, qtda_circuit
+from repro.experiments.worked_example import appendix_complex
+from repro.quantum.drawer import circuit_summary
+from repro.quantum.statevector import StatevectorSimulator
+from repro.quantum.trotter import pauli_evolution_circuit
+from repro.tda.laplacian import combinatorial_laplacian
+
+
+@pytest.fixture(scope="module")
+def hamiltonian():
+    return build_hamiltonian(combinatorial_laplacian(appendix_complex(), 1), delta=6.0)
+
+
+@pytest.mark.benchmark(group="circuits")
+def test_bench_fig2_mixed_state_circuit(benchmark):
+    circuit = benchmark(lambda: maximally_mixed_state_circuit(3))
+    print(f"\nFig. 2 analogue: {circuit_summary(circuit)}")
+    assert circuit.count_ops() == {"H": 3, "CNOT": 3}
+
+
+@pytest.mark.benchmark(group="circuits")
+def test_bench_fig7_trotter_circuit(benchmark, hamiltonian):
+    pauli_sum = hamiltonian.pauli_decomposition()
+    circuit = benchmark(lambda: pauli_evolution_circuit(pauli_sum, trotter_steps=1))
+    print(f"\nFig. 7 analogue: {circuit_summary(circuit)} ({pauli_sum.num_terms} Pauli terms)")
+    assert circuit.num_gates > pauli_sum.num_terms  # several gates per term
+
+
+@pytest.mark.benchmark(group="circuits")
+def test_bench_fig6_full_qtda_circuit_simulation(benchmark, hamiltonian):
+    circuit, spec = qtda_circuit(hamiltonian, precision_qubits=3, use_purification=True)
+    print(f"\nFig. 6 analogue: {circuit_resource_summary(circuit, spec)}")
+
+    simulator = StatevectorSimulator()
+    probs = benchmark(lambda: simulator.probabilities(circuit, qubits=list(spec.precision_register)))
+    estimate = (2**spec.system_qubits) * float(probs[0])
+    print(f"p(0) = {probs[0]:.4f} -> beta_1 estimate = {estimate:.3f}")
+    assert round(estimate) == 1

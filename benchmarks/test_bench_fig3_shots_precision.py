@@ -1,0 +1,65 @@
+"""Benchmark E1 — Fig. 3: absolute error vs shots and precision qubits.
+
+Regenerates the boxplot data of Fig. 3 (a)–(c): for random simplicial
+complexes of n vertices, the absolute error |β̃_1 − β_1| of the QPE estimate
+as a function of the number of shots and precision qubits.  The reduced grid
+keeps the figure's qualitative shape: error decreases with both resources and
+its scale grows with n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.shots_precision import (
+    ShotsPrecisionConfig,
+    error_trend_summary,
+    render_shots_precision_results,
+    run_shots_precision_experiment,
+)
+
+
+def _config(paper_scale: bool) -> ShotsPrecisionConfig:
+    if paper_scale:
+        return ShotsPrecisionConfig.paper_scale()
+    return ShotsPrecisionConfig(
+        complex_sizes=(5, 10, 15),
+        num_complexes=8,
+        shots_grid=(10**2, 10**3, 10**4),
+        precision_grid=(1, 2, 4, 6),
+        seed=1234,
+    )
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_error_vs_shots_and_precision(benchmark, paper_scale):
+    config = _config(paper_scale)
+    result = benchmark.pedantic(run_shots_precision_experiment, args=(config,), rounds=1, iterations=1)
+    print()
+    print(render_shots_precision_results(result))
+    summary = error_trend_summary(result)
+    print(f"Trend summary: {summary}")
+
+    # Qualitative checks corresponding to the paper's observations.
+    for n in config.complex_sizes:
+        low = result.mean_error(n, config.shots_grid[0], config.precision_grid[0])
+        high = result.mean_error(n, config.shots_grid[-1], config.precision_grid[-1])
+        assert high <= low + 1e-9, f"error should not grow with resources (n={n})"
+    smallest = result.mean_error(config.complex_sizes[0], config.shots_grid[0], config.precision_grid[0])
+    largest = result.mean_error(config.complex_sizes[-1], config.shots_grid[0], config.precision_grid[0])
+    assert largest >= smallest, "error scale should grow with the complex size"
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_single_complex_estimate_cost(benchmark):
+    """Micro-benchmark of one exact-backend estimate on an n=10 random complex."""
+    from repro.core.estimator import QTDABettiEstimator
+    from repro.tda.random_complexes import random_simplicial_complex
+
+    complex_ = random_simplicial_complex(10, seed=3)
+    estimator = QTDABettiEstimator(precision_qubits=6, shots=10_000, seed=0)
+
+    result = benchmark(lambda: estimator.estimate(complex_, 1))
+    print(f"\nn=10 random complex: beta_1 = {result.exact_betti}, estimate = {result.betti_estimate:.3f}")
+    assert result.absolute_error is not None

@@ -1,0 +1,45 @@
+"""Benchmark E2 — Table 1: gearbox classification accuracy vs precision qubits.
+
+Regenerates the Table 1 rows (training accuracy, validation accuracy, mean
+absolute Betti error per precision-qubit setting) on the synthetic gearbox
+substitute, plus the reference row using exact Betti numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.gearbox_table1 import (
+    GearboxExperimentConfig,
+    render_table1,
+    run_gearbox_table1,
+)
+
+
+def _config(paper_scale: bool) -> GearboxExperimentConfig:
+    if paper_scale:
+        return GearboxExperimentConfig()  # 255 rows, precision 1..5, shots 100
+    return GearboxExperimentConfig(
+        num_rows=80,
+        num_healthy=26,
+        precision_grid=(1, 2, 3, 4, 5),
+        shots=100,
+        window_length=400,
+        seed=2023,
+    )
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_accuracy_vs_precision(benchmark, paper_scale):
+    config = _config(paper_scale)
+    result = benchmark.pedantic(run_gearbox_table1, args=(config,), rounds=1, iterations=1)
+    print()
+    print(render_table1(result))
+
+    maes = [row.mean_absolute_error for row in result.rows]
+    accuracies = [row.validation_accuracy for row in result.rows]
+    # Table 1's trend: the Betti-number error decreases with precision qubits...
+    assert maes[-1] < maes[0]
+    # ...and the classifier clearly beats chance on the Betti features.
+    assert max(accuracies) > 0.6
+    assert result.reference_validation_accuracy > 0.6

@@ -1,0 +1,62 @@
+"""Section 5: machine-diagnostics classification from estimated Betti numbers.
+
+Reproduces both Section 5 experiments on the synthetic gearbox substitute:
+
+* the raw time-series route (500-sample windows → Takens embedding → Rips
+  complex → {β̃_0, β̃_1} → logistic regression), and
+* the Table 1 route (six condition-monitoring features per row → four-point
+  3-D cloud → Betti features vs the number of precision qubits).
+
+Run with:  python examples/gearbox_classification.py
+The defaults are sized to finish in well under a minute; raise the row and
+window counts to approach the paper's 255-row setting.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.gearbox_table1 import (
+    GearboxExperimentConfig,
+    render_table1,
+    run_gearbox_table1,
+    run_timeseries_classification,
+)
+
+
+def main() -> None:
+    print("=== Section 5, route 1: raw vibration windows -> Takens -> Rips -> Betti features ===")
+    timeseries = run_timeseries_classification(
+        num_samples_per_class=15,
+        window_length=500,
+        precision_qubits=4,
+        shots=100,
+        takens_stride=16,
+        seed=7,
+    )
+    print(
+        f"{timeseries.num_windows} windows, grouping scale eps = {timeseries.epsilon:.3f}\n"
+        f"training accuracy   = {timeseries.training_accuracy:.3f}\n"
+        f"validation accuracy = {timeseries.validation_accuracy:.3f}\n"
+        "(the paper reports 100% validation accuracy on the SEU dataset; the synthetic\n"
+        " substitute is noisier but clearly separable)"
+    )
+
+    print("\n=== Section 5, route 2 (Table 1): six-feature rows -> 4-point clouds -> Betti features ===")
+    config = GearboxExperimentConfig(
+        num_rows=80,
+        num_healthy=26,
+        precision_grid=(1, 2, 3, 4, 5),
+        shots=100,
+        window_length=400,
+        seed=2023,
+    )
+    table = run_gearbox_table1(config)
+    print(render_table1(table))
+    print(
+        "\nExpected qualitative behaviour (matching Table 1): the mean absolute error of the\n"
+        "Betti estimates falls as precision qubits increase, and the accuracy approaches the\n"
+        "reference obtained with exact Betti numbers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Future-work extension: persistent Betti numbers as scale-free features.
+
+The paper's conclusion points to persistent Betti numbers — invariant to the
+choice of a single grouping scale — as better features for noisy data.  This
+example compares, on clouds with known topology (circle, figure-eight, three
+clusters), the fixed-ε Betti numbers used in the paper with persistence
+diagrams and the persistent-Betti features provided by ``repro.tda.persistence``.
+
+Run with:  python examples/persistence_features.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.point_clouds import circle_cloud, clusters_cloud, figure_eight_cloud
+from repro.tda import betti_numbers, rips_complex
+from repro.tda.filtration import rips_filtration
+from repro.tda.persistence import persistence_diagrams, persistence_features
+
+
+def describe(name: str, points: np.ndarray, epsilon: float) -> None:
+    complex_ = rips_complex(points, epsilon, max_dimension=2)
+    fixed = betti_numbers(complex_, 1)
+    filtration = rips_filtration(points, max_dimension=2)
+    diagrams = persistence_diagrams(filtration, max_dimension=1)
+    loops = sorted((p for p in diagrams[1].pairs if p.persistence > 0), key=lambda p: -p.persistence)
+    print(f"\n{name} ({points.shape[0]} points)")
+    print(f"  fixed-scale Betti numbers at eps = {epsilon}: beta_0 = {fixed[0]}, beta_1 = {fixed[1]}")
+    print(f"  H0: {len(diagrams[0].essential_pairs())} essential class(es), "
+          f"{len(diagrams[0].finite_pairs())} merge events")
+    if loops:
+        top = ", ".join(f"[{p.birth:.2f}, {p.death:.2f})" for p in loops[:3])
+        print(f"  H1 intervals (most persistent first): {top}")
+    features = persistence_features(points, max_homology_dimension=1)
+    print(f"  persistence feature vector ({features.size} values): {np.round(features, 2)}")
+
+
+def main() -> None:
+    print("Persistent homology features (the paper's announced future work)")
+    describe("Circle", circle_cloud(18, seed=1), epsilon=0.6)
+    describe("Figure eight", figure_eight_cloud(32, seed=2), epsilon=0.55)
+    describe("Three clusters", clusters_cloud(3, 7, seed=3), epsilon=1.5)
+    print(
+        "\nUnlike the fixed-eps Betti numbers, the persistence intervals separate long-lived\n"
+        "topological signal from short-lived noise without committing to one grouping scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

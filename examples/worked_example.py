@@ -1,0 +1,42 @@
+"""Appendix A of the paper, reproduced end to end.
+
+Prints every intermediate object the appendix lists: the complex of Eq. 13,
+the boundary operators (Eqs. 14–15), the combinatorial Laplacian (Eq. 17),
+the padded Laplacian with λ̃_max = 6 (Eq. 18), the Pauli decomposition
+(Eq. 19) and the final estimate β̃_1 ≈ 1.2 → 1 from 1000 shots of the Fig. 6
+circuit with 3 precision qubits.
+
+Run with:  python examples/worked_example.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.worked_example import render_worked_example, run_worked_example
+
+
+def main() -> None:
+    result = run_worked_example(shots=1000, precision_qubits=3, backend="statevector", seed=1)
+    print(render_worked_example(result))
+
+    print("\nBoundary operator ∂_1 (compare Eq. 14, up to the overall sign):")
+    print(np.array2string(result.boundary_1.astype(int)))
+    print("\nBoundary operator ∂_2 (Eq. 15):")
+    print(np.array2string(result.boundary_2.astype(int)))
+    print("\nPadded Laplacian (Eq. 18):")
+    print(np.array2string(result.padded.matrix.astype(float), precision=1))
+
+    print("\nPauli decomposition of H (Eq. 19):")
+    for label in sorted(result.pauli_coefficients, key=lambda l: result.pauli_coefficients[l]):
+        print(f"  {result.pauli_coefficients[label]:+.3f} * {label}")
+
+    error = abs(result.estimate.betti_estimate - result.exact_betti)
+    print(
+        f"\nFinal answer: beta~_1 = {result.estimate.betti_estimate:.3f} "
+        f"(paper: 1.192), rounded = {result.estimate.betti_rounded}, absolute error = {error:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Quantum-Enhanced Topological Data Analysis" (arXiv:2302.09553).
+
+The package is organised as a set of substrates plus the paper's core
+algorithm:
+
+* :mod:`repro.paulis` — Pauli strings, Pauli decomposition, Gershgorin bounds.
+* :mod:`repro.quantum` — gate-level quantum circuit simulators (statevector
+  and density matrix), QFT/QPE builders, Trotterised Pauli evolution, noise.
+* :mod:`repro.tda` — simplicial complexes, Vietoris–Rips construction,
+  boundary operators, combinatorial Laplacians, classical Betti numbers,
+  persistence, Takens embedding.
+* :mod:`repro.core` — the QPE-based Betti-number estimator (the paper's
+  contribution) and the point-cloud-to-features pipeline.
+* :mod:`repro.ml` — minimal classical ML (logistic regression, kNN, scaling,
+  splitting, metrics) used for the Section 5 classification experiments.
+* :mod:`repro.datasets` — synthetic gearbox vibration data and reference
+  point clouds.
+* :mod:`repro.experiments` — drivers that regenerate each table and figure.
+
+Quick start::
+
+    from repro import QTDABettiEstimator
+    from repro.tda import RipsComplex
+    import numpy as np
+
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [2.0, 1.0], [2.5, 0.2]])
+    complex_ = RipsComplex.from_points(points, epsilon=1.5, max_dimension=2).complex()
+    estimator = QTDABettiEstimator(precision_qubits=4, shots=1000, seed=7)
+    result = estimator.estimate(complex_, k=1)
+    print(result.betti_estimate, result.betti_rounded)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily re-export the headline classes to keep import time low."""
+    if name in {"QTDABettiEstimator", "BettiEstimate", "QTDAPipeline", "PipelineConfig"}:
+        from repro import core
+
+        return getattr(core, name)
+    if name in {"RipsComplex", "SimplicialComplex"}:
+        from repro import tda
+
+        return getattr(tda, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

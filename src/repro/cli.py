@@ -1,0 +1,200 @@
+"""Command-line interface for the experiment drivers.
+
+Installs as the ``repro-experiments`` console script and lets each of the
+paper's experiments be regenerated without writing any Python:
+
+.. code-block:: bash
+
+    repro-experiments appendix                    # Appendix A walkthrough
+    repro-experiments fig3 --complexes 10         # error vs shots / precision
+    repro-experiments table1 --rows 80            # gearbox Table 1 analogue
+    repro-experiments fig4 --scales 7             # accuracy vs grouping scale
+    repro-experiments timeseries --windows 12     # Section 5 time-series route
+
+Every subcommand prints the same report the corresponding benchmark prints;
+``--paper-scale`` switches to the full grids described in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _add_fig3(subparsers) -> None:
+    parser = subparsers.add_parser("fig3", help="Fig. 3: error vs shots and precision qubits")
+    parser.add_argument("--complexes", type=int, default=10, help="random complexes per size")
+    parser.add_argument("--sizes", type=int, nargs="+", default=[5, 10], help="complex sizes n")
+    parser.add_argument("--shots", type=int, nargs="+", default=[100, 1000, 10000], help="shot grid")
+    parser.add_argument("--precision", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6], help="precision-qubit grid")
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def _add_table1(subparsers) -> None:
+    parser = subparsers.add_parser("table1", help="Table 1: gearbox accuracy vs precision qubits")
+    parser.add_argument("--rows", type=int, default=80, help="number of feature rows")
+    parser.add_argument("--healthy", type=int, default=26, help="number of healthy rows")
+    parser.add_argument("--shots", type=int, default=100)
+    parser.add_argument("--precision", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+    parser.add_argument("--seed", type=int, default=2023)
+
+
+def _add_fig4(subparsers) -> None:
+    parser = subparsers.add_parser("fig4", help="Fig. 4: training accuracy vs grouping scale")
+    parser.add_argument("--rows", type=int, default=60)
+    parser.add_argument("--healthy", type=int, default=20)
+    parser.add_argument("--scales", type=int, default=7)
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=13)
+
+
+def _add_appendix(subparsers) -> None:
+    parser = subparsers.add_parser("appendix", help="Appendix A worked example")
+    parser.add_argument("--shots", type=int, default=1000)
+    parser.add_argument("--precision", type=int, default=3)
+    parser.add_argument("--backend", choices=("exact", "statevector", "trotter"), default="statevector")
+    parser.add_argument("--draw", action="store_true", help="include an ASCII drawing of the Fig. 6 circuit")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_timeseries(subparsers) -> None:
+    parser = subparsers.add_parser("timeseries", help="Section 5 raw time-series classification")
+    parser.add_argument("--windows", type=int, default=12, help="windows per class")
+    parser.add_argument("--window-length", type=int, default=500)
+    parser.add_argument("--precision", type=int, default=4)
+    parser.add_argument("--shots", type=int, default=100)
+    parser.add_argument("--stride", type=int, default=16, help="Takens embedding stride")
+    parser.add_argument("--classical", action="store_true", help="use exact Betti numbers instead of QPE estimates")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the experiments of 'Quantum-Enhanced Topological Data Analysis' (arXiv:2302.09553).",
+    )
+    parser.add_argument("--paper-scale", action="store_true", help="use the full paper-sized parameter grids (slow)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_fig3(subparsers)
+    _add_table1(subparsers)
+    _add_fig4(subparsers)
+    _add_appendix(subparsers)
+    _add_timeseries(subparsers)
+    return parser
+
+
+def _run_fig3(args) -> str:
+    from repro.experiments.shots_precision import (
+        ShotsPrecisionConfig,
+        error_trend_summary,
+        render_shots_precision_results,
+        run_shots_precision_experiment,
+    )
+
+    config = (
+        ShotsPrecisionConfig.paper_scale()
+        if args.paper_scale
+        else ShotsPrecisionConfig(
+            complex_sizes=tuple(args.sizes),
+            num_complexes=args.complexes,
+            shots_grid=tuple(args.shots),
+            precision_grid=tuple(args.precision),
+            seed=args.seed,
+        )
+    )
+    result = run_shots_precision_experiment(config)
+    return render_shots_precision_results(result) + f"\n\nTrend summary: {error_trend_summary(result)}"
+
+
+def _run_table1(args) -> str:
+    from repro.experiments.gearbox_table1 import GearboxExperimentConfig, render_table1, run_gearbox_table1
+
+    config = (
+        GearboxExperimentConfig()
+        if args.paper_scale
+        else GearboxExperimentConfig(
+            num_rows=args.rows,
+            num_healthy=args.healthy,
+            precision_grid=tuple(args.precision),
+            shots=args.shots,
+            seed=args.seed,
+        )
+    )
+    return render_table1(run_gearbox_table1(config))
+
+
+def _run_fig4(args) -> str:
+    from repro.experiments.grouping_scale import (
+        GroupingScaleConfig,
+        render_grouping_scale_results,
+        run_grouping_scale_experiment,
+    )
+
+    config = (
+        GroupingScaleConfig.paper_scale()
+        if args.paper_scale
+        else GroupingScaleConfig(
+            num_rows=args.rows,
+            num_healthy=args.healthy,
+            num_scales=args.scales,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+    )
+    return render_grouping_scale_results(run_grouping_scale_experiment(config))
+
+
+def _run_appendix(args) -> str:
+    from repro.experiments.worked_example import render_worked_example, run_worked_example
+
+    result = run_worked_example(
+        shots=args.shots,
+        precision_qubits=args.precision,
+        backend=args.backend,
+        seed=args.seed,
+        include_drawing=args.draw,
+    )
+    return render_worked_example(result)
+
+
+def _run_timeseries(args) -> str:
+    from repro.experiments.gearbox_table1 import run_timeseries_classification
+
+    result = run_timeseries_classification(
+        num_samples_per_class=args.windows,
+        window_length=args.window_length,
+        precision_qubits=args.precision,
+        shots=args.shots,
+        takens_stride=args.stride,
+        seed=args.seed,
+        use_quantum=not args.classical,
+    )
+    return (
+        f"Section 5 time-series classification ({result.num_windows} windows, eps = {result.epsilon:.3f})\n"
+        f"training accuracy   = {result.training_accuracy:.3f}\n"
+        f"validation accuracy = {result.validation_accuracy:.3f}"
+    )
+
+
+_COMMANDS = {
+    "fig3": _run_fig3,
+    "table1": _run_table1,
+    "fig4": _run_fig4,
+    "appendix": _run_appendix,
+    "timeseries": _run_timeseries,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    report = _COMMANDS[args.command](args)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

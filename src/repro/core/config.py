@@ -1,0 +1,98 @@
+"""Configuration object for the QTDA estimator.
+
+Collects the knobs the paper varies in its experiments — number of precision
+qubits, number of shots, the spectral-scaling constant ``δ`` — plus the
+implementation choices this library adds (simulation backend, padding mode,
+Trotter parameters, optional noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.quantum.noise import NoiseModel
+from repro.utils.validation import check_integer, check_positive_integer
+
+#: Allowed simulation backends (see DESIGN.md §5 for their semantics).
+BACKENDS = ("exact", "statevector", "trotter")
+
+#: Allowed padding modes (Eq. 7 identity padding vs the naive zero padding).
+PADDING_MODES = ("identity", "zero")
+
+
+@dataclass
+class QTDAConfig:
+    """All tunables of the QPE Betti-number estimator.
+
+    Attributes
+    ----------
+    precision_qubits:
+        Number of QPE precision qubits ``t`` (the paper sweeps 1–10).
+    shots:
+        Number of circuit repetitions ``α``.  ``None`` means "infinite shots":
+        the exact outcome probability ``p(0)`` is used directly.
+    delta:
+        The spectral scaling constant ``δ`` of Eq. 9, "slightly less than
+        2π".  The default keeps a 10 % margin (δ = 0.9·2π ≈ 5.65, comparable
+        to the worked example's δ = 6): if δ is pushed too close to 2π, the
+        largest eigenvalue maps to a phase just below 1, which QPE cannot
+        distinguish from phase 0 (phases are periodic), and the top of the
+        spectrum leaks into the Betti count.
+    backend:
+        ``"exact"`` (analytical QPE distribution), ``"statevector"`` (explicit
+        circuit with exact controlled powers of ``U``) or ``"trotter"``
+        (explicit circuit with ``U`` synthesised from the Pauli
+        decomposition, Fig. 7).
+    padding:
+        ``"identity"`` for the paper's λ̃_max/2-identity padding (Eq. 7) or
+        ``"zero"`` for the naive zero padding it argues against.
+    trotter_steps, trotter_order:
+        Product-formula parameters for the ``"trotter"`` backend.
+    use_purification:
+        For circuit backends, prepare the maximally mixed state with
+        auxiliary qubits and Bell pairs (Fig. 2).  When false, the mixed
+        state is simulated by averaging over computational basis states,
+        which needs no auxiliary qubits.
+    noise_model:
+        Optional noise model applied by the density-matrix simulator
+        (only honoured by circuit backends).
+    seed:
+        RNG seed for shot sampling.
+    """
+
+    precision_qubits: int = 3
+    shots: Optional[int] = 1000
+    delta: float = 2.0 * np.pi * 0.9
+    backend: str = "exact"
+    padding: str = "identity"
+    trotter_steps: int = 4
+    trotter_order: int = 1
+    use_purification: bool = True
+    noise_model: Optional[NoiseModel] = None
+    seed: Optional[int] = None
+    zero_eigenvalue_atol: float = 1e-8
+
+    def __post_init__(self):
+        self.precision_qubits = check_positive_integer(self.precision_qubits, "precision_qubits")
+        if self.shots is not None:
+            self.shots = check_positive_integer(self.shots, "shots")
+        self.delta = float(self.delta)
+        if not 0.0 < self.delta < 2.0 * np.pi:
+            raise ValueError(f"delta must lie in (0, 2π), got {self.delta}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.padding not in PADDING_MODES:
+            raise ValueError(f"padding must be one of {PADDING_MODES}, got {self.padding!r}")
+        self.trotter_steps = check_positive_integer(self.trotter_steps, "trotter_steps")
+        self.trotter_order = check_integer(self.trotter_order, "trotter_order", minimum=1, maximum=2)
+        if self.noise_model is not None and not isinstance(self.noise_model, NoiseModel):
+            raise TypeError("noise_model must be a repro.quantum.NoiseModel or None")
+
+    def replace(self, **overrides) -> "QTDAConfig":
+        """Copy with selected fields overridden (dataclasses.replace wrapper)."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **overrides)

@@ -1,0 +1,72 @@
+"""Maximally-mixed-state preparation (Fig. 2).
+
+The QTDA algorithm runs QPE with the system register in the maximally mixed
+state ``I / 2^q``, so that each eigenvector of the Laplacian is sampled with
+equal weight and the probability of reading phase 0 equals
+``(number of zero eigenvalues) / 2^q``.
+
+On a gate-based device the mixed state is prepared by *purification*: add
+``q`` auxiliary qubits, put each auxiliary in ``|+>`` with a Hadamard, and
+CNOT it onto the corresponding system qubit.  Tracing out the auxiliaries
+leaves the system maximally mixed — this is exactly the circuit of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.utils.validation import check_positive_integer
+
+
+def mixed_state_purification_qubits(num_system_qubits: int) -> int:
+    """Number of auxiliary qubits needed by the Fig. 2 construction (= ``q``)."""
+    return check_positive_integer(num_system_qubits, "num_system_qubits")
+
+
+def maximally_mixed_state_circuit(
+    num_system_qubits: int,
+    system_offset: int = 0,
+    auxiliary_offset: int | None = None,
+    total_qubits: int | None = None,
+) -> QuantumCircuit:
+    """Circuit that leaves the system register maximally mixed (Fig. 2).
+
+    Parameters
+    ----------
+    num_system_qubits:
+        Size ``q`` of the system register.
+    system_offset:
+        Index of the first system qubit inside the full register.
+    auxiliary_offset:
+        Index of the first auxiliary qubit; defaults to the qubit right after
+        the system register.
+    total_qubits:
+        Total register size of the returned circuit; defaults to the minimum
+        needed (``system_offset + 2q`` or as implied by the offsets).
+
+    Returns
+    -------
+    QuantumCircuit
+        For each pair ``(aux_i, sys_i)``: ``H`` on the auxiliary followed by
+        ``CNOT(aux_i -> sys_i)``, creating ``q`` Bell pairs.  The reduced
+        state of the system register is ``I/2^q``.
+    """
+    q = check_positive_integer(num_system_qubits, "num_system_qubits")
+    system_offset = int(system_offset)
+    if auxiliary_offset is None:
+        auxiliary_offset = system_offset + q
+    auxiliary_offset = int(auxiliary_offset)
+    needed = max(system_offset + q, auxiliary_offset + q)
+    total = needed if total_qubits is None else int(total_qubits)
+    if total < needed:
+        raise ValueError(f"total_qubits={total} is too small; need at least {needed}")
+    system = list(range(system_offset, system_offset + q))
+    auxiliary = list(range(auxiliary_offset, auxiliary_offset + q))
+    if set(system) & set(auxiliary):
+        raise ValueError("System and auxiliary registers overlap")
+
+    circ = QuantumCircuit(total, name="mixed-state-prep")
+    for aux, sys_q in zip(auxiliary, system):
+        circ.h(aux)
+        circ.cnot(aux, sys_q)
+    circ.barrier(label="I/2^q prepared")
+    return circ

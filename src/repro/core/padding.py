@@ -1,0 +1,113 @@
+"""Padding of the combinatorial Laplacian to a power-of-two dimension (Eq. 7).
+
+QPE acts on ``q`` qubits, i.e. a ``2^q``-dimensional space, so the
+``|S_k| x |S_k|`` Laplacian must be embedded into the next power of two.
+The paper's observation: padding with zeros adds ``2^q - |S_k|`` spurious
+zero eigenvalues, each of which QPE counts as a harmonic class and which must
+be subtracted afterwards.  Padding instead with ``(λ̃_max / 2) · I`` — with
+``λ̃_max`` the Gershgorin upper bound on the spectrum — places the padding
+eigenvalues squarely in the middle of the non-zero spectrum, so the estimate
+``β̃_k = 2^q p(0)`` needs no correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.paulis.gershgorin import gershgorin_bound
+from repro.utils.validation import check_symmetric
+
+
+@dataclass(frozen=True)
+class PaddedLaplacian:
+    """Result of padding a combinatorial Laplacian.
+
+    Attributes
+    ----------
+    matrix:
+        The padded ``2^q x 2^q`` symmetric matrix ``Δ̃_k``.
+    original_dimension:
+        ``|S_k|``, the size of the unpadded Laplacian.
+    num_qubits:
+        ``q = ceil(log2 |S_k|)``.
+    lambda_max:
+        The Gershgorin estimate ``λ̃_max`` of the largest eigenvalue of the
+        *unpadded* Laplacian (also used later for the spectral rescaling).
+    mode:
+        ``"identity"`` or ``"zero"``.
+    """
+
+    matrix: np.ndarray
+    original_dimension: int
+    num_qubits: int
+    lambda_max: float
+    mode: str
+
+    @property
+    def padded_dimension(self) -> int:
+        """``2^q``."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def num_padding_rows(self) -> int:
+        """``2^q - |S_k|`` — how many padding eigenvalues were introduced."""
+        return self.padded_dimension - self.original_dimension
+
+    def spurious_zero_eigenvalues(self) -> int:
+        """Zero eigenvalues contributed by the padding block itself.
+
+        Zero for identity padding (unless the Laplacian is identically zero,
+        in which case λ̃_max = 0 and the padding block is zero too); equal to
+        the number of padding rows for zero padding.
+        """
+        if self.mode == "zero" or self.lambda_max == 0.0:
+            return self.num_padding_rows
+        return 0
+
+
+def _prepare(laplacian: np.ndarray) -> tuple[np.ndarray, int, int, float]:
+    lap = check_symmetric(laplacian, "laplacian")
+    dim = lap.shape[0]
+    if dim == 0:
+        raise ValueError("Cannot pad an empty (0x0) Laplacian; the complex has no k-simplices")
+    num_qubits = max(1, int(np.ceil(np.log2(dim))))
+    lam = gershgorin_bound(lap)
+    return np.asarray(lap, dtype=float), dim, num_qubits, lam
+
+
+def pad_laplacian(laplacian: np.ndarray, mode: str = "identity") -> PaddedLaplacian:
+    """Pad ``Δ_k`` to ``2^q`` dimensions.
+
+    Parameters
+    ----------
+    laplacian:
+        The ``|S_k| x |S_k|`` combinatorial Laplacian.
+    mode:
+        ``"identity"`` — the paper's padding with ``(λ̃_max / 2) I`` (Eq. 7);
+        ``"zero"`` — naive zero padding (the baseline the paper advises
+        against), retained for the padding ablation benchmark.
+    """
+    if mode not in ("identity", "zero"):
+        raise ValueError(f"Unknown padding mode {mode!r}")
+    lap, dim, num_qubits, lam = _prepare(laplacian)
+    padded_dim = 2**num_qubits
+    padded = np.zeros((padded_dim, padded_dim), dtype=float)
+    padded[:dim, :dim] = lap
+    if mode == "identity" and padded_dim > dim:
+        fill_value = lam / 2.0
+        idx = np.arange(dim, padded_dim)
+        padded[idx, idx] = fill_value
+    return PaddedLaplacian(
+        matrix=padded,
+        original_dimension=dim,
+        num_qubits=num_qubits,
+        lambda_max=lam,
+        mode=mode,
+    )
+
+
+def zero_pad_laplacian(laplacian: np.ndarray) -> PaddedLaplacian:
+    """Convenience wrapper for the zero-padding baseline."""
+    return pad_laplacian(laplacian, mode="zero")

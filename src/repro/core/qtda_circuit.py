@@ -1,0 +1,134 @@
+"""Assembly of the full QTDA circuit (Fig. 6).
+
+Register layout (matching the figure, top to bottom):
+
+* ``t`` precision qubits (qubits ``0 .. t-1``) — phase readout;
+* ``q`` system qubits (qubits ``t .. t+q-1``) — carry the padded Laplacian's
+  eigenvectors;
+* ``q`` auxiliary qubits (qubits ``t+q .. t+2q-1``) — purify the maximally
+  mixed input state (Fig. 2); only present when purification is requested.
+
+The circuit is: mixed-state preparation, then QPE (Hadamards, controlled
+powers of ``U = exp(iH)``, inverse QFT), then measurement of the precision
+register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.hamiltonian import RescaledHamiltonian
+from repro.core.mixed_state import maximally_mixed_state_circuit
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.qpe import phase_estimation_circuit
+from repro.quantum.trotter import pauli_evolution_circuit
+from repro.utils.validation import check_positive_integer
+
+
+@dataclass(frozen=True)
+class QTDACircuitSpec:
+    """Static description of a QTDA circuit's register layout."""
+
+    precision_qubits: int
+    system_qubits: int
+    auxiliary_qubits: int
+
+    @property
+    def total_qubits(self) -> int:
+        return self.precision_qubits + self.system_qubits + self.auxiliary_qubits
+
+    @property
+    def precision_register(self) -> Tuple[int, ...]:
+        return tuple(range(self.precision_qubits))
+
+    @property
+    def system_register(self) -> Tuple[int, ...]:
+        return tuple(range(self.precision_qubits, self.precision_qubits + self.system_qubits))
+
+    @property
+    def auxiliary_register(self) -> Tuple[int, ...]:
+        start = self.precision_qubits + self.system_qubits
+        return tuple(range(start, start + self.auxiliary_qubits))
+
+
+def qtda_circuit(
+    hamiltonian: RescaledHamiltonian,
+    precision_qubits: int,
+    use_purification: bool = True,
+    synthesis: str = "exact",
+    trotter_steps: int = 4,
+    trotter_order: int = 1,
+) -> tuple[QuantumCircuit, QTDACircuitSpec]:
+    """Build the full QTDA circuit of Fig. 6.
+
+    Parameters
+    ----------
+    hamiltonian:
+        The rescaled Hamiltonian (from :func:`repro.core.hamiltonian.build_hamiltonian`).
+    precision_qubits:
+        Number of QPE precision qubits ``t``.
+    use_purification:
+        Include the auxiliary register and the Fig. 2 mixed-state
+        preparation.  When false the circuit expects the caller to supply the
+        system register's initial state explicitly (e.g. a basis state).
+    synthesis:
+        ``"exact"`` — controlled powers of the dense ``exp(iH)``;
+        ``"trotter"`` — ``U`` synthesised from the Pauli decomposition with
+        the requested product formula (the Fig. 7 construction), each gate of
+        which is controlled and repeated inside QPE.
+    trotter_steps, trotter_order:
+        Product-formula parameters for ``synthesis="trotter"``.
+
+    Returns
+    -------
+    (circuit, spec)
+        The circuit and the register-layout description.
+    """
+    t = check_positive_integer(precision_qubits, "precision_qubits")
+    q = hamiltonian.num_qubits
+    aux = q if use_purification else 0
+    spec = QTDACircuitSpec(precision_qubits=t, system_qubits=q, auxiliary_qubits=aux)
+
+    if synthesis == "exact":
+        unitary: np.ndarray | QuantumCircuit = hamiltonian.unitary()
+    elif synthesis == "trotter":
+        unitary = pauli_evolution_circuit(
+            hamiltonian.pauli_decomposition(),
+            time=1.0,
+            trotter_steps=trotter_steps,
+            order=trotter_order,
+            name="exp(iH)·trotter",
+        )
+    else:
+        raise ValueError(f"Unknown synthesis {synthesis!r}; use 'exact' or 'trotter'")
+
+    circ = QuantumCircuit(spec.total_qubits, name="QTDA")
+    if use_purification:
+        prep = maximally_mixed_state_circuit(
+            q,
+            system_offset=t,
+            auxiliary_offset=t + q,
+            total_qubits=spec.total_qubits,
+        )
+        circ.compose(prep, qubits=list(range(spec.total_qubits)))
+
+    qpe = phase_estimation_circuit(unitary, num_precision=t, num_system=q, num_auxiliary=0)
+    # QPE is laid out on (precision, system); map it onto the full register.
+    circ.compose(qpe, qubits=list(spec.precision_register) + list(spec.system_register))
+    return circ, spec
+
+
+def circuit_resource_summary(circuit: QuantumCircuit, spec: QTDACircuitSpec) -> dict:
+    """Resource counts used in the examples and EXPERIMENTS.md."""
+    return {
+        "total_qubits": spec.total_qubits,
+        "precision_qubits": spec.precision_qubits,
+        "system_qubits": spec.system_qubits,
+        "auxiliary_qubits": spec.auxiliary_qubits,
+        "num_gates": circuit.num_gates,
+        "depth": circuit.depth(),
+        "gate_histogram": circuit.count_ops(),
+    }

@@ -1,0 +1,45 @@
+"""Data substrates.
+
+The paper's Section 5 uses the Southeast-University gearbox dataset (raw
+vibration time series and a processed six-feature variant).  That dataset is
+not available offline, so :mod:`repro.datasets.gearbox` generates synthetic
+healthy / surface-fault vibration signals with the same qualitative structure
+(see DESIGN.md §2 for the substitution rationale).  The remaining modules
+provide windowing, condition-monitoring feature extraction and reference
+point clouds with known Betti numbers.
+"""
+
+from repro.datasets.gearbox import GearboxDatasetConfig, generate_gearbox_dataset, generate_gearbox_signal
+from repro.datasets.features import (
+    condition_features,
+    feature_matrix,
+    feature_row_to_point_cloud,
+    FEATURE_NAMES,
+)
+from repro.datasets.windows import sliding_windows, windowed_dataset
+from repro.datasets.point_clouds import (
+    annulus_cloud,
+    circle_cloud,
+    clusters_cloud,
+    figure_eight_cloud,
+    sphere_cloud,
+    torus_cloud,
+)
+
+__all__ = [
+    "GearboxDatasetConfig",
+    "generate_gearbox_dataset",
+    "generate_gearbox_signal",
+    "condition_features",
+    "feature_matrix",
+    "feature_row_to_point_cloud",
+    "FEATURE_NAMES",
+    "sliding_windows",
+    "windowed_dataset",
+    "annulus_cloud",
+    "circle_cloud",
+    "clusters_cloud",
+    "figure_eight_cloud",
+    "sphere_cloud",
+    "torus_cloud",
+]

@@ -1,0 +1,79 @@
+"""Time-series windowing.
+
+Section 5 creates data samples "by taking 500 time stamps at a time" from the
+raw gearbox signals; these helpers implement that segmentation plus a small
+generic sliding-window utility.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive_integer
+
+
+def sliding_windows(series: np.ndarray, window_length: int, stride: int | None = None) -> np.ndarray:
+    """Segment a 1-D series into (possibly overlapping) windows.
+
+    Parameters
+    ----------
+    series:
+        1-D array of samples.
+    window_length:
+        Samples per window (the paper uses 500).
+    stride:
+        Step between window starts; defaults to ``window_length``
+        (non-overlapping windows).
+    """
+    x = np.asarray(series, dtype=float).reshape(-1)
+    length = check_positive_integer(window_length, "window_length")
+    step = length if stride is None else check_positive_integer(stride, "stride")
+    if x.size < length:
+        raise ValueError(f"series of length {x.size} is shorter than the window length {length}")
+    starts = np.arange(0, x.size - length + 1, step)
+    return np.stack([x[s : s + length] for s in starts])
+
+
+def windowed_dataset(
+    signals: dict,
+    window_length: int = 500,
+    samples_per_class: int | None = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build a balanced windowed dataset from labelled raw signals.
+
+    Parameters
+    ----------
+    signals:
+        Mapping label -> 1-D raw signal.
+    window_length:
+        Samples per window.
+    samples_per_class:
+        Number of windows drawn per class; defaults to the largest balanced
+        count available.
+    seed:
+        RNG seed for the per-class window subsampling.
+
+    Returns
+    -------
+    (windows, labels)
+    """
+    rng = as_rng(seed)
+    per_label = {label: sliding_windows(sig, window_length) for label, sig in signals.items()}
+    max_balanced = min(w.shape[0] for w in per_label.values())
+    count = max_balanced if samples_per_class is None else min(int(samples_per_class), max_balanced)
+    if count < 1:
+        raise ValueError("Not enough data for a single window per class")
+    all_windows = []
+    all_labels = []
+    for label, windows in per_label.items():
+        idx = rng.choice(windows.shape[0], size=count, replace=False)
+        all_windows.append(windows[idx])
+        all_labels.append(np.full(count, label))
+    windows = np.vstack(all_windows)
+    labels = np.concatenate(all_labels)
+    permutation = rng.permutation(labels.size)
+    return windows[permutation], labels[permutation]

@@ -1,0 +1,43 @@
+"""Experiment drivers — one per table/figure of the paper.
+
+Each driver exposes a ``run_*`` function returning plain data structures plus
+a ``render_*`` helper that formats them the way the paper presents them
+(boxplot summaries for Fig. 3, an accuracy table for Table 1, an
+accuracy-vs-ε curve for Fig. 4, and the step-by-step worked example of
+Appendix A).  The benchmark harness in ``benchmarks/`` calls these drivers
+with reduced default grids; the full paper-scale grids are reachable through
+the same functions' parameters.
+"""
+
+from repro.experiments.shots_precision import (
+    ShotsPrecisionConfig,
+    run_shots_precision_experiment,
+    render_shots_precision_results,
+)
+from repro.experiments.gearbox_table1 import (
+    GearboxExperimentConfig,
+    run_gearbox_table1,
+    render_table1,
+    run_timeseries_classification,
+)
+from repro.experiments.grouping_scale import (
+    GroupingScaleConfig,
+    run_grouping_scale_experiment,
+    render_grouping_scale_results,
+)
+from repro.experiments.worked_example import run_worked_example, render_worked_example
+
+__all__ = [
+    "ShotsPrecisionConfig",
+    "run_shots_precision_experiment",
+    "render_shots_precision_results",
+    "GearboxExperimentConfig",
+    "run_gearbox_table1",
+    "render_table1",
+    "run_timeseries_classification",
+    "GroupingScaleConfig",
+    "run_grouping_scale_experiment",
+    "render_grouping_scale_results",
+    "run_worked_example",
+    "render_worked_example",
+]

@@ -1,0 +1,129 @@
+"""Fig. 4 — training accuracy vs the grouping scale ε.
+
+The paper sweeps ε over linearly spaced values (in [3, 5] for its feature
+scale), recomputes the *actual* Betti-number features of the training data at
+each ε, refits the classifier 50 times on resampled training sets and plots
+the mean training accuracy against ε.  The curve identifies the grouping
+scale at which the topology of the two classes separates best.
+
+Our synthetic gearbox features live on a different numeric scale than the SEU
+features, so the sweep range defaults to quantiles of the observed pairwise
+distances rather than the literal [3, 5]; the shape of the curve (a broad
+maximum at intermediate ε, degradation at the extremes where the complex is
+either disconnected dust or a complete simplex) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.features import feature_rows_to_point_clouds
+from repro.datasets.gearbox import GearboxDatasetConfig, generate_processed_gearbox_dataset
+from repro.experiments.gearbox_table1 import _betti_features, _fit_and_score
+from repro.tda.distances import pairwise_distances
+from repro.utils.ascii_plots import render_line_plot
+from repro.utils.rng import SeedLike, derive_seed
+
+
+@dataclass
+class GroupingScaleConfig:
+    """Parameters of the Fig. 4 sweep."""
+
+    num_rows: int = 120
+    num_healthy: int = 40
+    num_scales: int = 9
+    scale_range: Optional[Tuple[float, float]] = None
+    repetitions: int = 10
+    train_fraction: float = 0.2
+    homology_dimensions: Tuple[int, ...] = (0, 1)
+    window_length: int = 400
+    seed: SeedLike = 31
+    gearbox: GearboxDatasetConfig = field(default_factory=GearboxDatasetConfig)
+
+    @classmethod
+    def paper_scale(cls) -> "GroupingScaleConfig":
+        """Paper-sized sweep: 255 rows, 50 repetitions."""
+        return cls(num_rows=255, num_healthy=51, repetitions=50, num_scales=11, window_length=500)
+
+
+@dataclass
+class GroupingScaleResult:
+    """Mean training accuracy per grouping scale."""
+
+    scales: np.ndarray
+    mean_training_accuracy: np.ndarray
+    std_training_accuracy: np.ndarray
+    config: GroupingScaleConfig
+
+    def best_scale(self) -> float:
+        """The ε with the highest mean training accuracy."""
+        return float(self.scales[int(np.argmax(self.mean_training_accuracy))])
+
+
+def _scale_grid(clouds: Sequence[np.ndarray], cfg: GroupingScaleConfig) -> np.ndarray:
+    if cfg.scale_range is not None:
+        lo, hi = cfg.scale_range
+    else:
+        samples = []
+        for cloud in clouds:
+            dist = pairwise_distances(cloud)
+            n = dist.shape[0]
+            if n > 1:
+                iu, ju = np.triu_indices(n, k=1)
+                samples.append(dist[iu, ju])
+        pooled = np.concatenate(samples)
+        lo, hi = np.percentile(pooled, [10, 90])
+    return np.linspace(float(lo), float(hi), cfg.num_scales)
+
+
+def run_grouping_scale_experiment(config: GroupingScaleConfig | None = None) -> GroupingScaleResult:
+    """Run the ε sweep with exact (classical) Betti features, as in Fig. 4."""
+    cfg = config if config is not None else GroupingScaleConfig()
+    features, labels = generate_processed_gearbox_dataset(
+        num_rows=cfg.num_rows,
+        num_healthy=cfg.num_healthy,
+        config=cfg.gearbox,
+        window_length=cfg.window_length,
+        seed=cfg.seed,
+    )
+    clouds = feature_rows_to_point_clouds(features)
+    scales = _scale_grid(clouds, cfg)
+    means: List[float] = []
+    stds: List[float] = []
+    for scale_index, epsilon in enumerate(scales):
+        betti_features, _ = _betti_features(clouds, float(epsilon), cfg.homology_dimensions, estimator=None)
+        accuracies = []
+        for rep in range(cfg.repetitions):
+            train_acc, _ = _fit_and_score(
+                betti_features,
+                labels,
+                cfg.train_fraction,
+                derive_seed(cfg.seed, scale_index, rep),
+            )
+            accuracies.append(train_acc)
+        means.append(float(np.mean(accuracies)))
+        stds.append(float(np.std(accuracies)))
+    return GroupingScaleResult(
+        scales=scales,
+        mean_training_accuracy=np.asarray(means),
+        std_training_accuracy=np.asarray(stds),
+        config=cfg,
+    )
+
+
+def render_grouping_scale_results(result: GroupingScaleResult) -> str:
+    """ASCII line plot plus the per-ε table (Fig. 4 analogue)."""
+    plot = render_line_plot(
+        result.scales,
+        result.mean_training_accuracy,
+        x_label="grouping scale ε",
+        y_label="training accuracy",
+    )
+    rows = "\n".join(
+        f"  ε = {eps:7.3f}   accuracy = {acc:.3f} ± {std:.3f}"
+        for eps, acc, std in zip(result.scales, result.mean_training_accuracy, result.std_training_accuracy)
+    )
+    return f"Fig. 4 analogue — training accuracy vs grouping scale\n{plot}\n{rows}\nbest ε = {result.best_scale():.3f}"

@@ -1,0 +1,47 @@
+"""Minimal classical-ML substrate (the scikit-learn substitute).
+
+Section 5 of the paper feeds the estimated Betti numbers into scikit-learn
+classifiers.  This subpackage provides the pieces that pipeline needs —
+nothing more:
+
+* :class:`~repro.ml.preprocessing.StandardScaler` /
+  :class:`~repro.ml.preprocessing.MinMaxScaler`;
+* :func:`~repro.ml.model_selection.train_test_split` and
+  :class:`~repro.ml.model_selection.KFold`;
+* :class:`~repro.ml.linear_model.LogisticRegression` (Newton/IRLS with L2
+  regularisation), the classifier used for Table 1;
+* :class:`~repro.ml.neighbors.KNeighborsClassifier` as a second, assumption
+  free baseline;
+* metrics: accuracy, mean absolute error, confusion matrix,
+  precision/recall/F1.
+"""
+
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.linear_model import LogisticRegression
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    recall_score,
+)
+
+__all__ = [
+    "MinMaxScaler",
+    "StandardScaler",
+    "KFold",
+    "train_test_split",
+    "LogisticRegression",
+    "KNeighborsClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "precision_score",
+    "recall_score",
+]

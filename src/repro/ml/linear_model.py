@@ -1,0 +1,161 @@
+"""Logistic regression (the classifier of the paper's Table 1).
+
+Binary logistic regression with L2 regularisation, fitted by damped Newton
+iterations (iteratively reweighted least squares).  On the tiny,
+two-dimensional Betti-feature datasets of Section 5 this converges in a
+handful of iterations to the same decision boundary scikit-learn's solvers
+find.  Multi-class problems are handled one-vs-rest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive_integer
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """L2-regularised logistic regression trained with damped Newton steps.
+
+    Parameters
+    ----------
+    regularization:
+        Inverse-variance style penalty strength ``λ`` added to the Hessian
+        diagonal (the intercept is not penalised).  ``λ = 1/C`` in
+        scikit-learn's parametrisation.
+    max_iter:
+        Maximum Newton iterations per binary problem.
+    tol:
+        Convergence threshold on the max absolute coefficient update.
+    fit_intercept:
+        Whether to learn a bias term.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        max_iter: int = 100,
+        tol: float = 1e-8,
+        fit_intercept: bool = True,
+    ):
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.regularization = float(regularization)
+        self.max_iter = check_positive_integer(max_iter, "max_iter")
+        self.tol = float(tol)
+        self.fit_intercept = bool(fit_intercept)
+        self.classes_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+        self.n_iter_: int = 0
+
+    # -- fitting -----------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit the model; labels may be any hashable values (two or more classes)."""
+        x = self._as_2d(features)
+        y = np.asarray(labels).reshape(-1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have the same number of rows")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("Need at least two classes to fit a classifier")
+        n_features = x.shape[1]
+        if self.classes_.size == 2:
+            weights = self._fit_binary(x, (y == self.classes_[1]).astype(float))
+            self.coef_ = weights[None, : n_features]
+            self.intercept_ = np.array([weights[n_features]]) if self.fit_intercept else np.zeros(1)
+        else:
+            coefs = []
+            intercepts = []
+            for cls in self.classes_:
+                weights = self._fit_binary(x, (y == cls).astype(float))
+                coefs.append(weights[:n_features])
+                intercepts.append(weights[n_features] if self.fit_intercept else 0.0)
+            self.coef_ = np.vstack(coefs)
+            self.intercept_ = np.asarray(intercepts)
+        return self
+
+    def _fit_binary(self, x: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Newton/IRLS for a single binary problem; returns [coef..., intercept]."""
+        design = np.hstack([x, np.ones((x.shape[0], 1))]) if self.fit_intercept else x
+        n_params = design.shape[1]
+        weights = np.zeros(n_params)
+        penalty = np.full(n_params, self.regularization)
+        if self.fit_intercept:
+            penalty[-1] = 0.0
+        self.n_iter_ = 0
+        for iteration in range(self.max_iter):
+            self.n_iter_ = iteration + 1
+            logits = design @ weights
+            probs = _sigmoid(logits)
+            gradient = design.T @ (probs - target) + penalty * weights
+            curvature = probs * (1.0 - probs)
+            hessian = (design * curvature[:, None]).T @ design + np.diag(penalty + 1e-12)
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                step = np.linalg.lstsq(hessian, gradient, rcond=None)[0]
+            # Damp overly aggressive steps (perfectly separable data pushes
+            # coefficients towards infinity; the cap keeps them finite).
+            step_norm = float(np.max(np.abs(step)))
+            if step_norm > 10.0:
+                step *= 10.0 / step_norm
+            weights = weights - step
+            if step_norm < self.tol:
+                break
+        return weights
+
+    # -- inference ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Linear scores before the sigmoid; shape (n,) binary, (n, n_classes) otherwise."""
+        self._check_fitted()
+        x = self._as_2d(features)
+        scores = x @ self.coef_.T + self.intercept_
+        return scores[:, 0] if self.classes_.size == 2 else scores
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-membership probabilities, one column per class."""
+        self._check_fitted()
+        scores = self.decision_function(features)
+        if self.classes_.size == 2:
+            p1 = _sigmoid(np.asarray(scores))
+            return np.column_stack([1.0 - p1, p1])
+        raw = _sigmoid(scores)
+        return raw / raw.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        probs = self.predict_proba(features)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on ``(features, labels)``."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(labels).reshape(-1), self.predict(features))
+
+    # -- helpers -------------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.coef_ is None or self.classes_ is None:
+            raise RuntimeError("LogisticRegression must be fitted before inference")
+
+    @staticmethod
+    def _as_2d(features: np.ndarray) -> np.ndarray:
+        arr = np.asarray(features, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            raise ValueError("features must be 1-D or 2-D")
+        return arr

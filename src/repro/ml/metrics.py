@@ -1,0 +1,81 @@
+"""Classification and regression metrics used in the Section 5 experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _validate_pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true).reshape(-1)
+    pred = np.asarray(y_pred).reshape(-1)
+    if true.shape != pred.shape:
+        raise ValueError(f"y_true and y_pred have different lengths: {true.shape} vs {pred.shape}")
+    if true.size == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+    return true, pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching predictions."""
+    true, pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(true == pred))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error (Table 1 reports this between β̃ and β)."""
+    true, pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(np.abs(true.astype(float) - pred.astype(float))))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error."""
+    true, pred = _validate_pair(y_true, y_pred)
+    return float(np.mean((true.astype(float) - pred.astype(float)) ** 2))
+
+
+def confusion_matrix(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    """Confusion matrix and the class labels indexing its rows/columns.
+
+    Rows are true classes, columns predicted classes.
+    """
+    true, pred = _validate_pair(y_true, y_pred)
+    classes = np.unique(np.concatenate([true, pred]))
+    index = {c: i for i, c in enumerate(classes)}
+    matrix = np.zeros((classes.size, classes.size), dtype=int)
+    for t, p in zip(true, pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, classes
+
+
+def _binary_counts(y_true, y_pred, positive_label) -> Dict[str, int]:
+    true, pred = _validate_pair(y_true, y_pred)
+    tp = int(np.sum((true == positive_label) & (pred == positive_label)))
+    fp = int(np.sum((true != positive_label) & (pred == positive_label)))
+    fn = int(np.sum((true == positive_label) & (pred != positive_label)))
+    tn = int(np.sum((true != positive_label) & (pred != positive_label)))
+    return {"tp": tp, "fp": fp, "fn": fn, "tn": tn}
+
+
+def precision_score(y_true, y_pred, positive_label=1) -> float:
+    """``tp / (tp + fp)``; 0 when nothing was predicted positive."""
+    c = _binary_counts(y_true, y_pred, positive_label)
+    denom = c["tp"] + c["fp"]
+    return float(c["tp"] / denom) if denom else 0.0
+
+
+def recall_score(y_true, y_pred, positive_label=1) -> float:
+    """``tp / (tp + fn)``; 0 when there are no positives."""
+    c = _binary_counts(y_true, y_pred, positive_label)
+    denom = c["tp"] + c["fn"]
+    return float(c["tp"] / denom) if denom else 0.0
+
+
+def f1_score(y_true, y_pred, positive_label=1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive_label)
+    recall = recall_score(y_true, y_pred, positive_label)
+    if precision + recall == 0:
+        return 0.0
+    return float(2 * precision * recall / (precision + recall))

@@ -1,0 +1,111 @@
+"""Dataset splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive_integer
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_size: float = 0.2,
+    seed: SeedLike = None,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(features, labels)`` into train and test sets.
+
+    Parameters
+    ----------
+    features, labels:
+        Arrays with matching first dimension.
+    test_size:
+        Fraction of samples assigned to the test set (0 < test_size < 1).
+        The paper's Table 1 uses a 20 %/80 % *train/validation* split, i.e.
+        ``test_size=0.8``.
+    seed:
+        RNG seed for the shuffle.
+    stratify:
+        Preserve the class proportions of ``labels`` in both splits (each
+        class is shuffled and split separately).
+
+    Returns
+    -------
+    (train_features, test_features, train_labels, test_labels)
+    """
+    x = np.asarray(features)
+    y = np.asarray(labels)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("features and labels must have the same number of rows")
+    if not 0.0 < float(test_size) < 1.0:
+        raise ValueError("test_size must lie strictly between 0 and 1")
+    rng = as_rng(seed)
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+
+    if stratify:
+        test_idx: list[int] = []
+        train_idx: list[int] = []
+        for cls in np.unique(y):
+            cls_idx = np.flatnonzero(y == cls)
+            rng.shuffle(cls_idx)
+            n_test = int(round(len(cls_idx) * test_size))
+            n_test = min(max(n_test, 1 if len(cls_idx) > 1 else 0), len(cls_idx) - 1) if len(cls_idx) > 1 else 0
+            test_idx.extend(cls_idx[:n_test].tolist())
+            train_idx.extend(cls_idx[n_test:].tolist())
+        train_idx = np.array(sorted(train_idx))
+        test_idx = np.array(sorted(test_idx))
+    else:
+        perm = rng.permutation(n)
+        n_test = int(round(n * test_size))
+        n_test = min(max(n_test, 1), n - 1)
+        test_idx = np.sort(perm[:n_test])
+        train_idx = np.sort(perm[n_test:])
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: SeedLike = None):
+        self.n_splits = check_positive_integer(n_splits, "n_splits")
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+
+    def split(self, features: np.ndarray) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n = np.asarray(features).shape[0]
+        if n < self.n_splits:
+            raise ValueError("Cannot have more folds than samples")
+        indices = np.arange(n)
+        if self.shuffle:
+            as_rng(self.seed).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield np.sort(train), np.sort(test)
+            start += size
+
+
+def cross_val_accuracy(model_factory, features: np.ndarray, labels: np.ndarray, n_splits: int = 5, seed: SeedLike = None) -> float:
+    """Mean K-fold accuracy of a classifier built by ``model_factory()``."""
+    from repro.ml.metrics import accuracy_score
+
+    x = np.asarray(features, dtype=float)
+    y = np.asarray(labels)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(x):
+        model = model_factory()
+        model.fit(x[train_idx], y[train_idx])
+        scores.append(accuracy_score(y[test_idx], model.predict(x[test_idx])))
+    return float(np.mean(scores))

@@ -1,0 +1,64 @@
+"""k-nearest-neighbour classification.
+
+A second, assumption-free classifier used by the examples to sanity-check the
+logistic-regression results on the Betti-number features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.utils.validation import check_positive_integer
+
+
+class KNeighborsClassifier:
+    """Majority-vote k-NN classifier with Euclidean distances."""
+
+    def __init__(self, n_neighbors: int = 5):
+        self.n_neighbors = check_positive_integer(n_neighbors, "n_neighbors")
+        self._train_x: Optional[np.ndarray] = None
+        self._train_y: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        y = np.asarray(labels).reshape(-1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have the same number of rows")
+        if x.shape[0] < self.n_neighbors:
+            raise ValueError("n_neighbors cannot exceed the number of training samples")
+        self._train_x = x
+        self._train_y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Neighbourhood class frequencies, one column per class."""
+        if self._train_x is None:
+            raise RuntimeError("KNeighborsClassifier must be fitted before inference")
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        distances = cdist(x, self._train_x)
+        neighbor_idx = np.argpartition(distances, self.n_neighbors - 1, axis=1)[:, : self.n_neighbors]
+        neighbor_labels = self._train_y[neighbor_idx]
+        probs = np.zeros((x.shape[0], self.classes_.size))
+        for col, cls in enumerate(self.classes_):
+            probs[:, col] = (neighbor_labels == cls).mean(axis=1)
+        return probs
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Majority class among the ``n_neighbors`` nearest training points."""
+        probs = self.predict_proba(features)
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on ``(features, labels)``."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(labels).reshape(-1), self.predict(features))

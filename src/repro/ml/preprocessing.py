@@ -1,0 +1,82 @@
+"""Feature scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance (column-wise).
+
+    Constant columns are left unscaled (divided by 1) to avoid division by
+    zero — relevant for Betti-number features, where ``β̃_0`` can be constant
+    across a small dataset.
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        arr = self._as_2d(features)
+        self.mean_ = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        arr = self._as_2d(features)
+        if arr.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"Expected {self.mean_.shape[0]} features, got {arr.shape[1]}"
+            )
+        return (arr - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        return self._as_2d(features) * self.scale_ + self.mean_
+
+    @staticmethod
+    def _as_2d(features: np.ndarray) -> np.ndarray:
+        arr = np.asarray(features, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            raise ValueError("features must be a 1-D or 2-D array")
+        return arr
+
+
+class MinMaxScaler:
+    """Scale each feature into ``[feature_min, feature_max]`` (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = float(feature_range[0]), float(feature_range[1])
+        if hi <= lo:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = (lo, hi)
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        arr = StandardScaler._as_2d(features)
+        self.data_min_ = arr.min(axis=0)
+        self.data_max_ = arr.max(axis=0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        arr = StandardScaler._as_2d(features)
+        span = self.data_max_ - self.data_min_
+        span = np.where(span > 0, span, 1.0)
+        lo, hi = self.feature_range
+        return (arr - self.data_min_) / span * (hi - lo) + lo
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,35 @@
+"""Pauli-algebra substrate.
+
+The QTDA algorithm synthesises the time-evolution unitary ``U = exp(iH)``
+from the Pauli decomposition of the (padded, rescaled) combinatorial
+Laplacian, exactly as in Eq. (19) of the paper.  This subpackage provides the
+algebra needed for that step:
+
+* :class:`~repro.paulis.pauli.PauliString` — an n-qubit tensor product of
+  ``I, X, Y, Z`` with a scalar phase, supporting multiplication, commutation
+  checks and dense/sparse matrix realisation.
+* :class:`~repro.paulis.pauli_sum.PauliSum` — a real/complex linear
+  combination of Pauli strings (a Hamiltonian), with simplification,
+  arithmetic and dense matrix realisation.
+* :func:`~repro.paulis.decompose.pauli_decompose` — expansion of an arbitrary
+  Hermitian matrix in the Pauli basis via the Hilbert–Schmidt inner product.
+* :func:`~repro.paulis.gershgorin.gershgorin_bound` — the Gershgorin-circle
+  estimate of the largest eigenvalue used to pad and rescale the Laplacian.
+"""
+
+from repro.paulis.pauli import PAULI_LABELS, PAULI_MATRICES, PauliString
+from repro.paulis.pauli_sum import PauliSum, PauliTerm
+from repro.paulis.decompose import pauli_decompose, pauli_reconstruct
+from repro.paulis.gershgorin import gershgorin_bound, gershgorin_intervals
+
+__all__ = [
+    "PAULI_LABELS",
+    "PAULI_MATRICES",
+    "PauliString",
+    "PauliSum",
+    "PauliTerm",
+    "pauli_decompose",
+    "pauli_reconstruct",
+    "gershgorin_bound",
+    "gershgorin_intervals",
+]

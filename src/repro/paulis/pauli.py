@@ -1,0 +1,196 @@
+"""Pauli strings on ``n`` qubits.
+
+A Pauli string is a tensor product ``P = P_0 ⊗ P_1 ⊗ … ⊗ P_{n-1}`` with each
+factor in ``{I, X, Y, Z}``.  Internally it is stored in the *symplectic*
+representation — two boolean vectors ``(x, z)`` with
+
+    P_j = i^{x_j z_j} X^{x_j} Z^{z_j}
+
+— which makes products, commutation checks and phase tracking O(n) bit
+operations instead of matrix algebra.  Dense matrices are only materialised
+on demand (for small registers, as needed by the trotteriser and tests).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Tuple
+
+import numpy as np
+
+#: The four single-qubit Pauli operators in the conventional basis.
+PAULI_MATRICES = {
+    "I": np.array([[1, 0], [0, 1]], dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+PAULI_LABELS = ("I", "X", "Y", "Z")
+
+# Mapping from label to the (x, z) symplectic bits.
+_LABEL_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_LABEL = {v: k for k, v in _LABEL_TO_XZ.items()}
+
+
+class PauliString:
+    """An n-qubit Pauli string with an explicit complex phase.
+
+    Parameters
+    ----------
+    label:
+        String such as ``"XXI"`` or ``"IZY"``; qubit 0 is the left-most
+        character (matching the tensor-product order used in the paper's
+        Eq. 19, where the first factor acts on the most significant qubit).
+    phase:
+        A complex scalar multiplying the string.  Products of Pauli strings
+        accumulate phases in ``{±1, ±i}`` but arbitrary scalars are allowed.
+    """
+
+    __slots__ = ("_x", "_z", "_phase")
+
+    def __init__(self, label: str, phase: complex = 1.0):
+        label = str(label).upper()
+        if not label or any(c not in _LABEL_TO_XZ for c in label):
+            raise ValueError(f"Invalid Pauli label {label!r}; use characters from I, X, Y, Z")
+        x_bits, z_bits = zip(*(_LABEL_TO_XZ[c] for c in label))
+        self._x = np.array(x_bits, dtype=np.uint8)
+        self._z = np.array(z_bits, dtype=np.uint8)
+        self._phase = complex(phase)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The identity string ``I^{⊗ num_qubits}``."""
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        return cls("I" * num_qubits)
+
+    @classmethod
+    def from_xz(cls, x: Iterable[int], z: Iterable[int], phase: complex = 1.0) -> "PauliString":
+        """Build a string from symplectic bit vectors."""
+        x = np.asarray(list(x), dtype=np.uint8)
+        z = np.asarray(list(z), dtype=np.uint8)
+        if x.shape != z.shape or x.ndim != 1 or x.size == 0:
+            raise ValueError("x and z must be equal-length non-empty 1-D bit vectors")
+        label = "".join(_XZ_TO_LABEL[(int(a), int(b))] for a, b in zip(x, z))
+        return cls(label, phase)
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, pauli: str, phase: complex = 1.0) -> "PauliString":
+        """A string acting as ``pauli`` on ``qubit`` and identity elsewhere."""
+        if not 0 <= qubit < num_qubits:
+            raise ValueError(f"qubit {qubit} out of range for {num_qubits} qubits")
+        chars = ["I"] * num_qubits
+        chars[qubit] = pauli.upper()
+        return cls("".join(chars), phase)
+
+    # -- basic properties --------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the string acts on."""
+        return int(self._x.size)
+
+    @property
+    def phase(self) -> complex:
+        """The scalar phase carried by the string."""
+        return self._phase
+
+    @property
+    def label(self) -> str:
+        """The IXYZ label, without the phase."""
+        return "".join(_XZ_TO_LABEL[(int(a), int(b))] for a, b in zip(self._x, self._z))
+
+    @property
+    def x(self) -> np.ndarray:
+        """Copy of the symplectic X bit vector."""
+        return self._x.copy()
+
+    @property
+    def z(self) -> np.ndarray:
+        """Copy of the symplectic Z bit vector."""
+        return self._z.copy()
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self._x | self._z))
+
+    @property
+    def is_identity(self) -> bool:
+        """True when every factor is ``I`` (phase ignored)."""
+        return self.weight == 0
+
+    def support(self) -> Tuple[int, ...]:
+        """Indices of qubits on which the string acts non-trivially."""
+        return tuple(int(i) for i in np.flatnonzero(self._x | self._z))
+
+    # -- algebra -----------------------------------------------------------
+    def with_phase(self, phase: complex) -> "PauliString":
+        """Return a copy with the phase replaced by ``phase``."""
+        return PauliString(self.label, phase)
+
+    def __mul__(self, other: "PauliString | complex") -> "PauliString":
+        if isinstance(other, (int, float, complex)):
+            return PauliString(self.label, self._phase * other)
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("Cannot multiply Pauli strings on different register sizes")
+        # Phase bookkeeping for (i^{x1 z1} X^{x1}Z^{z1}) (i^{x2 z2} X^{x2}Z^{z2}).
+        x1, z1, x2, z2 = self._x, self._z, other._x, other._z
+        # Moving Z^{z1} past X^{x2} contributes (-1)^{z1 x2}.
+        sign_exponent = int(np.sum(z1 * x2))
+        x_out = (x1 + x2) % 2
+        z_out = (z1 + z2) % 2
+        # i-powers: each factor's own definition i^{x z} and the output normalisation.
+        # Cast to Python ints first: the bit vectors are unsigned and the
+        # difference can be negative.
+        i_power = (int(np.sum(x1 * z1)) + int(np.sum(x2 * z2)) - int(np.sum(x_out * z_out))) % 4
+        phase = self._phase * other._phase * ((-1) ** sign_exponent) * (1j ** i_power)
+        return PauliString.from_xz(x_out, z_out, phase)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PauliString":
+        return PauliString(self.label, -self._phase)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """Whether the two strings commute (phase plays no role)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("Pauli strings act on different register sizes")
+        anti = (int(np.sum(self._x * other._z)) + int(np.sum(self._z * other._x))) % 2
+        return anti == 0
+
+    # -- realisation -------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` complex matrix realisation (including phase)."""
+        factors = [PAULI_MATRICES[c] for c in self.label]
+        mat = reduce(np.kron, factors) if len(factors) > 1 else factors[0].copy()
+        return self._phase * mat
+
+    def expectation(self, statevector: np.ndarray) -> complex:
+        """``<psi| P |psi>`` for a dense statevector ``psi``."""
+        psi = np.asarray(statevector, dtype=complex).reshape(-1)
+        if psi.size != 2**self.num_qubits:
+            raise ValueError("statevector dimension does not match the Pauli string")
+        return complex(np.vdot(psi, self.to_matrix() @ psi))
+
+    # -- dunder plumbing ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and np.array_equal(self._x, other._x)
+            and np.array_equal(self._z, other._z)
+            and np.isclose(self._phase, other._phase)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.label, complex(np.round(self._phase.real, 12), np.round(self._phase.imag, 12))))
+
+    def __repr__(self) -> str:
+        if np.isclose(self._phase, 1.0):
+            return f"PauliString('{self.label}')"
+        return f"PauliString('{self.label}', phase={self._phase:.6g})"

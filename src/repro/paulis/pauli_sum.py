@@ -1,0 +1,184 @@
+"""Linear combinations of Pauli strings (Hamiltonians).
+
+The rescaled, padded combinatorial Laplacian ``H`` is expanded as
+``H = Σ_P c_P P`` (Eq. 19 of the paper).  :class:`PauliSum` is the container
+that holds such an expansion and is consumed by the Trotterised circuit
+synthesiser in :mod:`repro.quantum.trotter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.paulis.pauli import PauliString
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """A single weighted Pauli string ``coefficient * label``."""
+
+    label: str
+    coefficient: complex
+
+    @property
+    def pauli(self) -> PauliString:
+        """The underlying (phase-free) Pauli string."""
+        return PauliString(self.label)
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix ``coefficient * P``."""
+        return self.coefficient * PauliString(self.label).to_matrix()
+
+    def __repr__(self) -> str:
+        return f"PauliTerm({self.coefficient:+.6g} * {self.label})"
+
+
+class PauliSum:
+    """A weighted sum of Pauli strings ``H = Σ_j c_j P_j``.
+
+    Terms with the same label are merged; terms whose coefficient falls below
+    ``tol`` are dropped.  The container behaves like a read-only sequence of
+    :class:`PauliTerm` (iteration order is deterministic: sorted by label).
+    """
+
+    def __init__(self, terms: Mapping[str, complex] | Iterable[Tuple[str, complex]] = (), tol: float = 1e-12):
+        self._tol = float(tol)
+        data: Dict[str, complex] = {}
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        num_qubits = None
+        for label, coeff in items:
+            label = str(label).upper()
+            # Validate through PauliString (raises on bad labels).
+            ps = PauliString(label)
+            if num_qubits is None:
+                num_qubits = ps.num_qubits
+            elif ps.num_qubits != num_qubits:
+                raise ValueError("All terms of a PauliSum must act on the same number of qubits")
+            data[label] = data.get(label, 0.0) + complex(coeff)
+        self._terms: Dict[str, complex] = {
+            label: coeff for label, coeff in data.items() if abs(coeff) > self._tol
+        }
+        self._num_qubits = num_qubits
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zero(cls, num_qubits: int) -> "PauliSum":
+        """The zero operator on ``num_qubits`` qubits."""
+        s = cls()
+        s._num_qubits = int(num_qubits)
+        return s
+
+    @classmethod
+    def from_terms(cls, terms: Sequence[PauliTerm]) -> "PauliSum":
+        """Build from a sequence of :class:`PauliTerm`."""
+        return cls([(t.label, t.coefficient) for t in terms])
+
+    # -- properties --------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Register size; zero-term sums remember the size they were built for."""
+        if self._num_qubits is None:
+            raise ValueError("Empty PauliSum has no defined register size")
+        return self._num_qubits
+
+    @property
+    def num_terms(self) -> int:
+        """Number of surviving (non-negligible) terms."""
+        return len(self._terms)
+
+    def coefficient(self, label: str) -> complex:
+        """Coefficient of ``label`` (0 if absent)."""
+        return self._terms.get(str(label).upper(), 0.0)
+
+    def coefficients(self) -> Dict[str, complex]:
+        """Copy of the label -> coefficient mapping."""
+        return dict(self._terms)
+
+    def terms(self) -> Tuple[PauliTerm, ...]:
+        """Terms sorted by label for deterministic iteration."""
+        return tuple(PauliTerm(label, self._terms[label]) for label in sorted(self._terms))
+
+    @property
+    def is_hermitian(self) -> bool:
+        """True when every coefficient is (numerically) real."""
+        return all(abs(c.imag) <= 1e-10 for c in self._terms.values())
+
+    def one_norm(self) -> float:
+        """``Σ_j |c_j|`` — useful as a crude Trotter-error scale."""
+        return float(sum(abs(c) for c in self._terms.values()))
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        merged = dict(self._terms)
+        for label, coeff in other._terms.items():
+            merged[label] = merged.get(label, 0.0) + coeff
+        out = PauliSum(merged, tol=self._tol)
+        out._num_qubits = self._num_qubits if self._num_qubits is not None else other._num_qubits
+        return out
+
+    def __sub__(self, other: "PauliSum") -> "PauliSum":
+        return self + (other * -1.0)
+
+    def __mul__(self, scalar: complex) -> "PauliSum":
+        if not isinstance(scalar, (int, float, complex)):
+            return NotImplemented
+        out = PauliSum({label: coeff * scalar for label, coeff in self._terms.items()}, tol=self._tol)
+        out._num_qubits = self._num_qubits
+        return out
+
+    __rmul__ = __mul__
+
+    # -- realisation --------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` matrix of the sum."""
+        n = self.num_qubits
+        dim = 2**n
+        mat = np.zeros((dim, dim), dtype=complex)
+        for label, coeff in self._terms.items():
+            mat += coeff * PauliString(label).to_matrix()
+        return mat
+
+    def identity_coefficient(self) -> complex:
+        """Coefficient of the all-identity string (the global-phase generator)."""
+        if self._num_qubits is None:
+            return 0.0
+        return self.coefficient("I" * self._num_qubits)
+
+    def without_identity(self) -> "PauliSum":
+        """Copy with the all-identity term removed.
+
+        Dropping the identity term only changes ``exp(iH)`` by a global phase,
+        which is unobservable for the (uncontrolled) mixed-state QTDA circuit
+        but must be restored for controlled applications inside QPE — the
+        trotteriser handles that explicitly.
+        """
+        if self._num_qubits is None:
+            return self
+        label = "I" * self._num_qubits
+        remaining = {k: v for k, v in self._terms.items() if k != label}
+        out = PauliSum(remaining, tol=self._tol)
+        out._num_qubits = self._num_qubits
+        return out
+
+    # -- plumbing ------------------------------------------------------------
+    def __iter__(self) -> Iterator[PauliTerm]:
+        return iter(self.terms())
+
+    def __len__(self) -> int:
+        return self.num_terms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        labels = set(self._terms) | set(other._terms)
+        return all(np.isclose(self.coefficient(l), other.coefficient(l)) for l in labels)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:+.4g}*{l}" for l, c in sorted(self._terms.items())[:6]]
+        suffix = " + ..." if self.num_terms > 6 else ""
+        return f"PauliSum({' '.join(parts)}{suffix})"

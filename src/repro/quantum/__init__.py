@@ -1,0 +1,127 @@
+"""Quantum-simulation substrate (the PennyLane substitute).
+
+The paper runs its QTDA circuits on PennyLane's ideal simulators.  This
+subpackage provides everything those simulations need, implemented from
+scratch on NumPy:
+
+* a gate library (:mod:`repro.quantum.gates`) and circuit container
+  (:mod:`repro.quantum.circuit`);
+* a dense statevector simulator (:mod:`repro.quantum.statevector`) and a
+  density-matrix simulator with noise channels
+  (:mod:`repro.quantum.density_matrix`, :mod:`repro.quantum.noise`);
+* measurement / shot sampling (:mod:`repro.quantum.measurement`);
+* the quantum Fourier transform and quantum phase estimation circuit
+  builders (:mod:`repro.quantum.qft`, :mod:`repro.quantum.qpe`);
+* Pauli-evolution (Trotter) circuit synthesis used to compile
+  ``U = exp(iH)`` from a Pauli decomposition (:mod:`repro.quantum.trotter`),
+  the construction drawn in Fig. 7 of the paper;
+* an ASCII circuit drawer (:mod:`repro.quantum.drawer`).
+
+Qubit ordering convention: qubit 0 is the most significant bit of a basis
+state label, i.e. basis state ``|b_0 b_1 ... b_{n-1}>`` has integer index
+``Σ_j b_j 2^{n-1-j}``.  This matches the tensor-product order used for Pauli
+strings in :mod:`repro.paulis` ("XXI" acts with X on qubits 0 and 1).
+"""
+
+from repro.quantum.gates import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    S_GATE,
+    SWAP,
+    T_GATE,
+    controlled,
+    crx,
+    cry,
+    crz,
+    cphase,
+    rx,
+    ry,
+    rz,
+    phase_shift,
+    u3,
+)
+from repro.quantum.operations import Gate, Measurement, Barrier
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import StatevectorSimulator, Statevector
+from repro.quantum.density_matrix import DensityMatrixSimulator, DensityMatrix
+from repro.quantum.measurement import (
+    born_probabilities,
+    marginal_probabilities,
+    sample_counts,
+    counts_to_probabilities,
+)
+from repro.quantum.qft import qft_circuit, inverse_qft_circuit
+from repro.quantum.qpe import (
+    PhaseEstimation,
+    phase_estimation_circuit,
+    qpe_outcome_distribution,
+    qpe_probability_kernel,
+)
+from repro.quantum.trotter import (
+    pauli_evolution_circuit,
+    pauli_string_evolution_circuit,
+    trotter_unitary_error,
+)
+from repro.quantum.noise import (
+    NoiseModel,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+)
+from repro.quantum.drawer import draw_circuit
+
+__all__ = [
+    "CNOT",
+    "CZ",
+    "HADAMARD",
+    "IDENTITY",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "S_GATE",
+    "SWAP",
+    "T_GATE",
+    "controlled",
+    "crx",
+    "cry",
+    "crz",
+    "cphase",
+    "rx",
+    "ry",
+    "rz",
+    "phase_shift",
+    "u3",
+    "Gate",
+    "Measurement",
+    "Barrier",
+    "QuantumCircuit",
+    "StatevectorSimulator",
+    "Statevector",
+    "DensityMatrixSimulator",
+    "DensityMatrix",
+    "born_probabilities",
+    "marginal_probabilities",
+    "sample_counts",
+    "counts_to_probabilities",
+    "qft_circuit",
+    "inverse_qft_circuit",
+    "PhaseEstimation",
+    "phase_estimation_circuit",
+    "qpe_outcome_distribution",
+    "qpe_probability_kernel",
+    "pauli_evolution_circuit",
+    "pauli_string_evolution_circuit",
+    "trotter_unitary_error",
+    "NoiseModel",
+    "amplitude_damping_kraus",
+    "bit_flip_kraus",
+    "depolarizing_kraus",
+    "phase_flip_kraus",
+    "draw_circuit",
+]

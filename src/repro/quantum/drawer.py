@@ -1,0 +1,97 @@
+"""ASCII circuit drawing.
+
+The paper devotes three figures (2, 6 and 7) to circuit diagrams; this module
+lets the examples and tests render the corresponding circuits as text so the
+constructions can be inspected without a plotting stack.
+
+The drawer is deliberately simple: one column per instruction, one row per
+qubit, with multi-qubit gates marked by a box on each involved wire and a
+vertical connector implied by shared column position.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Barrier, Gate, Measurement
+
+
+def _gate_cell(gate: Gate, qubit: int) -> str:
+    """Cell text for ``gate`` on wire ``qubit``."""
+    if gate.name in ("CNOT", "CX") and len(gate.qubits) == 2:
+        return "●" if qubit == gate.qubits[0] else "⊕"
+    if gate.name == "CZ" and len(gate.qubits) == 2:
+        return "●"
+    if gate.name == "SWAP" and len(gate.qubits) == 2:
+        return "x"
+    if gate.name.startswith(("c-", "C")) and len(gate.qubits) >= 2 and qubit == gate.qubits[0]:
+        return "●"
+    label = gate.name
+    if gate.params:
+        label = f"{label}({gate.params[0]:.2f})" if len(gate.params) == 1 else label
+    return f"[{label}]"
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render ``circuit`` as an ASCII diagram.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to render.
+    max_width:
+        Wrap the diagram into blocks of at most this many characters per line.
+    """
+    n = circuit.num_qubits
+    columns: List[List[str]] = []
+    for op in circuit.instructions:
+        col = [""] * n
+        if isinstance(op, Gate):
+            for q in op.qubits:
+                col[q] = _gate_cell(op, q)
+        elif isinstance(op, Measurement):
+            for q in op.qubits:
+                col[q] = "[M]"
+        elif isinstance(op, Barrier):
+            for q in range(n):
+                col[q] = "║" if q in op.qubits else ""
+        columns.append(col)
+
+    # Pad each column to uniform width.
+    widths = [max(len(cell) for cell in col) or 1 for col in columns]
+    rows: List[str] = []
+    for q in range(n):
+        parts = [f"q{q}: "]
+        for col, width in zip(columns, widths):
+            cell = col[q]
+            filler = "─" if cell == "" else cell.center(width, "─") if cell in ("●", "⊕", "x", "║") else cell.center(width, "─")
+            if cell == "":
+                filler = "─" * width
+            parts.append(filler + "─")
+        rows.append("".join(parts))
+
+    # Wrap long diagrams into stacked blocks.
+    if not rows or len(rows[0]) <= max_width:
+        return "\n".join(rows)
+    blocks: List[str] = []
+    start = 0
+    prefix_len = len(f"q{n - 1}: ")
+    body_width = max_width - prefix_len
+    body = [row[prefix_len:] for row in rows]
+    prefixes = [row[:prefix_len] for row in rows]
+    while start < len(body[0]):
+        chunk = [prefixes[q] + body[q][start : start + body_width] for q in range(n)]
+        blocks.append("\n".join(chunk))
+        start += body_width
+    return ("\n" + "…\n").join(blocks)
+
+
+def circuit_summary(circuit: QuantumCircuit) -> str:
+    """One-paragraph text summary: size, depth and gate histogram."""
+    counts = circuit.count_ops()
+    histogram = ", ".join(f"{name}×{count}" for name, count in sorted(counts.items()))
+    return (
+        f"{circuit.name}: {circuit.num_qubits} qubits, {circuit.num_gates} gates, "
+        f"depth {circuit.depth()} [{histogram}]"
+    )

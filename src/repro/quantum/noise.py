@@ -1,0 +1,126 @@
+"""Noise channels (Kraus maps) and a simple per-gate noise model.
+
+The paper's experiments are noiseless, but its conclusion explicitly flags
+"how the algorithm behaves on NISQ devices" as the next question.  This
+module provides the standard single-qubit channels and a
+:class:`NoiseModel` that injects a channel after every gate, which the
+ablation benchmark ``benchmarks/test_bench_ablation_noise.py`` uses to sweep
+depolarising strength against Betti-number error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.quantum.operations import Gate
+from repro.utils.validation import check_probability
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def bit_flip_kraus(p: float) -> List[np.ndarray]:
+    """Bit-flip channel: X applied with probability ``p``."""
+    p = check_probability(p, "p")
+    return [np.sqrt(1 - p) * _I, np.sqrt(p) * _X]
+
+
+def phase_flip_kraus(p: float) -> List[np.ndarray]:
+    """Phase-flip channel: Z applied with probability ``p``."""
+    p = check_probability(p, "p")
+    return [np.sqrt(1 - p) * _I, np.sqrt(p) * _Z]
+
+
+def depolarizing_kraus(p: float) -> List[np.ndarray]:
+    """Single-qubit depolarising channel with error probability ``p``.
+
+    With probability ``p`` the qubit is replaced by the maximally mixed state,
+    implemented as the uniform Pauli twirl ``{X, Y, Z}`` each with ``p/3``.
+    """
+    p = check_probability(p, "p")
+    return [
+        np.sqrt(1 - p) * _I,
+        np.sqrt(p / 3.0) * _X,
+        np.sqrt(p / 3.0) * _Y,
+        np.sqrt(p / 3.0) * _Z,
+    ]
+
+
+def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """Amplitude damping (T1 decay) with damping probability ``gamma``."""
+    gamma = check_probability(gamma, "gamma")
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def is_trace_preserving(kraus_ops: Sequence[np.ndarray], atol: float = 1e-9) -> bool:
+    """Check the completeness relation ``Σ_k K_k† K_k = I``."""
+    dim = kraus_ops[0].shape[0]
+    total = sum(k.conj().T @ k for k in kraus_ops)
+    return bool(np.allclose(total, np.eye(dim), atol=atol))
+
+
+@dataclass
+class NoiseModel:
+    """Applies a single-qubit channel to every qubit touched by every gate.
+
+    Attributes
+    ----------
+    kraus_ops:
+        Single-qubit Kraus operators applied (independently) to each qubit a
+        gate acts on, immediately after the gate.
+    gate_filter:
+        Optional set of gate names the noise applies to; ``None`` means all
+        gates.
+    """
+
+    kraus_ops: List[np.ndarray] = field(default_factory=lambda: depolarizing_kraus(0.0))
+    gate_filter: frozenset | None = None
+
+    def __post_init__(self):
+        self.kraus_ops = [np.asarray(k, dtype=complex) for k in self.kraus_ops]
+        if not self.kraus_ops or any(k.shape != (2, 2) for k in self.kraus_ops):
+            raise ValueError("NoiseModel expects single-qubit (2x2) Kraus operators")
+        if not is_trace_preserving(self.kraus_ops):
+            raise ValueError("Kraus operators do not satisfy the completeness relation")
+        if self.gate_filter is not None:
+            self.gate_filter = frozenset(self.gate_filter)
+
+    @classmethod
+    def depolarizing(cls, p: float, gate_filter: Sequence[str] | None = None) -> "NoiseModel":
+        """Uniform depolarising noise of strength ``p`` after every (filtered) gate."""
+        return cls(depolarizing_kraus(p), frozenset(gate_filter) if gate_filter else None)
+
+    @classmethod
+    def bit_flip(cls, p: float) -> "NoiseModel":
+        return cls(bit_flip_kraus(p))
+
+    @classmethod
+    def amplitude_damping(cls, gamma: float) -> "NoiseModel":
+        return cls(amplitude_damping_kraus(gamma))
+
+    def applies_to(self, gate: Gate) -> bool:
+        return self.gate_filter is None or gate.name in self.gate_filter
+
+    def apply_after_gate(self, rho_tensor: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+        """Apply the per-qubit channel after ``gate`` on a density tensor."""
+        from repro.quantum.density_matrix import apply_kraus
+
+        if not self.applies_to(gate):
+            return rho_tensor
+        for q in gate.qubits:
+            rho_tensor = apply_kraus(rho_tensor, self.kraus_ops, [q], num_qubits)
+        return rho_tensor
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dictionary (used in experiment reports)."""
+        return {
+            "num_kraus": len(self.kraus_ops),
+            "gate_filter": sorted(self.gate_filter) if self.gate_filter else "all",
+        }

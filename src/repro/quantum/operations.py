@@ -1,0 +1,115 @@
+"""Circuit instruction objects.
+
+A :class:`QuantumCircuit` is an ordered list of instructions.  The only
+instruction the simulators need to execute is :class:`Gate` (a unitary on a
+subset of qubits); :class:`Measurement` and :class:`Barrier` are bookkeeping
+markers used by the drawer and by shot-sampling helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.gates import is_unitary
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A unitary applied to an ordered tuple of qubits.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label ("H", "CNOT", "RZ", "exp(iH)t", ...), used by the
+        drawer and in reprs; it carries no semantics for simulation.
+    qubits:
+        Qubits the matrix acts on.  ``qubits[0]`` corresponds to the most
+        significant bit of the matrix's index space.
+    matrix:
+        Dense ``2^k x 2^k`` unitary where ``k = len(qubits)``.
+    params:
+        Optional gate parameters (angles), kept for introspection/drawing.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    matrix: np.ndarray
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        qubits = tuple(int(q) for q in self.qubits)
+        object.__setattr__(self, "qubits", qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"Gate {self.name!r} has duplicate qubits {qubits}")
+        mat = np.asarray(self.matrix, dtype=complex)
+        expected = 2 ** len(qubits)
+        if mat.shape != (expected, expected):
+            raise ValueError(
+                f"Gate {self.name!r} acts on {len(qubits)} qubit(s) but its matrix has shape {mat.shape}"
+            )
+        object.__setattr__(self, "matrix", mat)
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate touches."""
+        return len(self.qubits)
+
+    def validate_unitary(self, atol: float = 1e-8) -> None:
+        """Raise if the stored matrix is not unitary to tolerance ``atol``."""
+        if not is_unitary(self.matrix, atol=atol):
+            raise ValueError(f"Gate {self.name!r} matrix is not unitary")
+
+    def dagger(self) -> "Gate":
+        """The inverse gate (conjugate transpose of the matrix)."""
+        return Gate(
+            name=f"{self.name}†" if not self.name.endswith("†") else self.name[:-1],
+            qubits=self.qubits,
+            matrix=self.matrix.conj().T,
+            params=tuple(-p for p in self.params),
+        )
+
+    def remapped(self, mapping: Sequence[int]) -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for each original qubit ``q``."""
+        return Gate(
+            name=self.name,
+            qubits=tuple(int(mapping[q]) for q in self.qubits),
+            matrix=self.matrix,
+            params=self.params,
+        )
+
+    def __repr__(self) -> str:
+        params = f", params={self.params}" if self.params else ""
+        return f"Gate({self.name!r}, qubits={self.qubits}{params})"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Computational-basis measurement marker on a set of qubits."""
+
+    qubits: Tuple[int, ...]
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Visual/structural separator; ignored by the simulators."""
+
+    qubits: Tuple[int, ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+
+
+Instruction = object  # Gate | Measurement | Barrier — kept loose for typing simplicity.

@@ -1,0 +1,55 @@
+"""Quantum Fourier transform circuits.
+
+QPE (Fig. 6 of the paper) ends with an inverse QFT on the precision
+register.  The construction is the textbook one: Hadamards plus controlled
+phase rotations, followed by the qubit-order-reversing swaps.
+
+Convention: for a register of ``n`` qubits with qubit 0 the most significant
+bit, :func:`qft_circuit` implements the unitary with matrix elements
+``QFT[j, k] = ω^{jk} / sqrt(2^n)`` with ``ω = exp(2πi / 2^n)``, and
+:func:`inverse_qft_circuit` its adjoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """Dense reference matrix of the QFT on ``num_qubits`` qubits."""
+    dim = 2**num_qubits
+    omega = np.exp(2j * np.pi / dim)
+    j, k = np.meshgrid(np.arange(dim), np.arange(dim), indexing="ij")
+    return omega ** (j * k) / np.sqrt(dim)
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True, name: str = "QFT") -> QuantumCircuit:
+    """Build the QFT circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    do_swaps:
+        Whether to append the final bit-reversal swaps.  Leaving them out and
+        compensating by re-interpreting the output bit order is a common
+        optimisation; the QPE builder keeps them for clarity.
+    """
+    circ = QuantumCircuit(num_qubits, name=name)
+    for target in range(num_qubits):
+        circ.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circ.cp(2.0 * np.pi / (2**offset), control, target)
+    if do_swaps:
+        for q in range(num_qubits // 2):
+            circ.swap(q, num_qubits - 1 - q)
+    return circ
+
+
+def inverse_qft_circuit(num_qubits: int, do_swaps: bool = True, name: str = "QFT†") -> QuantumCircuit:
+    """The adjoint of :func:`qft_circuit` (used at the end of QPE)."""
+    inv = qft_circuit(num_qubits, do_swaps=do_swaps).inverse()
+    inv.name = name
+    return inv

@@ -1,0 +1,58 @@
+"""Topological-data-analysis substrate (GUDHI / giotto-tda substitute).
+
+Provides everything Section 2 of the paper needs:
+
+* point-cloud geometry: pairwise distances and epsilon-neighbourhood graphs
+  (:mod:`repro.tda.distances`);
+* simplicial complexes and the Vietoris–Rips construction
+  (:mod:`repro.tda.simplex`, :mod:`repro.tda.complexes`, :mod:`repro.tda.rips`);
+* restricted boundary operators, combinatorial Laplacians and classical Betti
+  numbers (:mod:`repro.tda.boundary`, :mod:`repro.tda.laplacian`,
+  :mod:`repro.tda.betti`, :mod:`repro.tda.homology`);
+* persistent homology for the paper's future-work extension
+  (:mod:`repro.tda.filtration`, :mod:`repro.tda.persistence`);
+* Takens delay embedding of time series (:mod:`repro.tda.takens`);
+* random simplicial complexes for the Section 4 experiments
+  (:mod:`repro.tda.random_complexes`).
+"""
+
+from repro.tda.distances import pairwise_distances, epsilon_graph, epsilon_edges
+from repro.tda.simplex import Simplex
+from repro.tda.complexes import SimplicialComplex
+from repro.tda.rips import RipsComplex, rips_complex
+from repro.tda.boundary import boundary_matrix, boundary_operators
+from repro.tda.laplacian import combinatorial_laplacian, laplacian_spectrum
+from repro.tda.betti import betti_number, betti_numbers, euler_characteristic
+from repro.tda.homology import betti_numbers_gf2, boundary_rank_gf2
+from repro.tda.takens import TakensEmbedding, takens_embedding
+from repro.tda.filtration import Filtration, rips_filtration
+from repro.tda.persistence import PersistenceDiagram, persistent_betti_number, persistence_diagrams
+from repro.tda.random_complexes import random_simplicial_complex, random_point_cloud_complex
+
+__all__ = [
+    "pairwise_distances",
+    "epsilon_graph",
+    "epsilon_edges",
+    "Simplex",
+    "SimplicialComplex",
+    "RipsComplex",
+    "rips_complex",
+    "boundary_matrix",
+    "boundary_operators",
+    "combinatorial_laplacian",
+    "laplacian_spectrum",
+    "betti_number",
+    "betti_numbers",
+    "euler_characteristic",
+    "betti_numbers_gf2",
+    "boundary_rank_gf2",
+    "TakensEmbedding",
+    "takens_embedding",
+    "Filtration",
+    "rips_filtration",
+    "PersistenceDiagram",
+    "persistent_betti_number",
+    "persistence_diagrams",
+    "random_simplicial_complex",
+    "random_point_cloud_complex",
+]

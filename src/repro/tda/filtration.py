@@ -1,0 +1,131 @@
+"""Filtered simplicial complexes.
+
+A filtration assigns each simplex a real "appearance" value such that every
+face appears no later than the simplices it bounds.  The Vietoris–Rips
+filtration assigns every simplex the largest pairwise distance among its
+vertices — sweeping the grouping scale ``ε`` then recovers the family of
+complexes ``K_ε`` that Section 2 of the paper considers, and is the input to
+persistent homology (the paper's announced future-work direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tda.complexes import SimplicialComplex
+from repro.tda.distances import MetricLike, pairwise_distances
+from repro.tda.simplex import Simplex
+from repro.utils.validation import check_integer
+
+
+@dataclass
+class Filtration:
+    """A list of (value, simplex) pairs sorted by appearance value.
+
+    The ordering breaks ties by simplex dimension (faces first) and then
+    lexicographically, which guarantees a valid filtration order whenever the
+    values themselves are monotone under taking faces.
+    """
+
+    entries: List[Tuple[float, Simplex]]
+
+    def __post_init__(self):
+        cleaned = [(float(v), s if isinstance(s, Simplex) else Simplex(s)) for v, s in self.entries]
+        cleaned.sort(key=lambda e: (e[0], e[1].dimension, e[1].vertices))
+        self.entries = cleaned
+        self._validate_monotone()
+
+    def _validate_monotone(self) -> None:
+        values: Dict[Simplex, float] = {s: v for v, s in self.entries}
+        for value, simplex in self.entries:
+            for face in simplex.faces():
+                if face not in values:
+                    raise ValueError(f"Filtration is missing face {face} of {simplex}")
+                if values[face] > value + 1e-12:
+                    raise ValueError(
+                        f"Filtration is not monotone: face {face} appears at {values[face]} "
+                        f"after {simplex} at {value}"
+                    )
+
+    # -- accessors ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def simplices(self) -> List[Simplex]:
+        """The simplices in filtration order."""
+        return [s for _, s in self.entries]
+
+    def values(self) -> np.ndarray:
+        """The appearance values in filtration order."""
+        return np.array([v for v, _ in self.entries], dtype=float)
+
+    def max_dimension(self) -> int:
+        return max((s.dimension for _, s in self.entries), default=-1)
+
+    def complex_at(self, epsilon: float) -> SimplicialComplex:
+        """The sub-complex of simplices that have appeared by value ``epsilon``."""
+        simplices = [s for v, s in self.entries if v <= epsilon + 1e-12]
+        if not simplices:
+            raise ValueError(f"No simplices have appeared at epsilon={epsilon}")
+        return SimplicialComplex(simplices)
+
+    def critical_values(self) -> np.ndarray:
+        """Sorted unique appearance values (the scales where the complex changes)."""
+        return np.unique(self.values())
+
+
+def rips_filtration(
+    points: np.ndarray,
+    max_dimension: int = 2,
+    max_scale: float | None = None,
+    metric: MetricLike = "euclidean",
+) -> Filtration:
+    """The Vietoris–Rips filtration of a point cloud.
+
+    Each simplex's appearance value is the largest pairwise distance among
+    its vertices (vertices appear at 0).  Simplices with appearance value
+    above ``max_scale`` are dropped; by default every simplex up to
+    ``max_dimension`` is kept.
+    """
+    max_dimension = check_integer(max_dimension, "max_dimension", minimum=0)
+    dist = pairwise_distances(points, metric=metric)
+    n = dist.shape[0]
+    if max_scale is None:
+        max_scale = float(dist.max()) if n > 1 else 0.0
+    entries: List[Tuple[float, Simplex]] = [(0.0, Simplex([v])) for v in range(n)]
+    for k in range(1, max_dimension + 1):
+        for verts in combinations(range(n), k + 1):
+            sub = dist[np.ix_(verts, verts)]
+            value = float(sub.max())
+            if value <= max_scale + 1e-12:
+                entries.append((value, Simplex(verts)))
+    return Filtration(entries)
+
+
+def filtration_from_distance_matrix(
+    distance_matrix: np.ndarray,
+    max_dimension: int = 2,
+    max_scale: float | None = None,
+) -> Filtration:
+    """Rips filtration built directly from a distance matrix."""
+    dist = np.asarray(distance_matrix, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError("distance_matrix must be square")
+    n = dist.shape[0]
+    if max_scale is None:
+        max_scale = float(dist.max()) if n > 1 else 0.0
+    entries: List[Tuple[float, Simplex]] = [(0.0, Simplex([v])) for v in range(n)]
+    for k in range(1, int(max_dimension) + 1):
+        for verts in combinations(range(n), k + 1):
+            sub = dist[np.ix_(verts, verts)]
+            value = float(sub.max())
+            if value <= max_scale + 1e-12:
+                entries.append((value, Simplex(verts)))
+    return Filtration(entries)

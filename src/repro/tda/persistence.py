@@ -1,0 +1,204 @@
+"""Persistent homology (the paper's future-work extension).
+
+The paper's conclusion points to *persistent* Betti numbers — which are
+independent of a single grouping scale — as the natural next step beyond the
+fixed-ε Betti numbers it estimates.  This module provides the classical
+machinery so the repository can already extract those features:
+
+* the standard column-reduction algorithm over GF(2) on a filtration's
+  boundary matrix, producing birth/death pairs;
+* :class:`PersistenceDiagram` per homology dimension, with Betti-number
+  queries at any scale and persistent Betti numbers ``β_k^{b, d}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tda.filtration import Filtration, rips_filtration
+from repro.tda.simplex import Simplex
+
+
+@dataclass(frozen=True)
+class PersistencePair:
+    """One homology class: dimension, birth scale and death scale (inf = never dies)."""
+
+    dimension: int
+    birth: float
+    death: float
+
+    @property
+    def persistence(self) -> float:
+        """Lifetime ``death - birth`` (infinite for essential classes)."""
+        return self.death - self.birth
+
+    @property
+    def is_essential(self) -> bool:
+        """True when the class never dies within the filtration."""
+        return np.isinf(self.death)
+
+
+@dataclass
+class PersistenceDiagram:
+    """All persistence pairs of one homology dimension."""
+
+    dimension: int
+    pairs: List[PersistencePair] = field(default_factory=list)
+
+    def betti_at(self, epsilon: float) -> int:
+        """Betti number of the complex at scale ``epsilon`` (classes alive at ε)."""
+        return sum(1 for p in self.pairs if p.birth <= epsilon + 1e-12 and epsilon < p.death - 1e-12)
+
+    def persistent_betti(self, birth_scale: float, death_scale: float) -> int:
+        """``β_k^{b, d}``: classes born by ``birth_scale`` still alive at ``death_scale``."""
+        if death_scale < birth_scale:
+            raise ValueError("death_scale must be >= birth_scale")
+        return sum(
+            1
+            for p in self.pairs
+            if p.birth <= birth_scale + 1e-12 and death_scale < p.death - 1e-12
+        )
+
+    def finite_pairs(self) -> List[PersistencePair]:
+        """Pairs with finite death value."""
+        return [p for p in self.pairs if not p.is_essential]
+
+    def essential_pairs(self) -> List[PersistencePair]:
+        """Pairs that never die (e.g. the surviving connected component in H0)."""
+        return [p for p in self.pairs if p.is_essential]
+
+    def total_persistence(self) -> float:
+        """Sum of finite lifetimes — a crude scalar summary feature."""
+        return float(sum(p.persistence for p in self.finite_pairs()))
+
+    def as_array(self) -> np.ndarray:
+        """``(n_pairs, 2)`` array of (birth, death) values (death may be inf)."""
+        if not self.pairs:
+            return np.zeros((0, 2))
+        return np.array([[p.birth, p.death] for p in self.pairs], dtype=float)
+
+
+def _reduce_boundary(filtration: Filtration) -> Tuple[Dict[int, int], List[int]]:
+    """Standard persistence column reduction over GF(2).
+
+    Returns
+    -------
+    (pairs, unpaired)
+        ``pairs`` maps the index (in filtration order) of a *death* simplex to
+        the index of the *birth* simplex it kills; ``unpaired`` lists indices
+        of simplices that create essential classes.
+    """
+    simplices = filtration.simplices()
+    index_of: Dict[Simplex, int] = {s: i for i, s in enumerate(simplices)}
+    # Boundary columns as sorted lists of row indices (GF(2) chains).
+    columns: List[set] = []
+    for s in simplices:
+        if s.dimension == 0:
+            columns.append(set())
+        else:
+            columns.append({index_of[f] for f in s.faces()})
+    low_to_col: Dict[int, int] = {}
+    pairs: Dict[int, int] = {}
+    for j in range(len(columns)):
+        col = columns[j]
+        while col:
+            low = max(col)
+            if low not in low_to_col:
+                break
+            col ^= columns[low_to_col[low]]
+        columns[j] = col
+        if col:
+            low = max(col)
+            low_to_col[low] = j
+            pairs[j] = low
+    paired_births = set(pairs.values())
+    paired_deaths = set(pairs.keys())
+    unpaired = [i for i in range(len(columns)) if i not in paired_births and i not in paired_deaths]
+    return pairs, unpaired
+
+
+def persistence_diagrams(filtration: Filtration, max_dimension: int | None = None) -> Dict[int, PersistenceDiagram]:
+    """Compute persistence diagrams of a filtration, one per dimension.
+
+    Zero-persistence pairs (birth == death) are kept — they are needed for
+    the persistent-Betti bookkeeping — but can be filtered by callers via
+    :meth:`PersistenceDiagram.finite_pairs`.
+    """
+    values = filtration.values()
+    simplices = filtration.simplices()
+    if max_dimension is None:
+        max_dimension = max((s.dimension for s in simplices), default=0)
+    pairs, unpaired = _reduce_boundary(filtration)
+    diagrams = {k: PersistenceDiagram(dimension=k) for k in range(max_dimension + 1)}
+    for death_idx, birth_idx in pairs.items():
+        dim = simplices[birth_idx].dimension
+        if dim > max_dimension:
+            continue
+        diagrams[dim].pairs.append(
+            PersistencePair(dimension=dim, birth=float(values[birth_idx]), death=float(values[death_idx]))
+        )
+    for idx in unpaired:
+        dim = simplices[idx].dimension
+        if dim > max_dimension:
+            continue
+        diagrams[dim].pairs.append(
+            PersistencePair(dimension=dim, birth=float(values[idx]), death=float("inf"))
+        )
+    for diagram in diagrams.values():
+        diagram.pairs.sort(key=lambda p: (p.birth, p.death))
+    return diagrams
+
+
+def persistent_betti_number(
+    points: np.ndarray,
+    k: int,
+    birth_scale: float,
+    death_scale: float,
+    max_dimension: int | None = None,
+) -> int:
+    """Persistent Betti number ``β_k^{b, d}`` of a point cloud's Rips filtration."""
+    max_dim = (k + 1) if max_dimension is None else int(max_dimension)
+    filtration = rips_filtration(points, max_dimension=max_dim)
+    diagrams = persistence_diagrams(filtration, max_dimension=max_dim)
+    if k not in diagrams:
+        return 0
+    return diagrams[k].persistent_betti(birth_scale, death_scale)
+
+
+def persistence_features(
+    points: np.ndarray,
+    max_homology_dimension: int = 1,
+    scales: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Fixed-length feature vector from persistence diagrams.
+
+    For each homology dimension up to ``max_homology_dimension`` the features
+    are: number of essential classes, number of finite classes, total
+    persistence, maximum lifetime, and the Betti numbers at the requested
+    ``scales`` (defaults to the quartiles of the filtration's critical
+    values).  Used by the persistence example to compare against the paper's
+    fixed-ε Betti features.
+    """
+    filtration = rips_filtration(points, max_dimension=max_homology_dimension + 1)
+    diagrams = persistence_diagrams(filtration, max_dimension=max_homology_dimension)
+    if scales is None:
+        critical = filtration.critical_values()
+        scales = np.percentile(critical, [25, 50, 75]) if critical.size else np.zeros(3)
+    features: List[float] = []
+    for k in range(max_homology_dimension + 1):
+        diagram = diagrams[k]
+        finite = diagram.finite_pairs()
+        lifetimes = [p.persistence for p in finite]
+        features.extend(
+            [
+                float(len(diagram.essential_pairs())),
+                float(len(finite)),
+                diagram.total_persistence(),
+                float(max(lifetimes)) if lifetimes else 0.0,
+            ]
+        )
+        features.extend(float(diagram.betti_at(s)) for s in scales)
+    return np.asarray(features, dtype=float)

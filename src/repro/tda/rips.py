@@ -1,0 +1,107 @@
+"""Vietoris–Rips complex construction (the GUDHI ``RipsComplex`` substitute).
+
+Given a point cloud (or a precomputed distance matrix) and a grouping scale
+``ε``, the Vietoris–Rips complex contains a ``k``-simplex for every set of
+``k + 1`` points that are *pairwise* within ``ε``.  Equivalently, it is the
+clique (flag) complex of the ε-neighbourhood graph — which is how it is built
+here, reusing :func:`repro.tda.distances.epsilon_graph` and clique
+enumeration on the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.tda.complexes import SimplicialComplex
+from repro.tda.distances import MetricLike, epsilon_graph, pairwise_distances
+from repro.utils.validation import check_integer
+
+
+@dataclass
+class RipsComplex:
+    """Vietoris–Rips complex of a point cloud at a fixed grouping scale.
+
+    Attributes
+    ----------
+    distance_matrix:
+        Symmetric ``(n, n)`` matrix of pairwise distances.
+    epsilon:
+        Grouping scale ``ε``; pairs at distance <= ``ε`` are connected.
+    max_dimension:
+        Largest simplex dimension to enumerate (2 is enough for ``β_0`` and
+        ``β_1``, the features used throughout the paper).
+    """
+
+    distance_matrix: np.ndarray
+    epsilon: float
+    max_dimension: int = 2
+    _complex: Optional[SimplicialComplex] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        dist = np.asarray(self.distance_matrix, dtype=float)
+        if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+            raise ValueError("distance_matrix must be a square matrix")
+        if not np.allclose(dist, dist.T, atol=1e-9):
+            raise ValueError("distance_matrix must be symmetric")
+        if float(self.epsilon) < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.distance_matrix = dist
+        self.epsilon = float(self.epsilon)
+        self.max_dimension = check_integer(self.max_dimension, "max_dimension", minimum=0)
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        epsilon: float,
+        max_dimension: int = 2,
+        metric: MetricLike = "euclidean",
+    ) -> "RipsComplex":
+        """Build from an ``(n, m)`` point cloud using ``metric`` distances."""
+        return cls(pairwise_distances(points, metric=metric), epsilon, max_dimension)
+
+    @classmethod
+    def from_distance_matrix(
+        cls, distance_matrix: np.ndarray, epsilon: float, max_dimension: int = 2
+    ) -> "RipsComplex":
+        """Build from a precomputed distance matrix."""
+        return cls(np.asarray(distance_matrix, dtype=float), epsilon, max_dimension)
+
+    # -- API --------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return int(self.distance_matrix.shape[0])
+
+    def graph(self):
+        """The ε-neighbourhood graph ``G_ε`` underlying the complex."""
+        return epsilon_graph(self.distance_matrix, self.epsilon, is_distance_matrix=True)
+
+    def complex(self) -> SimplicialComplex:
+        """The simplicial complex ``K_ε`` (cached after the first call)."""
+        if self._complex is None:
+            self._complex = SimplicialComplex.from_graph(self.graph(), max_dimension=self.max_dimension)
+        return self._complex
+
+    def num_simplices(self, dimension: Optional[int] = None) -> int:
+        """Simplex count of ``K_ε`` (all dimensions or a single one)."""
+        return self.complex().num_simplices(dimension)
+
+    def __repr__(self) -> str:
+        return (
+            f"RipsComplex(num_points={self.num_points}, epsilon={self.epsilon:.4g}, "
+            f"max_dimension={self.max_dimension})"
+        )
+
+
+def rips_complex(
+    points: np.ndarray,
+    epsilon: float,
+    max_dimension: int = 2,
+    metric: MetricLike = "euclidean",
+) -> SimplicialComplex:
+    """One-call convenience: the Vietoris–Rips complex of ``points`` at scale ``epsilon``."""
+    return RipsComplex.from_points(points, epsilon, max_dimension, metric).complex()

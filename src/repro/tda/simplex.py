@@ -1,0 +1,103 @@
+"""Simplices.
+
+A ``k``-simplex is a set of ``k + 1`` vertices; following the paper the
+vertices are stored in ascending order ``[j_0, j_1, ..., j_k]`` and that order
+is kept everywhere (it fixes the signs of the boundary operator, Eqs. 1–2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+
+class Simplex:
+    """An ordered simplex ``[v_0 < v_1 < ... < v_k]``.
+
+    Immutable and hashable so it can be used as a dictionary key when indexing
+    boundary-matrix columns.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Iterable[int]):
+        verts = tuple(sorted(int(v) for v in vertices))
+        if len(verts) == 0:
+            raise ValueError("A simplex needs at least one vertex")
+        if len(set(verts)) != len(verts):
+            raise ValueError(f"Simplex vertices must be distinct, got {verts}")
+        if any(v < 0 for v in verts):
+            raise ValueError("Simplex vertices must be non-negative integers")
+        self._vertices = verts
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[int, ...]:
+        """The vertices in ascending order."""
+        return self._vertices
+
+    @property
+    def dimension(self) -> int:
+        """``k`` for a ``k``-simplex (|vertices| - 1)."""
+        return len(self._vertices) - 1
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._vertices)
+
+    def __contains__(self, vertex: int) -> bool:
+        return int(vertex) in self._vertices
+
+    # -- combinatorics ------------------------------------------------------
+    def faces(self) -> List["Simplex"]:
+        """The ``k + 1`` codimension-1 faces (each omits one vertex).
+
+        Ordered so that ``faces()[t]`` omits vertex ``v_t``, matching the
+        ``s_{k-1}(t)`` notation of Eq. (2); the boundary operator attaches the
+        sign ``(-1)^t`` to the ``t``-th entry.
+        """
+        if self.dimension == 0:
+            return []
+        return [
+            Simplex(self._vertices[:t] + self._vertices[t + 1 :])
+            for t in range(len(self._vertices))
+        ]
+
+    def boundary(self) -> List[Tuple[int, "Simplex"]]:
+        """Signed boundary ``∂s = Σ_t (-1)^t s(t)`` as (sign, face) pairs."""
+        return [((-1) ** t, face) for t, face in enumerate(self.faces())]
+
+    def all_subsimplices(self) -> List["Simplex"]:
+        """Every non-empty subset of the vertices as a simplex (includes self)."""
+        from itertools import combinations
+
+        out: List[Simplex] = []
+        for size in range(1, len(self._vertices) + 1):
+            out.extend(Simplex(c) for c in combinations(self._vertices, size))
+        return out
+
+    def is_face_of(self, other: "Simplex") -> bool:
+        """Whether this simplex's vertex set is contained in ``other``'s."""
+        return set(self._vertices).issubset(other._vertices)
+
+    # -- dunder plumbing ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Simplex):
+            return self._vertices == other._vertices
+        if isinstance(other, (tuple, list, frozenset, set)):
+            return self._vertices == tuple(sorted(int(v) for v in other))
+        return NotImplemented
+
+    def __lt__(self, other: "Simplex") -> bool:
+        if not isinstance(other, Simplex):
+            return NotImplemented
+        # Order by dimension first, then lexicographically — the ordering used
+        # for boundary-matrix columns throughout the package.
+        return (self.dimension, self._vertices) < (other.dimension, other._vertices)
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"Simplex{list(self._vertices)}"

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG handling, validation helpers and ASCII plotting.
+
+These helpers are intentionally tiny and dependency-free so they can be used
+from every layer of the package (substrates, core algorithm, experiments)
+without introducing import cycles.
+"""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_integer,
+    check_positive_integer,
+    check_probability,
+    check_square_matrix,
+    check_symmetric,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_integer",
+    "check_positive_integer",
+    "check_probability",
+    "check_square_matrix",
+    "check_symmetric",
+]

@@ -1,0 +1,112 @@
+"""Minimal ASCII plotting used by the experiment drivers and benchmarks.
+
+The paper reports its evaluation as boxplot figures (Fig. 3), a line plot
+(Fig. 4) and a table (Table 1).  Matplotlib is not available in this offline
+environment, so the experiment drivers render text approximations: a five
+number summary per boxplot group and a character-cell line plot.  These are
+deliberately simple — they exist so the benchmark output can be inspected by
+eye and diffed across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary of a sample, mirroring one box in Fig. 3."""
+
+    label: str
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, label: str, samples: Sequence[float]) -> "BoxplotSummary":
+        arr = np.asarray(list(samples), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot summarise an empty sample")
+        q1, med, q3 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            label=label,
+            minimum=float(arr.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+            count=int(arr.size),
+        )
+
+    def row(self) -> str:
+        return (
+            f"{self.label:>24s}  min={self.minimum:8.3f}  q1={self.q1:8.3f}  "
+            f"med={self.median:8.3f}  q3={self.q3:8.3f}  max={self.maximum:8.3f}  "
+            f"mean={self.mean:8.3f}  n={self.count}"
+        )
+
+
+def render_boxplot_table(groups: Mapping[str, Sequence[float]], title: str = "") -> str:
+    """Render a mapping of group label -> samples as a text boxplot table."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, samples in groups.items():
+        lines.append(BoxplotSummary.from_samples(str(label), samples).row())
+    return "\n".join(lines)
+
+
+def render_line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a crude character-cell line plot (used for the Fig. 4 analogue)."""
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    if xs.size != ys.size or xs.size == 0:
+        raise ValueError("xs and ys must be non-empty and of equal length")
+    if xs.size == 1:
+        return f"{y_label}={ys[0]:.4f} at {x_label}={xs[0]:.4f}"
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = float(xs.min()), float(xs.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    header = f"{y_label}: [{y_min:.4f}, {y_max:.4f}]   {x_label}: [{x_min:.4f}, {x_max:.4f}]"
+    return "\n".join([header] + lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render ``rows`` as a fixed-width text table (used for Table 1)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep.join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

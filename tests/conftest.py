@@ -1,0 +1,63 @@
+"""Shared pytest fixtures.
+
+Fixtures deliberately cover the paper's own objects (the Appendix A complex)
+plus a couple of reference point clouds with analytically known topology, so
+individual test modules do not have to rebuild them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.point_clouds import circle_cloud, clusters_cloud, figure_eight_cloud
+from repro.experiments.worked_example import appendix_complex
+from repro.tda.complexes import SimplicialComplex
+
+
+@pytest.fixture
+def appendix_k() -> SimplicialComplex:
+    """The worked-example complex of Eq. 13 (β_0 = 1, β_1 = 1)."""
+    return appendix_complex()
+
+
+@pytest.fixture
+def hollow_triangle() -> SimplicialComplex:
+    """Three vertices and three edges, no 2-simplex: β = (1, 1)."""
+    return SimplicialComplex([(0,), (1,), (2,), (0, 1), (0, 2), (1, 2)])
+
+
+@pytest.fixture
+def filled_triangle() -> SimplicialComplex:
+    """The full 2-simplex on three vertices: β = (1, 0, 0)."""
+    return SimplicialComplex.from_maximal_simplices([(0, 1, 2)])
+
+
+@pytest.fixture
+def two_components() -> SimplicialComplex:
+    """An edge plus an isolated vertex: β_0 = 2."""
+    return SimplicialComplex([(0,), (1,), (2,), (0, 1)])
+
+
+@pytest.fixture
+def circle_points() -> np.ndarray:
+    """Twelve points on the unit circle."""
+    return circle_cloud(12)
+
+
+@pytest.fixture
+def figure_eight_points() -> np.ndarray:
+    """Points on two tangent circles (β_1 = 2 at a suitable scale)."""
+    return figure_eight_cloud(28)
+
+
+@pytest.fixture
+def three_clusters() -> np.ndarray:
+    """Three well-separated blobs (β_0 = 3 at small scales)."""
+    return clusters_cloud(num_clusters=3, points_per_cluster=6, seed=0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator for tests that need controlled randomness."""
+    return np.random.default_rng(12345)

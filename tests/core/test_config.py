@@ -1,0 +1,57 @@
+"""Tests for QTDAConfig validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QTDAConfig
+from repro.quantum.noise import NoiseModel
+
+
+def test_defaults_are_valid():
+    config = QTDAConfig()
+    assert config.precision_qubits == 3
+    assert config.backend == "exact"
+    assert 0 < config.delta < 2 * np.pi
+
+
+def test_invalid_backend_and_padding():
+    with pytest.raises(ValueError):
+        QTDAConfig(backend="qiskit")
+    with pytest.raises(ValueError):
+        QTDAConfig(padding="mirror")
+
+
+def test_delta_bounds():
+    with pytest.raises(ValueError):
+        QTDAConfig(delta=0.0)
+    with pytest.raises(ValueError):
+        QTDAConfig(delta=2 * np.pi)
+    QTDAConfig(delta=6.0)
+
+
+def test_precision_and_shots_validation():
+    with pytest.raises(ValueError):
+        QTDAConfig(precision_qubits=0)
+    with pytest.raises(ValueError):
+        QTDAConfig(shots=0)
+    assert QTDAConfig(shots=None).shots is None
+
+
+def test_trotter_parameters():
+    with pytest.raises(ValueError):
+        QTDAConfig(trotter_order=3)
+    with pytest.raises(ValueError):
+        QTDAConfig(trotter_steps=0)
+
+
+def test_noise_model_type_checked():
+    with pytest.raises(TypeError):
+        QTDAConfig(noise_model="noisy")
+    QTDAConfig(noise_model=NoiseModel.depolarizing(0.01))
+
+
+def test_replace_creates_modified_copy():
+    base = QTDAConfig(precision_qubits=2)
+    other = base.replace(precision_qubits=5)
+    assert base.precision_qubits == 2
+    assert other.precision_qubits == 5

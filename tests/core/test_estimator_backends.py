@@ -1,0 +1,79 @@
+"""Backend-agreement tests: exact ≡ statevector ≡ (converged) trotter.
+
+These are the integration tests that justify using the fast ``exact`` backend
+for the paper-scale sweeps: all three backends implement the same algorithm
+and must agree on the infinite-shot probability of the all-zero readout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import QTDABettiEstimator
+from repro.quantum.noise import NoiseModel
+from repro.tda.complexes import SimplicialComplex
+
+
+@pytest.fixture(scope="module")
+def small_complex():
+    """A complex whose Δ_1 is 5x5 (padded to 8): hollow square plus a tail edge."""
+    return SimplicialComplex(
+        [(0,), (1,), (2,), (3,), (4,), (0, 1), (1, 2), (2, 3), (0, 3), (3, 4)]
+    )
+
+
+def _estimate(complex_, backend, **kwargs):
+    estimator = QTDABettiEstimator(precision_qubits=3, shots=None, backend=backend, **kwargs)
+    return estimator.estimate(complex_, 1)
+
+
+def test_exact_equals_statevector_purified(small_complex):
+    exact = _estimate(small_complex, "exact")
+    statevector = _estimate(small_complex, "statevector", use_purification=True)
+    assert statevector.p_zero == pytest.approx(exact.p_zero, abs=1e-9)
+
+
+def test_exact_equals_statevector_density_route(small_complex):
+    exact = _estimate(small_complex, "exact")
+    density = _estimate(small_complex, "statevector", use_purification=False)
+    assert density.p_zero == pytest.approx(exact.p_zero, abs=1e-9)
+
+
+def test_trotter_converges_to_exact(small_complex):
+    exact = _estimate(small_complex, "exact")
+    coarse = _estimate(small_complex, "trotter", trotter_steps=1, use_purification=False)
+    fine = _estimate(small_complex, "trotter", trotter_steps=12, use_purification=False)
+    assert abs(fine.p_zero - exact.p_zero) <= abs(coarse.p_zero - exact.p_zero) + 1e-12
+    assert fine.p_zero == pytest.approx(exact.p_zero, abs=0.02)
+
+
+def test_all_backends_round_to_true_betti(appendix_k):
+    for backend in ("exact", "statevector", "trotter"):
+        kwargs = {"use_purification": False} if backend != "exact" else {}
+        estimator = QTDABettiEstimator(
+            precision_qubits=3, shots=None, backend=backend, delta=6.0, trotter_steps=8, **kwargs
+        )
+        assert estimator.estimate(appendix_k, 1).betti_rounded == 1, backend
+
+
+def test_noise_degrades_estimate_smoothly(small_complex):
+    clean = _estimate(small_complex, "statevector", use_purification=False)
+    noisy = QTDABettiEstimator(
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        use_purification=False,
+        noise_model=NoiseModel.depolarizing(0.02),
+    ).estimate(small_complex, 1)
+    # Noise perturbs but does not destroy the estimate at this strength.
+    assert noisy.p_zero != pytest.approx(clean.p_zero, abs=1e-12)
+    assert abs(noisy.betti_estimate - clean.betti_estimate) < 1.5
+
+
+def test_shot_sampling_consistent_across_backends(small_complex):
+    exact = QTDABettiEstimator(precision_qubits=3, shots=4000, backend="exact", seed=3).estimate(small_complex, 1)
+    sv = QTDABettiEstimator(
+        precision_qubits=3, shots=4000, backend="statevector", seed=3, use_purification=True
+    ).estimate(small_complex, 1)
+    # Same underlying distribution → estimates within a few shot-noise sigmas.
+    sigma = 8 * np.sqrt(0.25 / 4000)
+    assert abs(exact.betti_estimate - sv.betti_estimate) < 6 * sigma

@@ -1,0 +1,76 @@
+"""Tests for the rescaled Hamiltonian and QTDA unitary (Eqs. 8–9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hamiltonian import build_hamiltonian, qtda_unitary
+from repro.experiments.worked_example import EXPECTED_LAPLACIAN
+
+
+def test_appendix_delta_six_gives_unscaled_padded_laplacian():
+    hamiltonian = build_hamiltonian(EXPECTED_LAPLACIAN, delta=6.0)
+    assert hamiltonian.scale == pytest.approx(1.0)
+    assert np.array_equal(hamiltonian.matrix, hamiltonian.padded.matrix)
+
+
+def test_default_delta_slightly_below_two_pi():
+    hamiltonian = build_hamiltonian(EXPECTED_LAPLACIAN)
+    assert hamiltonian.delta == pytest.approx(2 * np.pi * 0.9)
+    # Spectrum fits strictly inside [0, 2π).
+    eigenvalues = np.linalg.eigvalsh(hamiltonian.matrix)
+    assert eigenvalues.min() >= -1e-10
+    assert eigenvalues.max() < 2 * np.pi
+
+
+def test_eigenphases_in_unit_interval_and_zero_preserved():
+    hamiltonian = build_hamiltonian(EXPECTED_LAPLACIAN)
+    phases = hamiltonian.eigenphases()
+    assert np.all((phases >= 0) & (phases < 1))
+    # The kernel of the Laplacian maps to phase 0 exactly.
+    assert np.count_nonzero(np.isclose(phases, 0.0, atol=1e-10)) == 1
+
+
+def test_unitary_is_unitary_and_has_expected_eigenvalues():
+    hamiltonian = build_hamiltonian(EXPECTED_LAPLACIAN, delta=6.0)
+    unitary = hamiltonian.unitary()
+    assert np.allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-10)
+    eigs_u = np.sort(np.angle(np.linalg.eigvals(unitary)) % (2 * np.pi))
+    eigs_h = np.sort(np.linalg.eigvalsh(hamiltonian.matrix) % (2 * np.pi))
+    assert np.allclose(eigs_u, eigs_h, atol=1e-8)
+
+
+def test_zero_eigenvalue_count_matches_betti(appendix_k):
+    from repro.tda.laplacian import combinatorial_laplacian
+
+    hamiltonian = build_hamiltonian(combinatorial_laplacian(appendix_k, 1))
+    assert hamiltonian.zero_eigenvalue_count() == 1
+
+
+def test_zero_laplacian_handled():
+    hamiltonian = build_hamiltonian(np.zeros((2, 2)))
+    assert hamiltonian.scale == 1.0
+    assert np.allclose(hamiltonian.matrix, 0.0)
+
+
+def test_delta_validation():
+    with pytest.raises(ValueError):
+        build_hamiltonian(EXPECTED_LAPLACIAN, delta=7.0)
+    with pytest.raises(ValueError):
+        build_hamiltonian(EXPECTED_LAPLACIAN, delta=0.0)
+
+
+def test_qtda_unitary_convenience():
+    direct = qtda_unitary(EXPECTED_LAPLACIAN, delta=6.0)
+    via_object = build_hamiltonian(EXPECTED_LAPLACIAN, delta=6.0).unitary()
+    assert np.allclose(direct, via_object)
+
+
+def test_pauli_decomposition_reconstructs_hamiltonian():
+    hamiltonian = build_hamiltonian(EXPECTED_LAPLACIAN, delta=6.0)
+    assert np.allclose(hamiltonian.pauli_decomposition().to_matrix(), hamiltonian.matrix, atol=1e-10)
+
+
+def test_zero_padding_mode_propagates():
+    hamiltonian = build_hamiltonian(EXPECTED_LAPLACIAN, padding="zero")
+    assert hamiltonian.padded.mode == "zero"
+    assert hamiltonian.zero_eigenvalue_count() == 3  # 1 true + 2 spurious

@@ -1,0 +1,66 @@
+"""Tests for the maximally-mixed-state preparation circuit (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixed_state import maximally_mixed_state_circuit, mixed_state_purification_qubits
+from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.quantum.statevector import StatevectorSimulator
+
+
+def test_purification_qubit_count():
+    assert mixed_state_purification_qubits(3) == 3
+    with pytest.raises(ValueError):
+        mixed_state_purification_qubits(0)
+
+
+@pytest.mark.parametrize("q", [1, 2, 3])
+def test_system_register_is_maximally_mixed(q):
+    """Tracing out the auxiliaries of the Fig. 2 circuit leaves I/2^q (its defining property)."""
+    circ = maximally_mixed_state_circuit(q)
+    rho = DensityMatrixSimulator().run(circ)
+    system = rho.partial_trace(list(range(q)))
+    assert np.allclose(system.matrix, np.eye(2**q) / 2**q, atol=1e-10)
+
+
+def test_auxiliary_register_also_maximally_mixed():
+    circ = maximally_mixed_state_circuit(2)
+    rho = DensityMatrixSimulator().run(circ)
+    aux = rho.partial_trace([2, 3])
+    assert np.allclose(aux.matrix, np.eye(4) / 4, atol=1e-10)
+
+
+def test_gate_structure_matches_figure_2():
+    """q Hadamards on the auxiliaries and q CNOTs onto the system qubits."""
+    circ = maximally_mixed_state_circuit(3)
+    counts = circ.count_ops()
+    assert counts == {"H": 3, "CNOT": 3}
+    for gate in circ.gates:
+        if gate.name == "CNOT":
+            control, target = gate.qubits
+            assert control >= 3 and target < 3  # auxiliary controls, system target
+
+
+def test_offsets_and_total_qubits():
+    circ = maximally_mixed_state_circuit(2, system_offset=3, auxiliary_offset=5, total_qubits=8)
+    assert circ.num_qubits == 8
+    touched = {q for gate in circ.gates for q in gate.qubits}
+    assert touched == {3, 4, 5, 6}
+
+
+def test_overlapping_registers_rejected():
+    with pytest.raises(ValueError):
+        maximally_mixed_state_circuit(2, system_offset=0, auxiliary_offset=1)
+    with pytest.raises(ValueError):
+        maximally_mixed_state_circuit(2, total_qubits=3)
+
+
+def test_state_is_uniform_superposition_of_bell_pairs():
+    """On the full register the state is pure with uniform marginals on the system."""
+    circ = maximally_mixed_state_circuit(1)
+    state = StatevectorSimulator().run(circ)
+    # (|00> + |11>)/sqrt(2) on (system, auxiliary) in some ordering.
+    probs = state.probabilities()
+    assert np.allclose(np.sort(probs), [0, 0, 0.5, 0.5], atol=1e-10)
+    rho = DensityMatrix.from_statevector(state)
+    assert rho.partial_trace([0]).purity() == pytest.approx(0.5)

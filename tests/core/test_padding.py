@@ -1,0 +1,73 @@
+"""Tests for Laplacian padding (Eq. 7 / Eq. 18)."""
+
+import numpy as np
+import pytest
+
+from repro.core.padding import pad_laplacian, zero_pad_laplacian
+from repro.experiments.worked_example import EXPECTED_LAPLACIAN
+
+#: The padded Laplacian printed as Eq. 18 (identity block filled with λ̃_max/2 = 3).
+EXPECTED_PADDED = np.zeros((8, 8))
+EXPECTED_PADDED[:6, :6] = EXPECTED_LAPLACIAN
+EXPECTED_PADDED[6, 6] = 3.0
+EXPECTED_PADDED[7, 7] = 3.0
+
+
+def test_appendix_padding_matches_equation_18():
+    padded = pad_laplacian(EXPECTED_LAPLACIAN)
+    assert padded.lambda_max == pytest.approx(6.0)
+    assert padded.num_qubits == 3
+    assert np.array_equal(padded.matrix, EXPECTED_PADDED)
+
+
+def test_identity_padding_adds_no_zero_eigenvalues():
+    padded = pad_laplacian(EXPECTED_LAPLACIAN, mode="identity")
+    zeros = np.count_nonzero(np.abs(np.linalg.eigvalsh(padded.matrix)) < 1e-9)
+    unpadded_zeros = np.count_nonzero(np.abs(np.linalg.eigvalsh(EXPECTED_LAPLACIAN)) < 1e-9)
+    assert zeros == unpadded_zeros
+    assert padded.spurious_zero_eigenvalues() == 0
+
+
+def test_zero_padding_adds_spurious_zeros():
+    padded = zero_pad_laplacian(EXPECTED_LAPLACIAN)
+    zeros = np.count_nonzero(np.abs(np.linalg.eigvalsh(padded.matrix)) < 1e-9)
+    unpadded_zeros = np.count_nonzero(np.abs(np.linalg.eigvalsh(EXPECTED_LAPLACIAN)) < 1e-9)
+    assert zeros == unpadded_zeros + padded.num_padding_rows
+    assert padded.spurious_zero_eigenvalues() == 2
+
+
+def test_power_of_two_input_needs_no_padding():
+    lap = np.diag([0.0, 1.0, 2.0, 3.0])
+    padded = pad_laplacian(lap)
+    assert padded.num_padding_rows == 0
+    assert np.array_equal(padded.matrix, lap)
+
+
+def test_single_element_laplacian():
+    padded = pad_laplacian(np.array([[0.0]]))
+    assert padded.num_qubits == 1
+    assert padded.padded_dimension == 2
+
+
+def test_zero_laplacian_identity_padding_degenerates():
+    """When λ̃_max = 0 the identity padding value is 0, which is flagged as spurious."""
+    padded = pad_laplacian(np.zeros((3, 3)))
+    assert padded.lambda_max == 0.0
+    assert padded.spurious_zero_eigenvalues() == 1
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        pad_laplacian(np.zeros((0, 0)))
+    with pytest.raises(ValueError):
+        pad_laplacian(np.array([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+    with pytest.raises(ValueError):
+        pad_laplacian(EXPECTED_LAPLACIAN, mode="reflect")
+
+
+def test_metadata_fields():
+    padded = pad_laplacian(EXPECTED_LAPLACIAN)
+    assert padded.original_dimension == 6
+    assert padded.padded_dimension == 8
+    assert padded.num_padding_rows == 2
+    assert padded.mode == "identity"

@@ -1,0 +1,101 @@
+"""Tests for the end-to-end feature pipeline (Section 5 plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QTDAConfig
+from repro.core.pipeline import PipelineConfig, QTDAPipeline, betti_feature_vector
+from repro.datasets.point_clouds import circle_cloud, clusters_cloud
+
+
+def test_pipeline_config_validation():
+    with pytest.raises(ValueError):
+        PipelineConfig(epsilon=-1.0)
+    with pytest.raises(ValueError):
+        PipelineConfig(homology_dimensions=())
+    with pytest.raises(ValueError):
+        PipelineConfig(homology_dimensions=(0, 1), max_complex_dimension=1)
+    config = PipelineConfig(homology_dimensions=(0, 1))
+    assert config.max_complex_dimension == 2
+
+
+def test_classical_features_on_circle():
+    pipeline = QTDAPipeline(PipelineConfig(epsilon=0.7, use_quantum=False))
+    features = pipeline.features_from_point_cloud(circle_cloud(12))
+    assert np.allclose(features, [1.0, 1.0])
+
+
+def test_quantum_features_close_to_classical_on_circle():
+    config = PipelineConfig(
+        epsilon=0.7,
+        use_quantum=True,
+        estimator=QTDAConfig(precision_qubits=8, shots=None),
+    )
+    features = QTDAPipeline(config).features_from_point_cloud(circle_cloud(12))
+    assert np.allclose(np.round(features), [1.0, 1.0])
+    assert np.all(np.abs(features - [1.0, 1.0]) < 0.5)
+
+
+def test_cluster_counting():
+    cloud = clusters_cloud(num_clusters=3, points_per_cluster=5, seed=2)
+    pipeline = QTDAPipeline(PipelineConfig(epsilon=1.5, use_quantum=False))
+    features = pipeline.features_from_point_cloud(cloud)
+    assert features[0] == 3.0
+
+
+def test_estimates_from_point_cloud_report_exact_values():
+    config = PipelineConfig(epsilon=0.7, estimator=QTDAConfig(precision_qubits=4, shots=None))
+    estimates = QTDAPipeline(config).estimates_from_point_cloud(circle_cloud(10))
+    assert len(estimates) == 2
+    assert all(e.exact_betti is not None for e in estimates)
+
+
+def test_features_from_time_series():
+    config = PipelineConfig(
+        epsilon=0.6,
+        use_quantum=False,
+        takens_dimension=2,
+        takens_delay=25,
+        takens_stride=7,
+    )
+    t = np.linspace(0, 6 * np.pi, 300, endpoint=False)
+    features = QTDAPipeline(config).features_from_time_series(np.sin(t))
+    assert features.shape == (2,)
+    assert features[0] == 1.0
+
+
+def test_batch_transforms():
+    pipeline = QTDAPipeline(PipelineConfig(epsilon=0.7, use_quantum=False))
+    clouds = [circle_cloud(10), clusters_cloud(2, 5, seed=1)]
+    matrix = pipeline.transform_point_clouds(clouds)
+    assert matrix.shape == (2, 2)
+    series = np.vstack([np.sin(np.linspace(0, 4 * np.pi, 60))] * 3)
+    config = PipelineConfig(epsilon=0.8, use_quantum=False, takens_dimension=2, takens_delay=5, takens_stride=3)
+    matrix_ts = QTDAPipeline(config).transform_time_series(series)
+    assert matrix_ts.shape == (3, 2)
+    with pytest.raises(ValueError):
+        QTDAPipeline(config).transform_time_series(series[0])
+
+
+def test_feature_names():
+    pipeline = QTDAPipeline(PipelineConfig(homology_dimensions=(0, 1, 2)))
+    assert pipeline.feature_names == ("betti_0", "betti_1", "betti_2")
+
+
+def test_epsilon_override_per_call():
+    pipeline = QTDAPipeline(PipelineConfig(epsilon=0.1, use_quantum=False))
+    cloud = circle_cloud(12)
+    tight = pipeline.features_from_point_cloud(cloud)
+    loose = pipeline.features_from_point_cloud(cloud, epsilon=0.7)
+    assert tight[0] == 12.0  # all points isolated at tiny epsilon
+    assert loose[0] == 1.0
+
+
+def test_betti_feature_vector_convenience():
+    features = betti_feature_vector(circle_cloud(10), epsilon=0.8, use_quantum=False)
+    assert np.allclose(features, [1.0, 1.0])
+
+
+def test_pipeline_keyword_overrides():
+    pipeline = QTDAPipeline(epsilon=0.5, use_quantum=False)
+    assert pipeline.config.epsilon == 0.5

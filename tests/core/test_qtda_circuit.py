@@ -1,0 +1,78 @@
+"""Tests for the assembled QTDA circuit (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hamiltonian import build_hamiltonian
+from repro.core.qtda_circuit import QTDACircuitSpec, circuit_resource_summary, qtda_circuit
+from repro.experiments.worked_example import EXPECTED_LAPLACIAN
+from repro.quantum.statevector import StatevectorSimulator
+
+
+@pytest.fixture(scope="module")
+def hamiltonian():
+    return build_hamiltonian(EXPECTED_LAPLACIAN, delta=6.0)
+
+
+def test_register_layout_with_purification(hamiltonian):
+    circuit, spec = qtda_circuit(hamiltonian, precision_qubits=3, use_purification=True)
+    assert spec == QTDACircuitSpec(precision_qubits=3, system_qubits=3, auxiliary_qubits=3)
+    assert circuit.num_qubits == 9
+    assert spec.precision_register == (0, 1, 2)
+    assert spec.system_register == (3, 4, 5)
+    assert spec.auxiliary_register == (6, 7, 8)
+
+
+def test_register_layout_without_purification(hamiltonian):
+    circuit, spec = qtda_circuit(hamiltonian, precision_qubits=2, use_purification=False)
+    assert spec.auxiliary_qubits == 0
+    assert circuit.num_qubits == 5
+
+
+def test_measurement_on_precision_register(hamiltonian):
+    circuit, spec = qtda_circuit(hamiltonian, precision_qubits=3)
+    assert circuit.measured_qubits == spec.precision_register
+
+
+def test_p_zero_matches_analytical_prediction(hamiltonian):
+    """The full Fig. 6 circuit reproduces p(0) = β_1 / 2^q plus QPE leakage."""
+    from repro.quantum.qpe import qpe_outcome_distribution
+
+    circuit, spec = qtda_circuit(hamiltonian, precision_qubits=3, use_purification=True)
+    probs = StatevectorSimulator().probabilities(circuit, qubits=list(spec.precision_register))
+    expected = qpe_outcome_distribution(hamiltonian.eigenphases(), 3)
+    assert np.allclose(probs, expected, atol=1e-9)
+
+
+def test_trotter_synthesis_close_to_exact(hamiltonian):
+    circuit_exact, spec = qtda_circuit(hamiltonian, precision_qubits=2, use_purification=False)
+    circuit_trotter, _ = qtda_circuit(
+        hamiltonian, precision_qubits=2, use_purification=False, synthesis="trotter", trotter_steps=8
+    )
+    sim = StatevectorSimulator()
+    # Compare on a fixed basis-state input of the system register.
+    init = np.zeros(2**spec.total_qubits, dtype=complex)
+    init[3] = 1.0
+    p_exact = sim.probabilities(circuit_exact, initial_state=init, qubits=list(spec.precision_register))
+    p_trotter = sim.probabilities(circuit_trotter, initial_state=init, qubits=list(spec.precision_register))
+    assert np.allclose(p_exact, p_trotter, atol=0.05)
+
+
+def test_invalid_synthesis_rejected(hamiltonian):
+    with pytest.raises(ValueError):
+        qtda_circuit(hamiltonian, precision_qubits=2, synthesis="magic")
+
+
+def test_resource_summary(hamiltonian):
+    circuit, spec = qtda_circuit(hamiltonian, precision_qubits=3)
+    summary = circuit_resource_summary(circuit, spec)
+    assert summary["total_qubits"] == 9
+    assert summary["num_gates"] == circuit.num_gates
+    assert summary["depth"] > 0
+    assert isinstance(summary["gate_histogram"], dict)
+
+
+def test_more_precision_qubits_means_deeper_circuit(hamiltonian):
+    shallow, _ = qtda_circuit(hamiltonian, precision_qubits=2)
+    deep, _ = qtda_circuit(hamiltonian, precision_qubits=4)
+    assert deep.num_gates > shallow.num_gates

@@ -1,0 +1,71 @@
+"""Tests for the synthetic gearbox vibration generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gearbox import (
+    GearboxDatasetConfig,
+    class_summary,
+    generate_gearbox_dataset,
+    generate_gearbox_signal,
+    generate_processed_gearbox_dataset,
+)
+
+
+def test_signal_length_and_reproducibility():
+    a = generate_gearbox_signal(500, faulty=False, seed=1)
+    b = generate_gearbox_signal(500, faulty=False, seed=1)
+    assert a.shape == (500,)
+    assert np.array_equal(a, b)
+
+
+def test_faulty_and_healthy_signals_differ_statistically():
+    healthy = [generate_gearbox_signal(2000, faulty=False, seed=s) for s in range(5)]
+    faulty = [generate_gearbox_signal(2000, faulty=True, seed=s) for s in range(5)]
+    # Impulsive faults raise kurtosis and peak amplitude.
+    from scipy.stats import kurtosis
+
+    healthy_kurtosis = np.mean([kurtosis(x) for x in healthy])
+    faulty_kurtosis = np.mean([kurtosis(x) for x in faulty])
+    assert faulty_kurtosis > healthy_kurtosis
+    assert np.mean([np.max(np.abs(x)) for x in faulty]) > np.mean([np.max(np.abs(x)) for x in healthy])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GearboxDatasetConfig(sampling_rate=0.0)
+    with pytest.raises(ValueError):
+        GearboxDatasetConfig(num_harmonics=0)
+    with pytest.raises(ValueError):
+        generate_gearbox_signal(0, faulty=False)
+
+
+def test_windowed_dataset_shapes_and_balance():
+    windows, labels = generate_gearbox_dataset(num_samples_per_class=7, window_length=300, seed=2)
+    assert windows.shape == (14, 300)
+    assert class_summary(labels) == {0: 7, 1: 7}
+
+
+def test_windowed_dataset_reproducible():
+    a = generate_gearbox_dataset(num_samples_per_class=3, window_length=200, seed=9)
+    b = generate_gearbox_dataset(num_samples_per_class=3, window_length=200, seed=9)
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[1], b[1])
+
+
+def test_processed_dataset_matches_paper_dimensions():
+    features, labels = generate_processed_gearbox_dataset(num_rows=40, num_healthy=10, window_length=300, seed=3)
+    assert features.shape == (40, 6)
+    assert class_summary(labels) == {0: 10, 1: 30}
+    assert np.all(np.isfinite(features))
+
+
+def test_processed_dataset_validation():
+    with pytest.raises(ValueError):
+        generate_processed_gearbox_dataset(num_rows=10, num_healthy=10)
+
+
+def test_processed_dataset_default_matches_paper_row_counts():
+    """The paper's processed dataset: 255 rows of which 51 healthy."""
+    features, labels = generate_processed_gearbox_dataset(num_rows=51 + 20, num_healthy=51, window_length=200, seed=0)
+    assert class_summary(labels)[0] == 51

@@ -1,0 +1,71 @@
+"""Tests for the reference point clouds (known-topology fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.point_clouds import (
+    annulus_cloud,
+    circle_cloud,
+    clusters_cloud,
+    figure_eight_cloud,
+    sphere_cloud,
+    torus_cloud,
+)
+from repro.tda.betti import betti_number, betti_numbers
+from repro.tda.rips import rips_complex
+
+
+def test_circle_cloud_geometry():
+    cloud = circle_cloud(16, radius=2.0)
+    assert cloud.shape == (16, 2)
+    assert np.allclose(np.linalg.norm(cloud, axis=1), 2.0)
+
+
+def test_circle_betti_numbers():
+    complex_ = rips_complex(circle_cloud(14), 0.7, max_dimension=2)
+    assert betti_numbers(complex_, 1) == [1, 1]
+
+
+def test_noisy_circle_reproducible():
+    a = circle_cloud(10, noise=0.1, seed=3)
+    b = circle_cloud(10, noise=0.1, seed=3)
+    assert np.array_equal(a, b)
+
+
+def test_clusters_cloud_components():
+    cloud = clusters_cloud(num_clusters=4, points_per_cluster=5, seed=1)
+    assert cloud.shape == (20, 2)
+    complex_ = rips_complex(cloud, 1.5, max_dimension=1)
+    assert betti_number(complex_, 0) == 4
+
+
+def test_figure_eight_two_loops():
+    complex_ = rips_complex(figure_eight_cloud(32), 0.55, max_dimension=2)
+    assert betti_number(complex_, 1) == 2
+
+
+def test_annulus_single_component():
+    cloud = annulus_cloud(50, seed=2)
+    radii = np.linalg.norm(cloud, axis=1)
+    assert np.all((radii >= 0.7 - 1e-9) & (radii <= 1.3 + 1e-9))
+
+
+def test_sphere_cloud_on_sphere():
+    cloud = sphere_cloud(30, radius=1.5, seed=0)
+    assert cloud.shape == (30, 3)
+    assert np.allclose(np.linalg.norm(cloud, axis=1), 1.5)
+
+
+def test_torus_cloud_radii():
+    cloud = torus_cloud(40, major_radius=2.0, minor_radius=0.5, seed=1)
+    assert cloud.shape == (40, 3)
+    distance_from_axis = np.linalg.norm(cloud[:, :2], axis=1)
+    assert np.all(distance_from_axis >= 1.5 - 1e-9)
+    assert np.all(distance_from_axis <= 2.5 + 1e-9)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        circle_cloud(0)
+    with pytest.raises(ValueError):
+        clusters_cloud(num_clusters=0)

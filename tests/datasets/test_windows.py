@@ -1,0 +1,50 @@
+"""Tests for time-series windowing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.windows import sliding_windows, windowed_dataset
+
+
+def test_non_overlapping_windows():
+    windows = sliding_windows(np.arange(100.0), window_length=25)
+    assert windows.shape == (4, 25)
+    assert np.array_equal(windows[1], np.arange(25.0, 50.0))
+
+
+def test_overlapping_windows_with_stride():
+    windows = sliding_windows(np.arange(10.0), window_length=4, stride=2)
+    assert windows.shape == (4, 4)
+    assert np.array_equal(windows[-1], [6, 7, 8, 9])
+
+
+def test_window_longer_than_series_rejected():
+    with pytest.raises(ValueError):
+        sliding_windows(np.arange(5.0), window_length=10)
+
+
+def test_paper_window_length_500():
+    windows = sliding_windows(np.zeros(2100), window_length=500)
+    assert windows.shape == (4, 500)
+
+
+def test_windowed_dataset_balanced():
+    signals = {0: np.arange(1000.0), 1: np.arange(3000.0)}
+    windows, labels = windowed_dataset(signals, window_length=100, seed=0)
+    # Balanced at the smaller class's window count (10).
+    assert windows.shape == (20, 100)
+    assert np.sum(labels == 0) == np.sum(labels == 1) == 10
+
+
+def test_windowed_dataset_samples_per_class_cap():
+    signals = {0: np.arange(1000.0), 1: np.arange(1000.0)}
+    windows, labels = windowed_dataset(signals, window_length=100, samples_per_class=3, seed=1)
+    assert windows.shape == (6, 100)
+
+
+def test_windowed_dataset_reproducible():
+    signals = {0: np.sin(np.arange(500.0)), 1: np.cos(np.arange(500.0))}
+    a = windowed_dataset(signals, window_length=50, seed=3)
+    b = windowed_dataset(signals, window_length=50, seed=3)
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[1], b[1])

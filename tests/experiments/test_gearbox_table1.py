@@ -1,0 +1,87 @@
+"""Integration tests for the Table 1 and Section 5 classification drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.gearbox_table1 import (
+    GearboxExperimentConfig,
+    render_table1,
+    run_gearbox_table1,
+    run_timeseries_classification,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    config = GearboxExperimentConfig(
+        num_rows=48,
+        num_healthy=16,
+        precision_grid=(1, 3, 5),
+        shots=100,
+        window_length=300,
+        seed=21,
+    )
+    return run_gearbox_table1(config)
+
+
+def test_one_row_per_precision_setting(table1):
+    assert [row.precision_qubits for row in table1.rows] == [1, 3, 5]
+
+
+def test_accuracies_are_probabilities(table1):
+    for row in table1.rows:
+        assert 0.0 <= row.training_accuracy <= 1.0
+        assert 0.0 <= row.validation_accuracy <= 1.0
+        assert row.mean_absolute_error >= 0.0
+    assert 0.0 <= table1.reference_training_accuracy <= 1.0
+    assert 0.0 <= table1.reference_validation_accuracy <= 1.0
+
+
+def test_mae_decreases_with_precision(table1):
+    """Table 1's monotone trend: more precision qubits → smaller Betti-number error."""
+    maes = [row.mean_absolute_error for row in table1.rows]
+    assert maes[-1] < maes[0]
+
+
+def test_classifier_beats_chance(table1):
+    """The Betti features carry class signal (paper: 'encouraging results')."""
+    best = max(row.validation_accuracy for row in table1.rows)
+    assert best > 0.6
+    assert table1.reference_validation_accuracy > 0.6
+
+
+def test_render_contains_all_rows(table1):
+    text = render_table1(table1)
+    assert "Precision qubits" in text
+    assert text.count("\n") >= len(table1.rows) + 2
+    assert "Reference" in text
+
+
+def test_quick_config():
+    cfg = GearboxExperimentConfig.quick()
+    assert cfg.num_rows < 255
+
+
+def test_timeseries_classification_runs_and_separates():
+    result = run_timeseries_classification(
+        num_samples_per_class=10,
+        window_length=400,
+        precision_qubits=4,
+        takens_stride=20,
+        seed=5,
+    )
+    assert result.num_windows == 20
+    assert result.epsilon > 0
+    assert result.training_accuracy >= 0.6
+    assert result.feature_names == ("betti_0", "betti_1")
+
+
+def test_timeseries_classification_classical_route():
+    result = run_timeseries_classification(
+        num_samples_per_class=8,
+        window_length=400,
+        takens_stride=20,
+        use_quantum=False,
+        seed=6,
+    )
+    assert 0.0 <= result.validation_accuracy <= 1.0

@@ -1,0 +1,69 @@
+"""Integration tests for the Fig. 4 grouping-scale sweep."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.grouping_scale import (
+    GroupingScaleConfig,
+    render_grouping_scale_results,
+    run_grouping_scale_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = GroupingScaleConfig(
+        num_rows=60,
+        num_healthy=20,
+        num_scales=7,
+        repetitions=3,
+        window_length=300,
+        seed=13,
+    )
+    return run_grouping_scale_experiment(config)
+
+
+def test_one_accuracy_per_scale(result):
+    assert result.scales.shape == (7,)
+    assert result.mean_training_accuracy.shape == (7,)
+    assert result.std_training_accuracy.shape == (7,)
+
+
+def test_scales_increasing_and_positive(result):
+    assert np.all(np.diff(result.scales) > 0)
+    assert np.all(result.scales > 0)
+
+
+def test_accuracies_are_probabilities(result):
+    assert np.all((result.mean_training_accuracy >= 0) & (result.mean_training_accuracy <= 1))
+    assert np.all(result.std_training_accuracy >= 0)
+
+
+def test_best_scale_is_on_grid(result):
+    assert result.best_scale() in result.scales
+
+
+def test_accuracy_depends_on_scale(result):
+    """Fig. 4's point: the grouping scale matters (the curve is not flat)."""
+    assert result.mean_training_accuracy.max() - result.mean_training_accuracy.min() > 0.01
+
+
+def test_explicit_scale_range_respected():
+    config = GroupingScaleConfig(
+        num_rows=24, num_healthy=8, num_scales=3, repetitions=2, scale_range=(1.0, 2.0), window_length=300, seed=1
+    )
+    result = run_grouping_scale_experiment(config)
+    assert result.scales[0] == pytest.approx(1.0)
+    assert result.scales[-1] == pytest.approx(2.0)
+
+
+def test_render(result):
+    text = render_grouping_scale_results(result)
+    assert "grouping scale" in text
+    assert "best ε" in text
+
+
+def test_paper_scale_config():
+    cfg = GroupingScaleConfig.paper_scale()
+    assert cfg.num_rows == 255
+    assert cfg.repetitions == 50

@@ -1,0 +1,73 @@
+"""Integration tests for the Fig. 3 experiment driver."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.shots_precision import (
+    ShotsPrecisionConfig,
+    error_trend_summary,
+    render_shots_precision_results,
+    run_shots_precision_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ShotsPrecisionConfig(
+        complex_sizes=(5, 10),
+        num_complexes=6,
+        shots_grid=(100, 10_000),
+        precision_grid=(1, 3, 6),
+        seed=7,
+    )
+    return run_shots_precision_experiment(config)
+
+
+def test_all_grid_cells_populated(result):
+    cfg = result.config
+    for n in cfg.complex_sizes:
+        for shots in cfg.shots_grid:
+            for precision in cfg.precision_grid:
+                samples = result.group(n, shots, precision)
+                assert len(samples) == cfg.num_complexes
+                assert all(e >= 0 for e in samples)
+
+
+def test_error_decreases_with_precision(result):
+    """The headline qualitative claim of Fig. 3: more precision qubits → smaller error."""
+    cfg = result.config
+    for n in cfg.complex_sizes:
+        coarse = result.mean_error(n, cfg.shots_grid[-1], cfg.precision_grid[0])
+        fine = result.mean_error(n, cfg.shots_grid[-1], cfg.precision_grid[-1])
+        assert fine <= coarse
+
+
+def test_error_scale_grows_with_complex_size(result):
+    cfg = result.config
+    small = result.mean_error(5, cfg.shots_grid[0], cfg.precision_grid[0])
+    large = result.mean_error(10, cfg.shots_grid[0], cfg.precision_grid[0])
+    assert large >= small
+
+
+def test_reproducible_with_seed():
+    config = ShotsPrecisionConfig(
+        complex_sizes=(5,), num_complexes=3, shots_grid=(100,), precision_grid=(2,), seed=11
+    )
+    a = run_shots_precision_experiment(config)
+    b = run_shots_precision_experiment(config)
+    assert a.errors == b.errors
+
+
+def test_render_and_summary(result):
+    text = render_shots_precision_results(result)
+    assert "n = 5" in text and "n = 10" in text
+    summary = error_trend_summary(result)
+    assert "n=5" in summary and "n=10" in summary
+
+
+def test_paper_scale_configuration_values():
+    cfg = ShotsPrecisionConfig.paper_scale()
+    assert cfg.complex_sizes == (5, 10, 15)
+    assert cfg.num_complexes == 100
+    assert cfg.shots_grid == (100, 1000, 10_000, 100_000, 1_000_000)
+    assert cfg.precision_grid == tuple(range(1, 11))

@@ -1,0 +1,72 @@
+"""Integration test: the Appendix A walkthrough end to end."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.worked_example import (
+    EXPECTED_LAPLACIAN,
+    EXPECTED_PAULI_COEFFICIENTS,
+    appendix_complex,
+    render_worked_example,
+    run_worked_example,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_worked_example(shots=1000, precision_qubits=3, backend="statevector", seed=1)
+
+
+def test_complex_matches_equation_13(result):
+    assert result.complex_.f_vector() == (5, 6, 1)
+    assert result.complex_ == appendix_complex()
+
+
+def test_laplacian_matches_equation_17(result):
+    assert np.array_equal(result.laplacian, EXPECTED_LAPLACIAN)
+
+
+def test_padding_matches_equation_18(result):
+    assert result.padded.lambda_max == pytest.approx(6.0)
+    assert result.padded.padded_dimension == 8
+    assert result.padded.matrix[6, 6] == pytest.approx(3.0)
+
+
+def test_pauli_coefficients_match_equation_19(result):
+    assert len(result.pauli_coefficients) == 24
+    for label, value in EXPECTED_PAULI_COEFFICIENTS.items():
+        assert result.pauli_coefficients[label] == pytest.approx(value), label
+
+
+def test_estimate_rounds_to_one_as_in_paper(result):
+    """The appendix reports β̃_1 = 1.192 → 1 for 1000 shots and 3 precision qubits."""
+    assert result.exact_betti == 1
+    assert result.estimate.betti_rounded == 1
+    assert 0.6 < result.estimate.betti_estimate < 1.8
+    assert result.estimate.shots == 1000
+    assert result.estimate.precision_qubits == 3
+
+
+def test_circuit_resources(result):
+    resources = result.circuit_resources
+    assert resources["total_qubits"] == 9  # 3 precision + 3 system + 3 auxiliary (Fig. 6)
+    assert resources["precision_qubits"] == 3
+    assert resources["num_gates"] > 10
+
+
+def test_exact_backend_agrees():
+    exact = run_worked_example(shots=None, backend="exact")
+    assert exact.estimate.betti_rounded == 1
+
+
+def test_render_contains_key_numbers(result):
+    text = render_worked_example(result)
+    assert "λ̃_max" in text or "lambda" in text.lower()
+    assert "β̃_1" in text or "betti" in text.lower()
+    assert "2.625" in text or "2.6250" in text
+
+
+def test_drawing_included_when_requested():
+    small = run_worked_example(shots=None, backend="exact", include_drawing=True)
+    assert small.circuit_drawing is not None
+    assert "q0" in small.circuit_drawing

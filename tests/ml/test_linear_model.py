@@ -1,0 +1,101 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear_model import LogisticRegression, _sigmoid
+
+
+def _separable(n=100, seed=0, gap=3.0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=(n // 2, 2))
+    x1 = rng.normal(size=(n // 2, 2)) + gap
+    x = np.vstack([x0, x1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+def test_sigmoid_stability():
+    assert _sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+    assert _sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+    assert _sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+def test_fits_separable_data_perfectly():
+    x, y = _separable(gap=6.0)
+    model = LogisticRegression().fit(x, y)
+    assert model.score(x, y) == 1.0
+
+
+def test_predict_proba_rows_sum_to_one():
+    x, y = _separable(60)
+    probs = LogisticRegression().fit(x, y).predict_proba(x)
+    assert probs.shape == (60, 2)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_decision_boundary_orientation():
+    x, y = _separable()
+    model = LogisticRegression().fit(x, y)
+    assert model.predict(np.array([[10.0, 10.0]]))[0] == 1
+    assert model.predict(np.array([[-10.0, -10.0]]))[0] == 0
+
+
+def test_string_labels_supported():
+    x, y_num = _separable(40)
+    y = np.where(y_num == 1, "faulty", "healthy")
+    model = LogisticRegression().fit(x, y)
+    prediction = model.predict(np.array([[5.0, 5.0]]))
+    assert prediction[0] == "faulty"
+
+
+def test_multiclass_one_vs_rest():
+    rng = np.random.default_rng(1)
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+    x = np.vstack([rng.normal(size=(30, 2)) + c for c in centers])
+    y = np.repeat([0, 1, 2], 30)
+    model = LogisticRegression().fit(x, y)
+    assert model.score(x, y) > 0.95
+    assert model.predict_proba(x).shape == (90, 3)
+
+
+def test_regularization_shrinks_coefficients():
+    x, y = _separable(80, gap=6.0)
+    weak = LogisticRegression(regularization=1e-6).fit(x, y)
+    strong = LogisticRegression(regularization=10.0).fit(x, y)
+    assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+
+def test_coefficients_finite_on_perfectly_separable_data():
+    x, y = _separable(50, gap=50.0)
+    model = LogisticRegression().fit(x, y)
+    assert np.all(np.isfinite(model.coef_))
+    assert np.all(np.isfinite(model.intercept_))
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        LogisticRegression(regularization=-1.0)
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.ones((5, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(np.ones((5, 2)), np.zeros(5))  # single class
+    with pytest.raises(RuntimeError):
+        LogisticRegression().predict(np.ones((2, 2)))
+
+
+def test_1d_features_accepted():
+    x = np.array([0.0, 1.0, 2.0, 10.0, 11.0, 12.0])
+    y = np.array([0, 0, 0, 1, 1, 1])
+    model = LogisticRegression().fit(x, y)
+    assert model.score(x, y) == 1.0
+
+
+def test_no_intercept_option():
+    # Classes symmetric about the origin so a through-the-origin boundary works.
+    x, y = _separable(60, gap=6.0)
+    x = x - 3.0
+    model = LogisticRegression(fit_intercept=False).fit(x, y)
+    assert np.allclose(model.intercept_, 0.0)
+    assert model.score(x, y) > 0.9

@@ -1,0 +1,59 @@
+"""Tests for classification/regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    recall_score,
+)
+
+
+def test_accuracy():
+    assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == pytest.approx(0.75)
+    assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+
+def test_mean_absolute_error():
+    assert mean_absolute_error([1.0, 2.0, 3.0], [1.5, 2.0, 2.0]) == pytest.approx(0.5)
+
+
+def test_mean_squared_error():
+    assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+
+def test_length_mismatch_and_empty_rejected():
+    with pytest.raises(ValueError):
+        accuracy_score([1, 2], [1])
+    with pytest.raises(ValueError):
+        accuracy_score([], [])
+
+
+def test_confusion_matrix():
+    matrix, classes = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+    assert list(classes) == [0, 1]
+    assert matrix.tolist() == [[1, 1], [1, 2]]
+    assert matrix.sum() == 5
+
+
+def test_precision_recall_f1():
+    y_true = [1, 1, 1, 0, 0, 0]
+    y_pred = [1, 1, 0, 1, 0, 0]
+    assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+    assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_degenerate_precision_recall():
+    assert precision_score([0, 0], [0, 0]) == 0.0
+    assert recall_score([0, 0], [1, 1]) == 0.0
+    assert f1_score([0, 0], [0, 0]) == 0.0
+
+
+def test_metrics_accept_numpy_arrays():
+    assert accuracy_score(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0

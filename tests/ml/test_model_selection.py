@@ -1,0 +1,86 @@
+"""Tests for dataset splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import KFold, cross_val_accuracy, train_test_split
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+def _toy_data(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] > 0).astype(int)
+    x[y == 1] += 3.0
+    return x, y
+
+
+def test_split_sizes_and_disjointness():
+    x, y = _toy_data(50)
+    x_train, x_test, y_train, y_test = train_test_split(x, y, test_size=0.2, seed=1)
+    assert len(x_train) + len(x_test) == 50
+    assert len(y_test) == len(x_test)
+    assert abs(len(x_test) - 10) <= 2  # stratification may shift by a sample
+
+
+def test_split_reproducible_with_seed():
+    x, y = _toy_data()
+    a = train_test_split(x, y, test_size=0.3, seed=7)
+    b = train_test_split(x, y, test_size=0.3, seed=7)
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[3], b[3])
+
+
+def test_stratified_split_preserves_class_balance():
+    x = np.arange(100.0)[:, None]
+    y = np.array([0] * 80 + [1] * 20)
+    _, _, y_train, y_test = train_test_split(x, y, test_size=0.25, seed=0, stratify=True)
+    assert np.isclose(np.mean(y_test), 0.2, atol=0.05)
+    assert np.isclose(np.mean(y_train), 0.2, atol=0.05)
+
+
+def test_unstratified_split():
+    x, y = _toy_data(30)
+    x_train, x_test, _, _ = train_test_split(x, y, test_size=0.5, seed=2, stratify=False)
+    assert len(x_train) == 15 and len(x_test) == 15
+
+
+def test_split_validation():
+    x, y = _toy_data(10)
+    with pytest.raises(ValueError):
+        train_test_split(x, y, test_size=0.0)
+    with pytest.raises(ValueError):
+        train_test_split(x, y[:5], test_size=0.2)
+    with pytest.raises(ValueError):
+        train_test_split(x[:1], y[:1], test_size=0.5)
+
+
+def test_paper_split_20_80():
+    """The Table 1 protocol: 20 % training, 80 % validation."""
+    x, y = _toy_data(255)
+    x_train, x_val, _, _ = train_test_split(x, y, test_size=0.8, seed=3)
+    assert abs(len(x_train) - 51) <= 2
+    assert abs(len(x_val) - 204) <= 2
+
+
+def test_kfold_covers_every_sample_once():
+    x, _ = _toy_data(23)
+    folds = list(KFold(n_splits=4, seed=0).split(x))
+    assert len(folds) == 4
+    all_test = np.concatenate([test for _, test in folds])
+    assert sorted(all_test.tolist()) == list(range(23))
+    for train, test in folds:
+        assert set(train).isdisjoint(test)
+
+
+def test_kfold_validation():
+    with pytest.raises(ValueError):
+        KFold(n_splits=1)
+    with pytest.raises(ValueError):
+        list(KFold(n_splits=10).split(np.zeros((5, 1))))
+
+
+def test_cross_val_accuracy_on_separable_data():
+    x, y = _toy_data(60)
+    score = cross_val_accuracy(lambda: KNeighborsClassifier(3), x, y, n_splits=4, seed=1)
+    assert score > 0.9

@@ -1,0 +1,60 @@
+"""Tests for the k-NN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.vstack([rng.normal(size=(25, 2)), rng.normal(size=(25, 2)) + 4.0])
+    y = np.array([0] * 25 + [1] * 25)
+    return x, y
+
+
+def test_memorises_training_data_with_one_neighbor():
+    x, y = _blobs()
+    model = KNeighborsClassifier(n_neighbors=1).fit(x, y)
+    assert model.score(x, y) == 1.0
+
+
+def test_majority_vote():
+    x = np.array([[0.0], [0.1], [0.2], [10.0]])
+    y = np.array([0, 0, 0, 1])
+    model = KNeighborsClassifier(n_neighbors=3).fit(x, y)
+    assert model.predict(np.array([[0.05]]))[0] == 0
+
+
+def test_predict_proba_frequencies():
+    x = np.array([[0.0], [0.1], [5.0], [5.1]])
+    y = np.array([0, 0, 1, 1])
+    model = KNeighborsClassifier(n_neighbors=4).fit(x, y)
+    probs = model.predict_proba(np.array([[2.5]]))
+    assert np.allclose(probs, [[0.5, 0.5]])
+
+
+def test_generalises_on_blobs():
+    x, y = _blobs()
+    holdout, holdout_y = _blobs(seed=5)
+    model = KNeighborsClassifier(n_neighbors=5).fit(x, y)
+    assert model.score(holdout, holdout_y) > 0.9
+
+
+def test_validation():
+    x, y = _blobs()
+    with pytest.raises(ValueError):
+        KNeighborsClassifier(n_neighbors=0)
+    with pytest.raises(ValueError):
+        KNeighborsClassifier(n_neighbors=100).fit(x, y)
+    with pytest.raises(ValueError):
+        KNeighborsClassifier().fit(x, y[:10])
+    with pytest.raises(RuntimeError):
+        KNeighborsClassifier().predict(x)
+
+
+def test_string_labels():
+    x = np.array([[0.0], [0.1], [5.0], [5.1]])
+    y = np.array(["a", "a", "b", "b"])
+    model = KNeighborsClassifier(n_neighbors=1).fit(x, y)
+    assert model.predict(np.array([[4.9]]))[0] == "b"

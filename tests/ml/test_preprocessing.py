@@ -1,0 +1,62 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+def test_standard_scaler_zero_mean_unit_variance(rng):
+    data = rng.normal(loc=5.0, scale=3.0, size=(200, 3))
+    scaled = StandardScaler().fit_transform(data)
+    assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+    assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+
+def test_standard_scaler_constant_column_untouched():
+    data = np.column_stack([np.ones(10), np.arange(10.0)])
+    scaled = StandardScaler().fit_transform(data)
+    assert np.allclose(scaled[:, 0], 0.0)
+    assert np.isfinite(scaled).all()
+
+
+def test_standard_scaler_inverse_roundtrip(rng):
+    data = rng.normal(size=(50, 2))
+    scaler = StandardScaler().fit(data)
+    assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+
+def test_standard_scaler_requires_fit():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(np.ones((3, 2)))
+
+
+def test_standard_scaler_feature_count_checked(rng):
+    scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+    with pytest.raises(ValueError):
+        scaler.transform(rng.normal(size=(10, 2)))
+
+
+def test_standard_scaler_1d_input():
+    scaled = StandardScaler().fit_transform(np.array([1.0, 2.0, 3.0]))
+    assert scaled.shape == (3, 1)
+
+
+def test_minmax_scaler_range(rng):
+    data = rng.normal(size=(100, 2)) * 7 + 3
+    scaled = MinMaxScaler().fit_transform(data)
+    assert scaled.min() == pytest.approx(0.0)
+    assert scaled.max() == pytest.approx(1.0)
+
+
+def test_minmax_scaler_custom_range(rng):
+    scaled = MinMaxScaler(feature_range=(-1, 1)).fit_transform(rng.normal(size=(50, 1)))
+    assert scaled.min() == pytest.approx(-1.0)
+    assert scaled.max() == pytest.approx(1.0)
+
+
+def test_minmax_scaler_validation():
+    with pytest.raises(ValueError):
+        MinMaxScaler(feature_range=(1, 0))
+    with pytest.raises(RuntimeError):
+        MinMaxScaler().transform(np.ones((2, 2)))

@@ -1,0 +1,80 @@
+"""Tests for the Pauli decomposition (Eq. 19 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.paulis.decompose import pauli_decompose, pauli_decompose_dense, pauli_reconstruct
+from repro.quantum.random_states import random_hermitian
+
+
+def test_single_qubit_known_decomposition():
+    matrix = np.array([[1.0, 2.0], [2.0, -1.0]])
+    s = pauli_decompose(matrix)
+    assert s.coefficient("Z") == pytest.approx(1.0)
+    assert s.coefficient("X") == pytest.approx(2.0)
+    assert s.coefficient("I") == pytest.approx(0.0)
+
+
+def test_roundtrip_two_qubits():
+    matrix = random_hermitian(2, seed=0)
+    assert np.allclose(pauli_reconstruct(pauli_decompose(matrix)), matrix)
+
+
+def test_fast_matches_dense_reference():
+    matrix = random_hermitian(3, seed=1)
+    assert pauli_decompose(matrix) == pauli_decompose_dense(matrix)
+
+
+def test_antisymmetric_y_handled():
+    # A matrix whose only Pauli component is Y (sign-sensitive check).
+    y = np.array([[0, -1j], [1j, 0]])
+    s = pauli_decompose(0.7 * y)
+    assert s.coefficient("Y") == pytest.approx(0.7)
+    assert s.num_terms == 1
+
+
+def test_non_power_of_two_rejected():
+    with pytest.raises(ValueError):
+        pauli_decompose(np.eye(3))
+
+
+def test_non_square_rejected():
+    with pytest.raises(ValueError):
+        pauli_decompose(np.zeros((2, 4)))
+
+
+def test_zero_matrix_gives_empty_sum_with_size():
+    s = pauli_decompose(np.zeros((4, 4)))
+    assert s.num_terms == 0
+    assert s.num_qubits == 2
+
+
+def test_identity_matrix():
+    s = pauli_decompose(np.eye(8))
+    assert s.num_terms == 1
+    assert s.coefficient("III") == pytest.approx(1.0)
+
+
+def test_complex_hermitian_roundtrip():
+    matrix = random_hermitian(3, seed=5)
+    assert np.allclose(pauli_decompose(matrix).to_matrix(), matrix, atol=1e-10)
+
+
+def test_appendix_equation_19_coefficients():
+    """The worked example's decomposition must match Eq. 19 term for term."""
+    from repro.core.hamiltonian import build_hamiltonian
+    from repro.experiments.worked_example import appendix_complex
+    from repro.tda.laplacian import combinatorial_laplacian
+
+    hamiltonian = build_hamiltonian(combinatorial_laplacian(appendix_complex(), 1), delta=6.0)
+    coeffs = {t.label: t.coefficient.real for t in hamiltonian.pauli_decomposition()}
+    expected = {
+        "XXI": -0.5, "YYI": -0.5, "ZIX": -0.5, "IXI": -0.25, "XIX": -0.25,
+        "XYY": -0.25, "XZX": -0.25, "YIY": -0.25, "YZY": -0.25, "ZXI": -0.25,
+        "IZI": -0.125, "IZZ": -0.125, "ZZZ": -0.125, "IIZ": 0.125, "ZII": 0.125,
+        "ZIZ": 0.125, "IXZ": 0.25, "XXX": 0.25, "YXY": 0.25, "YYX": 0.25,
+        "ZXZ": 0.25, "ZZI": 0.375, "IZX": 0.5, "III": 2.625,
+    }
+    assert len(coeffs) == len(expected)
+    for label, value in expected.items():
+        assert coeffs[label] == pytest.approx(value), label

@@ -1,0 +1,50 @@
+"""Tests for the Gershgorin circle bounds."""
+
+import numpy as np
+import pytest
+
+from repro.paulis.gershgorin import gershgorin_bound, gershgorin_intervals, gershgorin_lower_bound
+
+
+def test_bound_dominates_spectrum_of_symmetric_matrix():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(6, 6))
+    sym = (a + a.T) / 2
+    bound = gershgorin_bound(sym)
+    assert bound >= np.max(np.linalg.eigvalsh(sym)) - 1e-12
+
+
+def test_diagonal_matrix_bound_is_max_diagonal():
+    assert gershgorin_bound(np.diag([1.0, 5.0, 3.0])) == pytest.approx(5.0)
+
+
+def test_appendix_laplacian_bound_is_six():
+    """Eq. 18: λ̃_max = 6 for the worked example's Δ_1."""
+    from repro.experiments.worked_example import EXPECTED_LAPLACIAN
+
+    assert gershgorin_bound(EXPECTED_LAPLACIAN) == pytest.approx(6.0)
+
+
+def test_bound_clamped_at_zero():
+    assert gershgorin_bound(np.array([[-5.0]])) == 0.0
+
+
+def test_intervals_structure():
+    intervals = gershgorin_intervals(np.array([[2.0, 1.0], [1.0, -1.0]]))
+    assert intervals == [(1.0, 3.0), (-2.0, 0.0)]
+
+
+def test_lower_bound_below_spectrum():
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=(5, 5))
+    sym = (a + a.T) / 2
+    assert gershgorin_lower_bound(sym) <= np.min(np.linalg.eigvalsh(sym)) + 1e-12
+
+
+def test_empty_matrix():
+    assert gershgorin_bound(np.zeros((0, 0))) == 0.0
+
+
+def test_non_square_rejected():
+    with pytest.raises(ValueError):
+        gershgorin_bound(np.zeros((2, 3)))

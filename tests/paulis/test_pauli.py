@@ -1,0 +1,99 @@
+"""Tests for Pauli strings."""
+
+import numpy as np
+import pytest
+
+from repro.paulis.pauli import PAULI_MATRICES, PauliString
+
+
+def test_label_roundtrip():
+    assert PauliString("XYZ").label == "XYZ"
+    assert PauliString("ixz").label == "IXZ"
+
+
+def test_invalid_labels_rejected():
+    with pytest.raises(ValueError):
+        PauliString("AXB")
+    with pytest.raises(ValueError):
+        PauliString("")
+
+
+def test_identity_constructor():
+    ident = PauliString.identity(3)
+    assert ident.label == "III"
+    assert ident.is_identity
+
+
+def test_single_constructor():
+    assert PauliString.single(4, 2, "y").label == "IIYI"
+    with pytest.raises(ValueError):
+        PauliString.single(2, 5, "x")
+
+
+def test_weight_and_support():
+    p = PauliString("IXYI")
+    assert p.weight == 2
+    assert p.support() == (1, 2)
+
+
+def test_matrix_matches_kron():
+    p = PauliString("XZ")
+    expected = np.kron(PAULI_MATRICES["X"], PAULI_MATRICES["Z"])
+    assert np.allclose(p.to_matrix(), expected)
+
+
+def test_single_qubit_products():
+    x, y, z = PauliString("X"), PauliString("Y"), PauliString("Z")
+    assert x * y == PauliString("Z", 1j)
+    assert y * x == PauliString("Z", -1j)
+    assert z * z == PauliString("I")
+    assert (x * x).is_identity
+
+
+def test_multi_qubit_product_matches_matrices():
+    a = PauliString("XY")
+    b = PauliString("ZZ")
+    product = a * b
+    assert np.allclose(product.to_matrix(), a.to_matrix() @ b.to_matrix())
+
+
+def test_scalar_multiplication():
+    p = 2.0 * PauliString("X")
+    assert p.phase == 2.0
+    assert np.allclose(p.to_matrix(), 2.0 * PAULI_MATRICES["X"])
+
+
+def test_commutation_rules():
+    assert PauliString("XX").commutes_with(PauliString("ZZ"))  # two anticommuting factors
+    assert not PauliString("XI").commutes_with(PauliString("ZI"))
+    assert PauliString("XI").commutes_with(PauliString("IZ"))
+
+
+def test_mismatched_sizes_raise():
+    with pytest.raises(ValueError):
+        PauliString("XX") * PauliString("X")
+    with pytest.raises(ValueError):
+        PauliString("XX").commutes_with(PauliString("X"))
+
+
+def test_expectation_on_basis_state():
+    z = PauliString("Z")
+    up = np.array([1.0, 0.0])
+    down = np.array([0.0, 1.0])
+    assert z.expectation(up) == pytest.approx(1.0)
+    assert z.expectation(down) == pytest.approx(-1.0)
+
+
+def test_from_xz_roundtrip():
+    p = PauliString("XYZI")
+    q = PauliString.from_xz(p.x, p.z)
+    assert q.label == "XYZI"
+
+
+def test_hash_and_equality():
+    assert hash(PauliString("XZ")) == hash(PauliString("XZ"))
+    assert PauliString("XZ") != PauliString("XZ", -1)
+
+
+def test_neg_flips_phase():
+    assert (-PauliString("Y")).phase == -1.0

@@ -1,0 +1,78 @@
+"""Tests for PauliSum containers."""
+
+import numpy as np
+import pytest
+
+from repro.paulis.pauli_sum import PauliSum, PauliTerm
+
+
+def test_terms_merge_and_drop_small():
+    s = PauliSum([("XX", 0.5), ("XX", 0.25), ("ZZ", 1e-15)])
+    assert s.num_terms == 1
+    assert s.coefficient("XX") == pytest.approx(0.75)
+    assert s.coefficient("ZZ") == 0.0
+
+
+def test_mixed_register_sizes_rejected():
+    with pytest.raises(ValueError):
+        PauliSum([("X", 1.0), ("XX", 1.0)])
+
+
+def test_to_matrix_matches_manual_sum():
+    s = PauliSum({"XI": 0.5, "IZ": -0.25})
+    from repro.paulis.pauli import PauliString
+
+    expected = 0.5 * PauliString("XI").to_matrix() - 0.25 * PauliString("IZ").to_matrix()
+    assert np.allclose(s.to_matrix(), expected)
+
+
+def test_addition_and_subtraction():
+    a = PauliSum({"X": 1.0})
+    b = PauliSum({"X": 0.5, "Z": 2.0})
+    assert (a + b).coefficient("X") == pytest.approx(1.5)
+    assert (a - b).coefficient("Z") == pytest.approx(-2.0)
+
+
+def test_scalar_multiplication():
+    s = 3.0 * PauliSum({"Y": 0.5})
+    assert s.coefficient("Y") == pytest.approx(1.5)
+
+
+def test_is_hermitian_detects_complex_coefficients():
+    assert PauliSum({"XX": 1.0}).is_hermitian
+    assert not PauliSum({"XX": 1.0j}).is_hermitian
+
+
+def test_one_norm():
+    assert PauliSum({"X": -2.0, "Z": 1.5}).one_norm() == pytest.approx(3.5)
+
+
+def test_without_identity():
+    s = PauliSum({"II": 2.0, "XZ": 1.0})
+    trimmed = s.without_identity()
+    assert trimmed.coefficient("II") == 0.0
+    assert trimmed.coefficient("XZ") == 1.0
+    assert s.identity_coefficient() == pytest.approx(2.0)
+
+
+def test_terms_sorted_and_iterable():
+    s = PauliSum({"ZZ": 1.0, "XX": 2.0})
+    labels = [t.label for t in s]
+    assert labels == sorted(labels)
+    assert len(s) == 2
+
+
+def test_zero_sum_remembers_size():
+    z = PauliSum.zero(3)
+    assert z.num_qubits == 3
+    assert z.num_terms == 0
+
+
+def test_pauli_term_matrix():
+    term = PauliTerm("X", 2.0)
+    assert np.allclose(term.to_matrix(), 2.0 * np.array([[0, 1], [1, 0]]))
+
+
+def test_equality():
+    assert PauliSum({"X": 1.0, "Z": 0.0}) == PauliSum({"X": 1.0})
+    assert PauliSum({"X": 1.0}) != PauliSum({"X": 2.0})

@@ -1,0 +1,76 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import accuracy_score, mean_absolute_error
+from repro.ml.model_selection import train_test_split
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+dataset = st.tuples(
+    st.integers(min_value=6, max_value=60),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dataset)
+def test_standard_scaler_output_statistics(params):
+    n, d, seed = params
+    rng = np.random.default_rng(seed)
+    data = rng.normal(loc=rng.uniform(-5, 5), scale=rng.uniform(0.5, 4), size=(n, d))
+    scaled = StandardScaler().fit_transform(data)
+    assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-8)
+    stds = scaled.std(axis=0)
+    assert np.all((np.isclose(stds, 1.0, atol=1e-8)) | (np.isclose(stds, 0.0, atol=1e-8)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(dataset)
+def test_minmax_scaler_bounds(params):
+    n, d, seed = params
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d)) * 10
+    scaled = MinMaxScaler().fit_transform(data)
+    assert scaled.min() >= -1e-12
+    assert scaled.max() <= 1 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=10, max_value=80),
+    st.floats(min_value=0.15, max_value=0.85),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_train_test_split_partitions_data(n, test_size, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = rng.integers(0, 2, size=n)
+    if len(np.unique(y)) < 2:
+        y[0] = 0
+        y[1] = 1
+    x_train, x_test, y_train, y_test = train_test_split(x, y, test_size=test_size, seed=seed)
+    assert len(x_train) + len(x_test) == n
+    assert len(y_train) == len(x_train)
+    # Every original row appears exactly once across the two splits.
+    combined = np.vstack([x_train, x_test])
+    assert np.allclose(np.sort(combined, axis=0), np.sort(x, axis=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40))
+def test_accuracy_bounds_and_identity(labels):
+    arr = np.asarray(labels)
+    assert accuracy_score(arr, arr) == 1.0
+    flipped = 3 - arr
+    assert 0.0 <= accuracy_score(arr, flipped) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=30))
+def test_mae_is_translation_invariant(values):
+    arr = np.asarray(values)
+    assert mean_absolute_error(arr, arr) == 0.0
+    assert np.isclose(mean_absolute_error(arr, arr + 1.5), 1.5)

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the Pauli-algebra substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paulis.decompose import pauli_decompose
+from repro.paulis.gershgorin import gershgorin_bound, gershgorin_lower_bound
+from repro.paulis.pauli import PauliString
+from repro.paulis.pauli_sum import PauliSum
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=4)
+small_labels = st.text(alphabet="IXYZ", min_size=2, max_size=3)
+
+
+@given(pauli_labels)
+def test_pauli_square_is_identity_up_to_phase(label):
+    product = PauliString(label) * PauliString(label)
+    assert product.label == "I" * len(label)
+    assert np.isclose(abs(product.phase), 1.0)
+
+
+@given(small_labels, small_labels)
+def test_product_matches_matrix_product(label_a, label_b):
+    if len(label_a) != len(label_b):
+        label_b = (label_b * len(label_a))[: len(label_a)]
+    a, b = PauliString(label_a), PauliString(label_b)
+    assert np.allclose((a * b).to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-12)
+
+
+@given(small_labels, small_labels)
+def test_commutation_check_matches_matrices(label_a, label_b):
+    if len(label_a) != len(label_b):
+        label_b = (label_b * len(label_a))[: len(label_a)]
+    a, b = PauliString(label_a), PauliString(label_b)
+    commutator = a.to_matrix() @ b.to_matrix() - b.to_matrix() @ a.to_matrix()
+    assert a.commutes_with(b) == np.allclose(commutator, 0.0, atol=1e-12)
+
+
+@given(pauli_labels)
+def test_pauli_matrices_are_trace_orthogonal_to_identity(label):
+    matrix = PauliString(label).to_matrix()
+    trace = np.trace(matrix)
+    if label.strip("I"):
+        assert np.isclose(trace, 0.0)
+    else:
+        assert np.isclose(trace, 2 ** len(label))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=2**31 - 1))
+def test_decomposition_roundtrip_random_hermitian(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    dim = 2**num_qubits
+    a = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    hermitian = (a + a.conj().T) / 2
+    decomposition = pauli_decompose(hermitian)
+    assert np.allclose(decomposition.to_matrix(), hermitian, atol=1e-9)
+    # Hermitian matrices have real Pauli coefficients.
+    assert decomposition.is_hermitian
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2**31 - 1))
+def test_gershgorin_brackets_spectrum(dim, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(dim, dim))
+    symmetric = (a + a.T) / 2
+    eigenvalues = np.linalg.eigvalsh(symmetric)
+    assert gershgorin_bound(symmetric) >= eigenvalues.max() - 1e-9
+    assert gershgorin_lower_bound(symmetric) <= eigenvalues.min() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.text(alphabet="IXYZ", min_size=2, max_size=2), st.floats(-3, 3, allow_nan=False)),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_pauli_sum_matrix_linearity(terms):
+    total = PauliSum(terms)
+    manual = np.zeros((4, 4), dtype=complex)
+    for label, coeff in terms:
+        manual += coeff * PauliString(label).to_matrix()
+    if total.num_terms == 0:
+        assert np.allclose(manual, 0.0, atol=1e-9)
+    else:
+        assert np.allclose(total.to_matrix(), manual, atol=1e-9)

@@ -1,0 +1,78 @@
+"""Property-based tests for the quantum simulators and QPE kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrixSimulator
+from repro.quantum.qpe import qpe_probability_kernel
+from repro.quantum.statevector import StatevectorSimulator
+from repro.quantum.random_states import random_statevector
+
+
+def _random_circuit(num_qubits, rng, depth=6):
+    circ = QuantumCircuit(num_qubits)
+    for _ in range(depth):
+        q = int(rng.integers(0, num_qubits))
+        choice = rng.integers(0, 4)
+        if choice == 0:
+            circ.h(q)
+        elif choice == 1:
+            circ.rz(float(rng.normal()), q)
+        elif choice == 2:
+            circ.rx(float(rng.normal()), q)
+        elif num_qubits > 1:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circ.cnot(int(a), int(b))
+    return circ
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=2**31 - 1))
+def test_statevector_norm_preserved(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    circ = _random_circuit(num_qubits, rng)
+    initial = random_statevector(num_qubits, seed=rng)
+    final = StatevectorSimulator().run(circ, initial_state=initial)
+    assert np.isclose(final.norm(), 1.0, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=2), st.integers(min_value=0, max_value=2**31 - 1))
+def test_density_matrix_agrees_with_statevector(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    circ = _random_circuit(num_qubits, rng)
+    sv = StatevectorSimulator().run(circ)
+    dm = DensityMatrixSimulator().run(circ)
+    assert np.allclose(dm.matrix, sv.density_matrix(), atol=1e-9)
+    assert dm.is_valid()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=2**31 - 1))
+def test_circuit_composed_with_inverse_is_identity(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    circ = _random_circuit(num_qubits, rng)
+    unitary = circ.to_unitary()
+    inverse = circ.inverse().to_unitary()
+    assert np.allclose(inverse @ unitary, np.eye(2**num_qubits), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False), st.integers(min_value=1, max_value=6))
+def test_qpe_kernel_is_a_distribution(theta, precision):
+    kernel = qpe_probability_kernel(theta, precision)
+    assert kernel.shape == (2**precision,)
+    assert np.all(kernel >= -1e-12)
+    assert np.isclose(kernel.sum(), 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False), st.integers(min_value=2, max_value=6))
+def test_qpe_kernel_peaks_at_nearest_grid_point(theta, precision):
+    kernel = qpe_probability_kernel(theta, precision)
+    dim = 2**precision
+    nearest = int(np.round(theta * dim)) % dim
+    # The nearest grid point always carries the largest single probability.
+    assert kernel[nearest] == np.max(kernel) or np.isclose(kernel[nearest], np.max(kernel), atol=1e-9)

@@ -1,0 +1,84 @@
+"""Property-based tests for the TDA substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hamiltonian import build_hamiltonian
+from repro.core.padding import pad_laplacian
+from repro.tda.betti import betti_numbers, euler_characteristic
+from repro.tda.boundary import boundary_matrix
+from repro.tda.homology import betti_numbers_gf2
+from repro.tda.laplacian import combinatorial_laplacian
+from repro.tda.random_complexes import random_simplicial_complex
+
+complex_params = st.tuples(
+    st.integers(min_value=3, max_value=9),      # number of vertices
+    st.floats(min_value=0.1, max_value=0.9),    # edge probability
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(complex_params)
+def test_boundary_squared_is_zero(params):
+    n, p, seed = params
+    complex_ = random_simplicial_complex(n, edge_probability=p, seed=seed, ensure_nontrivial=False)
+    for k in range(1, complex_.dimension + 1):
+        d_k = boundary_matrix(complex_, k)
+        d_k1 = boundary_matrix(complex_, k + 1)
+        if d_k.size and d_k1.size:
+            assert np.allclose(d_k @ d_k1, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(complex_params)
+def test_euler_poincare_identity(params):
+    n, p, seed = params
+    complex_ = random_simplicial_complex(n, edge_probability=p, seed=seed, ensure_nontrivial=False)
+    numbers = betti_numbers(complex_)
+    assert euler_characteristic(complex_) == sum((-1) ** k * b for k, b in enumerate(numbers))
+
+
+@settings(max_examples=20, deadline=None)
+@given(complex_params)
+def test_betti_methods_agree(params):
+    n, p, seed = params
+    complex_ = random_simplicial_complex(n, edge_probability=p, seed=seed, ensure_nontrivial=False)
+    rank_betti = betti_numbers(complex_, method="rank")
+    laplacian_betti = betti_numbers(complex_, method="laplacian")
+    gf2_betti = betti_numbers_gf2(complex_)
+    assert rank_betti == laplacian_betti == gf2_betti
+
+
+@settings(max_examples=20, deadline=None)
+@given(complex_params)
+def test_laplacian_is_psd_and_padding_preserves_kernel(params):
+    n, p, seed = params
+    complex_ = random_simplicial_complex(n, edge_probability=p, seed=seed)
+    k = 1
+    if complex_.num_simplices(k) == 0:
+        return
+    laplacian = combinatorial_laplacian(complex_, k)
+    eigenvalues = np.linalg.eigvalsh(laplacian)
+    assert eigenvalues.min() >= -1e-8
+    padded = pad_laplacian(laplacian)
+    padded_zeros = int(np.count_nonzero(np.abs(np.linalg.eigvalsh(padded.matrix)) < 1e-8))
+    true_zeros = int(np.count_nonzero(np.abs(eigenvalues) < 1e-8))
+    if padded.lambda_max > 0:
+        assert padded_zeros == true_zeros
+
+
+@settings(max_examples=15, deadline=None)
+@given(complex_params)
+def test_exact_infinite_precision_limit_recovers_betti(params):
+    """With enough precision qubits the exact-backend estimate converges on β_k."""
+    n, p, seed = params
+    complex_ = random_simplicial_complex(n, edge_probability=p, seed=seed)
+    k = 1
+    if complex_.num_simplices(k) == 0:
+        return
+    laplacian = combinatorial_laplacian(complex_, k)
+    hamiltonian = build_hamiltonian(laplacian)
+    betti = betti_numbers(complex_)[k] if k < len(betti_numbers(complex_)) else 0
+    assert hamiltonian.zero_eigenvalue_count() == betti

@@ -1,0 +1,117 @@
+"""Tests for the QuantumCircuit builder."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates as g
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Barrier, Gate, Measurement
+
+
+def test_builder_chaining_and_counts():
+    circ = QuantumCircuit(2).h(0).cnot(0, 1).rz(0.3, 1)
+    assert circ.num_gates == 3
+    assert circ.count_ops() == {"H": 1, "CNOT": 1, "RZ": 1}
+
+
+def test_qubit_range_validated():
+    circ = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        circ.h(2)
+    with pytest.raises(ValueError):
+        circ.cnot(0, 5)
+
+
+def test_depth_computation():
+    circ = QuantumCircuit(3).h(0).h(1).h(2)
+    assert circ.depth() == 1
+    circ.cnot(0, 1)
+    assert circ.depth() == 2
+    circ.x(2)
+    assert circ.depth() == 2
+
+
+def test_unitary_gate_shape_validated():
+    circ = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        circ.unitary(np.eye(4), [0], name="bad")
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(ValueError):
+        Gate("bad", (0, 0), np.eye(4))
+
+
+def test_to_unitary_bell_circuit():
+    circ = QuantumCircuit(2).h(0).cnot(0, 1)
+    u = circ.to_unitary()
+    bell = u @ np.array([1, 0, 0, 0])
+    assert np.allclose(bell, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+
+def test_inverse_circuit_is_adjoint():
+    circ = QuantumCircuit(2).h(0).cnot(0, 1).rz(0.7, 1).s(0)
+    product = circ.inverse().to_unitary() @ circ.to_unitary()
+    assert np.allclose(product, np.eye(4), atol=1e-10)
+
+
+def test_compose_with_mapping():
+    inner = QuantumCircuit(1).x(0)
+    outer = QuantumCircuit(3)
+    outer.compose(inner, qubits=[2])
+    assert outer.gates[0].qubits == (2,)
+
+
+def test_compose_size_validation():
+    small = QuantumCircuit(1)
+    big = QuantumCircuit(3).h(0)
+    with pytest.raises(ValueError):
+        small.compose(big)
+    with pytest.raises(ValueError):
+        QuantumCircuit(3).compose(QuantumCircuit(2).h(0), qubits=[0])
+
+
+def test_measure_and_measured_qubits():
+    circ = QuantumCircuit(3).h(0).measure([0, 2])
+    assert circ.measured_qubits == (0, 2)
+    assert any(isinstance(op, Measurement) for op in circ.instructions)
+
+
+def test_barrier_does_not_affect_unitary():
+    a = QuantumCircuit(1).h(0)
+    b = QuantumCircuit(1).h(0).barrier()
+    assert np.allclose(a.to_unitary(), b.to_unitary())
+    assert any(isinstance(op, Barrier) for op in b.instructions)
+
+
+def test_controlled_unitary_builder():
+    circ = QuantumCircuit(2).controlled_unitary(g.PAULI_X, [0], [1])
+    assert np.allclose(circ.to_unitary(), g.CNOT)
+
+
+def test_global_phase_gate():
+    circ = QuantumCircuit(1).global_phase(np.pi / 2)
+    assert np.allclose(circ.to_unitary(), 1j * np.eye(2))
+
+
+def test_copy_is_independent():
+    original = QuantumCircuit(1).h(0)
+    clone = original.copy()
+    clone.x(0)
+    assert original.num_gates == 1
+    assert clone.num_gates == 2
+
+
+def test_gate_dagger_and_remap():
+    gate = Gate("RZ", (0,), g.rz(0.4), params=(0.4,))
+    dag = gate.dagger()
+    assert np.allclose(dag.matrix, g.rz(-0.4))
+    remapped = gate.remapped([3])
+    assert remapped.qubits == (3,)
+
+
+def test_swap_and_ccx_builders():
+    swap_u = QuantumCircuit(2).swap(0, 1).to_unitary()
+    assert np.allclose(swap_u, g.SWAP)
+    ccx_u = QuantumCircuit(3).ccx(0, 1, 2).to_unitary()
+    assert np.allclose(ccx_u, g.TOFFOLI)

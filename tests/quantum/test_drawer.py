@@ -1,0 +1,39 @@
+"""Tests for the ASCII circuit drawer."""
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.drawer import circuit_summary, draw_circuit
+
+
+def test_draw_contains_all_wires_and_gates():
+    circ = QuantumCircuit(3).h(0).cnot(0, 1).rz(0.5, 2).measure()
+    text = draw_circuit(circ)
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "[H]" in text
+    assert "●" in text and "⊕" in text
+    assert "[M]" in text
+
+
+def test_draw_wraps_long_circuits():
+    circ = QuantumCircuit(2)
+    for _ in range(60):
+        circ.h(0).cnot(0, 1)
+    text = draw_circuit(circ, max_width=80)
+    assert all(len(line) <= 80 for line in text.splitlines())
+    assert "…" in text
+
+
+def test_barrier_rendered():
+    circ = QuantumCircuit(2).h(0).barrier()
+    assert "║" in draw_circuit(circ)
+
+
+def test_summary_mentions_counts():
+    circ = QuantumCircuit(2).h(0).cnot(0, 1)
+    text = circuit_summary(circ)
+    assert "2 qubits" in text
+    assert "H×1" in text and "CNOT×1" in text
+
+
+def test_empty_circuit():
+    assert draw_circuit(QuantumCircuit(1)) == "q0: "

@@ -1,0 +1,81 @@
+"""Tests for the gate library."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.quantum import gates as g
+
+
+@pytest.mark.parametrize(
+    "matrix",
+    [g.PAULI_X, g.PAULI_Y, g.PAULI_Z, g.HADAMARD, g.S_GATE, g.T_GATE, g.CNOT, g.CZ, g.SWAP, g.TOFFOLI],
+)
+def test_fixed_gates_are_unitary(matrix):
+    assert g.is_unitary(matrix)
+
+
+@pytest.mark.parametrize("theta", [-1.3, 0.0, 0.5, np.pi, 2.2])
+def test_rotations_match_exponentials(theta):
+    assert np.allclose(g.rx(theta), expm(-1j * theta * g.PAULI_X / 2))
+    assert np.allclose(g.ry(theta), expm(-1j * theta * g.PAULI_Y / 2))
+    assert np.allclose(g.rz(theta), expm(-1j * theta * g.PAULI_Z / 2))
+
+
+def test_hadamard_squares_to_identity():
+    assert np.allclose(g.HADAMARD @ g.HADAMARD, np.eye(2))
+
+
+def test_s_is_sqrt_z_and_t_is_sqrt_s():
+    assert np.allclose(g.S_GATE @ g.S_GATE, g.PAULI_Z)
+    assert np.allclose(g.T_GATE @ g.T_GATE, g.S_GATE)
+
+
+def test_phase_shift_vs_rz_global_phase():
+    phi = 0.7
+    # P(φ) = e^{iφ/2} RZ(φ)
+    assert np.allclose(g.phase_shift(phi), np.exp(1j * phi / 2) * g.rz(phi))
+
+
+def test_u3_special_cases():
+    assert np.allclose(g.u3(np.pi / 2, 0.0, np.pi), g.HADAMARD)
+    assert np.allclose(g.u3(0.0, 0.0, 0.0), np.eye(2))
+
+
+def test_controlled_single_control():
+    cx = g.controlled(g.PAULI_X)
+    assert np.allclose(cx, g.CNOT)
+    cz = g.controlled(g.PAULI_Z)
+    assert np.allclose(cz, g.CZ)
+
+
+def test_controlled_two_controls_is_toffoli():
+    assert np.allclose(g.controlled(g.PAULI_X, num_controls=2), g.TOFFOLI)
+
+
+def test_controlled_validation():
+    with pytest.raises(ValueError):
+        g.controlled(np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        g.controlled(g.PAULI_X, num_controls=0)
+
+
+def test_cphase_diagonal():
+    assert np.allclose(g.cphase(np.pi), np.diag([1, 1, 1, -1]))
+
+
+def test_matrix_power_unitary():
+    u = g.rx(0.3)
+    assert np.allclose(g.matrix_power_unitary(u, 5), np.linalg.matrix_power(u, 5))
+    assert np.allclose(g.matrix_power_unitary(u, 0), np.eye(2))
+    with pytest.raises(ValueError):
+        g.matrix_power_unitary(u, -1)
+
+
+def test_is_unitary_rejects_non_unitary():
+    assert not g.is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))
+    assert not g.is_unitary(np.zeros((2, 3)))
+
+
+def test_global_phase():
+    assert np.allclose(g.global_phase(np.pi, 1), -np.eye(2))

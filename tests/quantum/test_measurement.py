@@ -1,0 +1,84 @@
+"""Tests for measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.measurement import (
+    born_probabilities,
+    counts_to_probabilities,
+    marginal_probabilities,
+    outcome_probability,
+    sample_counts,
+)
+
+
+def test_born_probabilities_normalised():
+    probs = born_probabilities(np.array([1.0, 1.0j]))
+    assert np.allclose(probs, [0.5, 0.5])
+
+
+def test_born_probabilities_zero_state_rejected():
+    with pytest.raises(ValueError):
+        born_probabilities(np.zeros(4))
+
+
+def test_marginal_over_single_qubit():
+    # State |10> on 2 qubits: full distribution [0, 0, 1, 0].
+    full = np.array([0.0, 0.0, 1.0, 0.0])
+    assert np.allclose(marginal_probabilities(full, 2, [0]), [0, 1])
+    assert np.allclose(marginal_probabilities(full, 2, [1]), [1, 0])
+
+
+def test_marginal_reorders_qubits():
+    full = np.array([0.0, 1.0, 0.0, 0.0])  # |01>
+    assert np.allclose(marginal_probabilities(full, 2, [1, 0]), [0, 0, 1, 0])
+
+
+def test_marginal_validates_inputs():
+    with pytest.raises(ValueError):
+        marginal_probabilities(np.ones(4) / 4, 2, [0, 0])
+    with pytest.raises(ValueError):
+        marginal_probabilities(np.ones(4) / 4, 2, [3])
+
+
+def test_sample_counts_total_and_keys():
+    counts = sample_counts([0.25, 0.75], shots=1000, num_bits=1, seed=0)
+    assert sum(counts.values()) == 1000
+    assert set(counts) <= {"0", "1"}
+
+
+def test_sample_counts_deterministic_distribution():
+    counts = sample_counts([0.0, 1.0], shots=10, num_bits=1, seed=0)
+    assert counts == {"1": 10}
+
+
+def test_sample_counts_reproducible_with_seed():
+    a = sample_counts([0.3, 0.7], 500, num_bits=1, seed=9)
+    b = sample_counts([0.3, 0.7], 500, num_bits=1, seed=9)
+    assert a == b
+
+
+def test_sample_counts_validation():
+    with pytest.raises(ValueError):
+        sample_counts([-0.1, 1.1], 10)
+    with pytest.raises(ValueError):
+        sample_counts([0.0, 0.0], 10)
+    with pytest.raises(ValueError):
+        sample_counts([0.5, 0.5], 0)
+
+
+def test_counts_to_probabilities_roundtrip():
+    probs = counts_to_probabilities({"00": 25, "11": 75}, num_bits=2)
+    assert np.allclose(probs, [0.25, 0, 0, 0.75])
+
+
+def test_counts_to_probabilities_validation():
+    with pytest.raises(ValueError):
+        counts_to_probabilities({})
+    with pytest.raises(ValueError):
+        counts_to_probabilities({"0": 1, "11": 1}, num_bits=2)
+
+
+def test_outcome_probability():
+    assert outcome_probability({"00": 30, "01": 70}, "00") == pytest.approx(0.3)
+    assert outcome_probability({"00": 30, "01": 70}, "11") == 0.0

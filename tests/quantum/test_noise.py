@@ -1,0 +1,84 @@
+"""Tests for noise channels and the per-gate noise model."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrixSimulator
+from repro.quantum.noise import (
+    NoiseModel,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    is_trace_preserving,
+    phase_flip_kraus,
+)
+
+
+@pytest.mark.parametrize(
+    "factory,param",
+    [
+        (bit_flip_kraus, 0.1),
+        (phase_flip_kraus, 0.3),
+        (depolarizing_kraus, 0.2),
+        (amplitude_damping_kraus, 0.4),
+    ],
+)
+def test_channels_are_trace_preserving(factory, param):
+    assert is_trace_preserving(factory(param))
+
+
+def test_probability_validation():
+    with pytest.raises(ValueError):
+        depolarizing_kraus(1.5)
+    with pytest.raises(ValueError):
+        bit_flip_kraus(-0.1)
+
+
+def test_zero_strength_channels_are_identity():
+    ops = depolarizing_kraus(0.0)
+    assert len(ops) == 4
+    assert np.allclose(ops[0], np.eye(2))
+    assert all(np.allclose(k, 0) for k in ops[1:])
+
+
+def test_full_depolarizing_gives_maximally_mixed():
+    sim = DensityMatrixSimulator(noise_model=NoiseModel.depolarizing(1.0))
+    rho = sim.run(QuantumCircuit(1).x(0))
+    # p=1 depolarising twirl leaves (ρ + XρX + YρY + ZρZ)/3... not exactly I/2,
+    # but for a basis state it is 2/3 mixed; just check purity dropped substantially.
+    assert rho.purity() < 0.7
+
+
+def test_amplitude_damping_decays_excited_state():
+    sim = DensityMatrixSimulator(noise_model=NoiseModel.amplitude_damping(0.6))
+    rho = sim.run(QuantumCircuit(1).x(0))
+    assert rho.matrix[1, 1].real == pytest.approx(0.4, abs=1e-9)
+
+
+def test_gate_filter():
+    model = NoiseModel.depolarizing(0.5, gate_filter=["CNOT"])
+    sim = DensityMatrixSimulator(noise_model=model)
+    rho = sim.run(QuantumCircuit(1).x(0))  # X is not in the filter -> noiseless
+    assert rho.purity() == pytest.approx(1.0)
+
+
+def test_noise_model_validation():
+    with pytest.raises(ValueError):
+        NoiseModel([np.eye(2) * 0.5])  # not trace preserving
+    with pytest.raises(ValueError):
+        NoiseModel([np.eye(4)])  # wrong dimension
+
+
+def test_describe():
+    model = NoiseModel.bit_flip(0.1)
+    info = model.describe()
+    assert info["num_kraus"] == 2
+    assert info["gate_filter"] == "all"
+
+
+def test_noisy_bell_state_stays_valid_density_matrix():
+    sim = DensityMatrixSimulator(noise_model=NoiseModel.depolarizing(0.05))
+    rho = sim.run(QuantumCircuit(2).h(0).cnot(0, 1))
+    assert rho.is_valid()
+    assert rho.purity() < 1.0

@@ -1,0 +1,44 @@
+"""Tests for the QFT circuits."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.qft import inverse_qft_circuit, qft_circuit, qft_matrix
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_qft_circuit_matches_dft_matrix(n):
+    assert np.allclose(qft_circuit(n).to_unitary(), qft_matrix(n), atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_inverse_qft_is_adjoint(n):
+    qft = qft_circuit(n).to_unitary()
+    inv = inverse_qft_circuit(n).to_unitary()
+    assert np.allclose(inv @ qft, np.eye(2**n), atol=1e-10)
+
+
+def test_qft_on_zero_state_is_uniform():
+    state = qft_circuit(3).to_unitary()[:, 0]
+    assert np.allclose(np.abs(state) ** 2, np.full(8, 1 / 8))
+
+
+def test_qft_matrix_is_unitary():
+    m = qft_matrix(3)
+    assert np.allclose(m @ m.conj().T, np.eye(8), atol=1e-12)
+
+
+def test_qft_without_swaps_is_bit_reversed():
+    n = 3
+    no_swaps = qft_circuit(n, do_swaps=False).to_unitary()
+    full = qft_matrix(n)
+    # Re-ordering the output bits (bit reversal) should recover the full QFT.
+    perm = [int(format(i, f"0{n}b")[::-1], 2) for i in range(2**n)]
+    assert np.allclose(no_swaps[perm, :], full, atol=1e-10)
+
+
+def test_gate_count_scales_quadratically():
+    # n Hadamards + n(n-1)/2 controlled phases + floor(n/2) swaps.
+    n = 4
+    circ = qft_circuit(n)
+    assert circ.num_gates == n + n * (n - 1) // 2 + n // 2

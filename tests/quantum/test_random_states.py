@@ -1,0 +1,43 @@
+"""Tests for random quantum-object generators."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.random_states import (
+    random_density_matrix,
+    random_hermitian,
+    random_statevector,
+    random_unitary,
+)
+
+
+def test_random_statevector_normalised_and_reproducible():
+    a = random_statevector(3, seed=1)
+    b = random_statevector(3, seed=1)
+    assert a.norm() == pytest.approx(1.0)
+    assert np.allclose(a.amplitudes, b.amplitudes)
+
+
+def test_random_unitary_is_unitary():
+    u = random_unitary(2, seed=2)
+    assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-10)
+
+
+def test_random_hermitian_is_hermitian():
+    h = random_hermitian(2, seed=3)
+    assert np.allclose(h, h.conj().T)
+
+
+def test_random_density_matrix_valid():
+    rho = random_density_matrix(2, seed=4)
+    assert np.trace(rho) == pytest.approx(1.0)
+    assert np.all(np.linalg.eigvalsh(rho) > -1e-10)
+
+
+def test_random_density_matrix_rank_control():
+    rho = random_density_matrix(2, rank=1, seed=5)
+    eigs = np.sort(np.linalg.eigvalsh(rho))[::-1]
+    assert eigs[0] == pytest.approx(1.0)
+    assert np.allclose(eigs[1:], 0.0, atol=1e-10)
+    with pytest.raises(ValueError):
+        random_density_matrix(2, rank=9)

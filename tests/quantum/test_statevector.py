@@ -1,0 +1,118 @@
+"""Tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates as g
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import Statevector, StatevectorSimulator, apply_gate_to_statevector
+
+
+def test_zero_and_basis_states():
+    assert np.allclose(Statevector.zero_state(2).amplitudes, [1, 0, 0, 0])
+    assert np.allclose(Statevector.basis_state(2, 3).amplitudes, [0, 0, 0, 1])
+
+
+def test_invalid_length_rejected():
+    with pytest.raises(ValueError):
+        Statevector(np.ones(3))
+
+
+def test_x_on_most_significant_qubit():
+    """Qubit 0 is the most significant bit of the basis label."""
+    sim = StatevectorSimulator()
+    state = sim.run(QuantumCircuit(2).x(0))
+    assert np.allclose(state.amplitudes, [0, 0, 1, 0])  # |10>
+
+
+def test_x_on_least_significant_qubit():
+    sim = StatevectorSimulator()
+    state = sim.run(QuantumCircuit(2).x(1))
+    assert np.allclose(state.amplitudes, [0, 1, 0, 0])  # |01>
+
+
+def test_bell_state_probabilities():
+    sim = StatevectorSimulator()
+    state = sim.run(QuantumCircuit(2).h(0).cnot(0, 1))
+    assert np.allclose(state.probabilities(), [0.5, 0, 0, 0.5])
+
+
+def test_ghz_state():
+    circ = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2)
+    probs = StatevectorSimulator().run(circ).probabilities()
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[-1] == pytest.approx(0.5)
+
+
+def test_norm_preserved_by_random_circuit(rng):
+    circ = QuantumCircuit(3)
+    for _ in range(10):
+        q = int(rng.integers(0, 3))
+        circ.rx(float(rng.normal()), q).rz(float(rng.normal()), q)
+        a, b = rng.choice(3, size=2, replace=False)
+        circ.cnot(int(a), int(b))
+    state = StatevectorSimulator().run(circ)
+    assert state.norm() == pytest.approx(1.0)
+
+
+def test_initial_state_respected():
+    sim = StatevectorSimulator()
+    init = Statevector.basis_state(1, 1)
+    state = sim.run(QuantumCircuit(1).x(0), initial_state=init)
+    assert np.allclose(state.amplitudes, [1, 0])
+
+
+def test_initial_state_dimension_checked():
+    with pytest.raises(ValueError):
+        StatevectorSimulator().run(QuantumCircuit(2).h(0), initial_state=np.ones(2))
+
+
+def test_marginal_probabilities_order():
+    # |10>: qubit0 = 1, qubit1 = 0.
+    state = Statevector.basis_state(2, 2)
+    assert np.allclose(state.marginal_probabilities([0]), [0, 1])
+    assert np.allclose(state.marginal_probabilities([1]), [1, 0])
+    assert np.allclose(state.marginal_probabilities([1, 0]), [0, 1, 0, 0])
+
+
+def test_sampling_statistics():
+    state = StatevectorSimulator().run(QuantumCircuit(1).h(0))
+    counts = state.sample(10_000, seed=5)
+    assert set(counts) <= {"0", "1"}
+    assert abs(counts.get("0", 0) / 10_000 - 0.5) < 0.05
+
+
+def test_sample_uses_measured_register():
+    circ = QuantumCircuit(2).h(0).measure([1])
+    counts = StatevectorSimulator().sample(circ, shots=100, seed=0)
+    assert set(counts) == {"0"}
+
+
+def test_expectation_and_fidelity():
+    plus = StatevectorSimulator().run(QuantumCircuit(1).h(0))
+    assert plus.expectation(g.PAULI_X) == pytest.approx(1.0)
+    assert plus.fidelity(Statevector.zero_state(1)) == pytest.approx(0.5)
+
+
+def test_apply_gate_to_statevector_matches_dense_kron():
+    rng = np.random.default_rng(7)
+    psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+    psi /= np.linalg.norm(psi)
+    # Apply CNOT on qubits (2, 0): control qubit 2, target qubit 0.
+    result = apply_gate_to_statevector(psi, g.CNOT, [2, 0], 3)
+    # Build the equivalent dense operator via a circuit.
+    dense = QuantumCircuit(3).cnot(2, 0).to_unitary()
+    assert np.allclose(result, dense @ psi)
+
+
+def test_validate_unitaries_flag():
+    circ = QuantumCircuit(1)
+    circ.unitary(np.array([[1.0, 1.0], [0.0, 1.0]]), [0], name="bad")
+    StatevectorSimulator(validate_unitaries=False).run(circ)
+    with pytest.raises(ValueError):
+        StatevectorSimulator(validate_unitaries=True).run(circ)
+
+
+def test_density_matrix_of_pure_state():
+    state = Statevector.basis_state(1, 1)
+    assert np.allclose(state.density_matrix(), [[0, 0], [0, 1]])

@@ -1,0 +1,83 @@
+"""Tests for Pauli-evolution (Trotter) circuit synthesis — the Fig. 7 construction."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.paulis.pauli import PauliString
+from repro.paulis.pauli_sum import PauliSum
+from repro.quantum.trotter import (
+    exact_evolution_unitary,
+    pauli_evolution_circuit,
+    pauli_string_evolution_circuit,
+    trotter_unitary_error,
+)
+
+
+@pytest.mark.parametrize("label", ["Z", "X", "Y", "ZZ", "XY", "YX", "XYZ", "IZI", "YIY"])
+def test_single_string_evolution_is_exact(label):
+    angle = 0.731
+    circ = pauli_string_evolution_circuit(label, angle)
+    expected = expm(1j * angle * PauliString(label).to_matrix())
+    assert np.allclose(circ.to_unitary(), expected, atol=1e-10)
+
+
+def test_identity_string_gives_global_phase():
+    circ = pauli_string_evolution_circuit("II", 0.5)
+    assert np.allclose(circ.to_unitary(), np.exp(0.5j) * np.eye(4), atol=1e-12)
+
+
+def test_label_length_validation():
+    with pytest.raises(ValueError):
+        pauli_string_evolution_circuit("XZ", 0.1, num_qubits=3)
+
+
+def test_commuting_terms_single_step_exact():
+    hamiltonian = PauliSum({"ZI": 0.4, "IZ": -0.9, "ZZ": 0.2})
+    circ = pauli_evolution_circuit(hamiltonian, trotter_steps=1)
+    assert np.allclose(circ.to_unitary(), exact_evolution_unitary(hamiltonian), atol=1e-10)
+
+
+def test_error_decreases_with_steps():
+    hamiltonian = PauliSum({"XX": 0.7, "ZI": 0.5, "IY": -0.3})
+    errors = [trotter_unitary_error(hamiltonian, trotter_steps=s) for s in (1, 2, 4, 8)]
+    assert errors[0] > errors[-1]
+    assert all(errors[i] >= errors[i + 1] - 1e-12 for i in range(len(errors) - 1))
+
+
+def test_second_order_beats_first_order():
+    hamiltonian = PauliSum({"XX": 0.7, "ZI": 0.5, "IY": -0.3})
+    first = trotter_unitary_error(hamiltonian, trotter_steps=2, order=1)
+    second = trotter_unitary_error(hamiltonian, trotter_steps=2, order=2)
+    assert second < first
+
+
+def test_time_parameter():
+    hamiltonian = PauliSum({"Z": 1.3})
+    circ = pauli_evolution_circuit(hamiltonian, time=0.5)
+    assert np.allclose(circ.to_unitary(), expm(0.5j * 1.3 * PauliString("Z").to_matrix()), atol=1e-10)
+
+
+def test_identity_term_preserved_as_phase():
+    """The identity coefficient must appear as a global phase (it matters inside controlled-U)."""
+    hamiltonian = PauliSum({"II": 1.1, "ZZ": 0.3})
+    circ = pauli_evolution_circuit(hamiltonian, trotter_steps=1)
+    assert np.allclose(circ.to_unitary(), exact_evolution_unitary(hamiltonian), atol=1e-10)
+
+
+def test_non_hermitian_rejected():
+    with pytest.raises(ValueError):
+        pauli_evolution_circuit(PauliSum({"X": 1.0j}))
+
+
+def test_invalid_parameters_rejected():
+    hamiltonian = PauliSum({"X": 1.0})
+    with pytest.raises(ValueError):
+        pauli_evolution_circuit(hamiltonian, trotter_steps=0)
+    with pytest.raises(ValueError):
+        pauli_evolution_circuit(hamiltonian, order=3)
+
+
+def test_empty_hamiltonian_gives_empty_circuit():
+    circ = pauli_evolution_circuit(PauliSum.zero(2))
+    assert circ.num_gates == 0

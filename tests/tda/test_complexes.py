@@ -1,0 +1,99 @@
+"""Tests for SimplicialComplex."""
+
+import networkx as nx
+import pytest
+
+from repro.tda.complexes import SimplicialComplex
+from repro.tda.simplex import Simplex
+
+
+def test_closure_validation():
+    with pytest.raises(ValueError):
+        SimplicialComplex([(0, 1)])  # missing vertices
+    # With closure requested the faces are added.
+    complex_ = SimplicialComplex([(0, 1)], close_downward=True)
+    assert complex_.num_simplices(0) == 2
+    assert complex_.num_simplices(1) == 1
+
+
+def test_from_maximal_simplices():
+    complex_ = SimplicialComplex.from_maximal_simplices([(0, 1, 2)])
+    assert complex_.f_vector() == (3, 3, 1)
+
+
+def test_appendix_complex_f_vector(appendix_k):
+    """Eq. 13 lists 5 vertices, 6 edges and 1 triangle."""
+    assert appendix_k.f_vector() == (5, 6, 1)
+    assert appendix_k.dimension == 2
+    assert len(appendix_k) == 12
+
+
+def test_simplices_ordering_is_canonical(appendix_k):
+    edges = appendix_k.simplices(1)
+    assert [s.vertices for s in edges] == [(1, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 5)]
+
+
+def test_simplex_index(appendix_k):
+    index = appendix_k.simplex_index(1)
+    assert index[Simplex([1, 2])] == 0
+    assert index[Simplex([4, 5])] == 5
+
+
+def test_contains(appendix_k):
+    assert (1, 2, 3) in appendix_k
+    assert (1, 4) not in appendix_k
+
+
+def test_complete_complex_counts():
+    complex_ = SimplicialComplex.complete_complex(4, 2)
+    assert complex_.f_vector() == (4, 6, 4)
+
+
+def test_from_graph_clique_complex():
+    graph = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+    complex_ = SimplicialComplex.from_graph(graph, max_dimension=2)
+    assert complex_.num_simplices(2) == 1  # the triangle {0,1,2}
+    assert complex_.num_simplices(1) == 4
+
+
+def test_from_graph_respects_max_dimension():
+    graph = nx.complete_graph(4)
+    complex_ = SimplicialComplex.from_graph(graph, max_dimension=1)
+    assert complex_.dimension == 1
+
+
+def test_skeleton(appendix_k):
+    skeleton = appendix_k.skeleton(1)
+    assert skeleton.dimension == 1
+    assert skeleton.num_simplices(0) == 5
+
+
+def test_one_skeleton_graph(appendix_k):
+    graph = appendix_k.one_skeleton_graph()
+    assert graph.number_of_nodes() == 5
+    assert graph.number_of_edges() == 6
+
+
+def test_star_and_link(appendix_k):
+    star = appendix_k.star(3)
+    assert Simplex([1, 2, 3]) in star
+    link = appendix_k.link(3)
+    assert Simplex([1, 2]) in link
+    assert all(3 not in s for s in link)
+
+
+def test_add_simplex(appendix_k):
+    bigger = appendix_k.add_simplex((3, 4, 5))
+    assert bigger.num_simplices(2) == 2
+    # original is unchanged
+    assert appendix_k.num_simplices(2) == 1
+
+
+def test_is_connected(appendix_k, two_components):
+    assert appendix_k.is_connected()
+    assert not two_components.is_connected()
+
+
+def test_equality(hollow_triangle):
+    same = SimplicialComplex([(0,), (1,), (2,), (0, 1), (0, 2), (1, 2)])
+    assert hollow_triangle == same

@@ -1,0 +1,61 @@
+"""Tests for distance matrices and epsilon graphs."""
+
+import numpy as np
+import pytest
+
+from repro.tda.distances import diameter_bounds, epsilon_edges, epsilon_graph, pairwise_distances
+
+
+def test_pairwise_distances_euclidean():
+    points = np.array([[0.0, 0.0], [3.0, 4.0]])
+    dist = pairwise_distances(points)
+    assert dist[0, 1] == pytest.approx(5.0)
+    assert dist[1, 0] == pytest.approx(5.0)
+    assert np.all(np.diag(dist) == 0)
+
+
+def test_pairwise_distances_1d_input():
+    dist = pairwise_distances(np.array([0.0, 2.0, 5.0]))
+    assert dist.shape == (3, 3)
+    assert dist[0, 2] == pytest.approx(5.0)
+
+
+def test_pairwise_distances_other_metric():
+    points = np.array([[0.0, 0.0], [1.0, 1.0]])
+    assert pairwise_distances(points, metric="cityblock")[0, 1] == pytest.approx(2.0)
+
+
+def test_pairwise_distances_empty_and_bad_input():
+    assert pairwise_distances(np.zeros((0, 2))).shape == (0, 0)
+    with pytest.raises(ValueError):
+        pairwise_distances(np.zeros((2, 2, 2)))
+
+
+def test_epsilon_edges_threshold_inclusive():
+    dist = np.array([[0.0, 1.0, 3.0], [1.0, 0.0, 1.5], [3.0, 1.5, 0.0]])
+    assert epsilon_edges(dist, 1.5) == [(0, 1), (1, 2)]
+    assert epsilon_edges(dist, 0.5) == []
+    with pytest.raises(ValueError):
+        epsilon_edges(dist, -1.0)
+
+
+def test_epsilon_graph_from_points():
+    points = np.array([[0.0], [1.0], [10.0]])
+    graph = epsilon_graph(points, 1.5)
+    assert set(graph.nodes) == {0, 1, 2}
+    assert set(graph.edges) == {(0, 1)}
+    assert graph[0][1]["weight"] == pytest.approx(1.0)
+
+
+def test_epsilon_graph_from_distance_matrix():
+    dist = np.array([[0.0, 2.0], [2.0, 0.0]])
+    graph = epsilon_graph(dist, 2.0, is_distance_matrix=True)
+    assert graph.number_of_edges() == 1
+
+
+def test_diameter_bounds():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [4.0, 0.0]])
+    lo, hi = diameter_bounds(points)
+    assert lo == pytest.approx(1.0)
+    assert hi == pytest.approx(4.0)
+    assert diameter_bounds(np.array([[1.0, 2.0]])) == (0.0, 0.0)

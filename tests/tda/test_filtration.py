@@ -1,0 +1,76 @@
+"""Tests for filtered complexes."""
+
+import numpy as np
+import pytest
+
+from repro.tda.filtration import Filtration, filtration_from_distance_matrix, rips_filtration
+from repro.tda.simplex import Simplex
+
+
+def test_entries_sorted_by_value_then_dimension():
+    filtration = Filtration(
+        [(1.0, (0, 1)), (0.0, (0,)), (0.0, (1,)), (2.0, (1, 2)), (0.0, (2,))]
+    )
+    values = filtration.values()
+    assert np.all(np.diff(values) >= 0)
+    assert filtration.simplices()[0].dimension == 0
+
+
+def test_missing_face_rejected():
+    with pytest.raises(ValueError):
+        Filtration([(0.0, (0,)), (1.0, (0, 1))])  # vertex 1 never appears
+
+
+def test_non_monotone_rejected():
+    with pytest.raises(ValueError):
+        Filtration([(1.0, (0,)), (1.0, (1,)), (0.5, (0, 1))])
+
+
+def test_rips_filtration_values_are_max_pairwise_distance():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+    filtration = rips_filtration(points, max_dimension=2)
+    values = {tuple(s.vertices): v for v, s in filtration}
+    assert values[(0, 1)] == pytest.approx(1.0)
+    assert values[(0, 2)] == pytest.approx(2.0)
+    assert values[(0, 1, 2)] == pytest.approx(np.sqrt(5.0))
+
+
+def test_complex_at_scale_matches_rips_complex(circle_points):
+    from repro.tda.rips import rips_complex
+
+    filtration = rips_filtration(circle_points, max_dimension=2)
+    assert filtration.complex_at(0.7) == rips_complex(circle_points, 0.7, max_dimension=2)
+
+
+def test_complex_at_zero_has_only_vertices(circle_points):
+    filtration = rips_filtration(circle_points, max_dimension=2)
+    complex_ = filtration.complex_at(0.0)
+    assert complex_.dimension == 0
+
+
+def test_max_scale_truncates():
+    points = np.array([[0.0], [1.0], [5.0]])
+    filtration = rips_filtration(points, max_dimension=1, max_scale=2.0)
+    assert all(v <= 2.0 for v in filtration.values())
+    assert Simplex([0, 2]) not in filtration.simplices()
+
+
+def test_critical_values_unique_sorted(circle_points):
+    crit = rips_filtration(circle_points, max_dimension=1).critical_values()
+    assert np.all(np.diff(crit) > 0)
+
+
+def test_filtration_from_distance_matrix_matches_points():
+    points = np.random.default_rng(0).random((5, 2))
+    from repro.tda.distances import pairwise_distances
+
+    a = rips_filtration(points, max_dimension=2)
+    b = filtration_from_distance_matrix(pairwise_distances(points), max_dimension=2)
+    assert len(a) == len(b)
+    assert np.allclose(a.values(), b.values())
+
+
+def test_len_and_max_dimension(circle_points):
+    filtration = rips_filtration(circle_points, max_dimension=2)
+    assert len(filtration) == len(filtration.simplices())
+    assert filtration.max_dimension() == 2

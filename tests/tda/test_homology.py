@@ -1,0 +1,38 @@
+"""Tests for GF(2) homology (the exact-arithmetic cross-check)."""
+
+import numpy as np
+
+from repro.tda.betti import betti_numbers
+from repro.tda.homology import betti_numbers_gf2, boundary_rank_gf2, rank_gf2
+from repro.tda.random_complexes import random_simplicial_complex
+
+
+def test_rank_gf2_simple_cases():
+    assert rank_gf2(np.eye(3)) == 3
+    assert rank_gf2(np.zeros((3, 3))) == 0
+    assert rank_gf2(np.array([[1, 1], [1, 1]])) == 1
+    assert rank_gf2(np.zeros((0, 0))) == 0
+
+
+def test_rank_gf2_mod_two_semantics():
+    # 2 ≡ 0 (mod 2): this matrix is zero over GF(2).
+    assert rank_gf2(np.array([[2, 2], [4, 6]])) == 0
+    # -1 ≡ 1 (mod 2).
+    assert rank_gf2(np.array([[-1]])) == 1
+
+
+def test_gf2_betti_matches_real_betti_on_fixtures(appendix_k, hollow_triangle, filled_triangle, two_components):
+    for complex_ in (appendix_k, hollow_triangle, filled_triangle, two_components):
+        assert betti_numbers_gf2(complex_) == betti_numbers(complex_)
+
+
+def test_gf2_betti_matches_real_betti_on_random_complexes():
+    for seed in range(5):
+        complex_ = random_simplicial_complex(8, seed=seed)
+        assert betti_numbers_gf2(complex_, 2) == betti_numbers(complex_, 2)
+
+
+def test_boundary_rank_gf2(appendix_k):
+    assert boundary_rank_gf2(appendix_k, 0) == 0
+    assert boundary_rank_gf2(appendix_k, 1) == 4
+    assert boundary_rank_gf2(appendix_k, 2) == 1

@@ -1,0 +1,78 @@
+"""Tests for combinatorial Laplacians (Eq. 5, Eq. 17)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.experiments.worked_example import EXPECTED_LAPLACIAN
+from repro.tda.complexes import SimplicialComplex
+from repro.tda.laplacian import (
+    combinatorial_laplacian,
+    hodge_decomposition_ranks,
+    laplacian_kernel_dimension,
+    laplacian_spectrum,
+)
+
+
+def test_appendix_laplacian_matches_equation_17(appendix_k):
+    assert np.array_equal(combinatorial_laplacian(appendix_k, 1), EXPECTED_LAPLACIAN)
+
+
+def test_laplacian_is_symmetric_psd(appendix_k):
+    lap = combinatorial_laplacian(appendix_k, 1)
+    assert np.array_equal(lap, lap.T)
+    assert np.min(np.linalg.eigvalsh(lap)) >= -1e-10
+
+
+def test_laplacian_0_equals_graph_laplacian(appendix_k):
+    """Δ_0 = ∂_1 ∂_1† is the ordinary graph Laplacian of the 1-skeleton."""
+    import networkx as nx
+
+    lap = combinatorial_laplacian(appendix_k, 0)
+    graph = appendix_k.one_skeleton_graph()
+    expected = nx.laplacian_matrix(graph, nodelist=sorted(graph.nodes)).toarray()
+    assert np.array_equal(lap, expected)
+
+
+def test_kernel_dimension_is_betti_number(appendix_k, hollow_triangle, filled_triangle):
+    assert laplacian_kernel_dimension(appendix_k, 0) == 1
+    assert laplacian_kernel_dimension(appendix_k, 1) == 1
+    assert laplacian_kernel_dimension(hollow_triangle, 1) == 1
+    assert laplacian_kernel_dimension(filled_triangle, 1) == 0
+
+
+def test_empty_dimension_gives_empty_laplacian(hollow_triangle):
+    lap = combinatorial_laplacian(hollow_triangle, 2)
+    assert lap.shape == (0, 0)
+    assert laplacian_spectrum(hollow_triangle, 2).size == 0
+
+
+def test_sparse_format(appendix_k):
+    lap = combinatorial_laplacian(appendix_k, 1, sparse_format=True)
+    assert sparse.issparse(lap)
+    assert np.array_equal(lap.toarray(), EXPECTED_LAPLACIAN)
+
+
+def test_spectrum_sorted_and_matches_eigvalsh(appendix_k):
+    spectrum = laplacian_spectrum(appendix_k, 1)
+    assert np.all(np.diff(spectrum) >= -1e-12)
+    assert np.allclose(spectrum, np.linalg.eigvalsh(EXPECTED_LAPLACIAN))
+
+
+def test_hodge_decomposition_ranks_sum_to_dimension(appendix_k):
+    ranks = hodge_decomposition_ranks(appendix_k, 1)
+    assert ranks["gradient"] + ranks["curl"] + ranks["harmonic"] == appendix_k.num_simplices(1)
+    assert ranks["harmonic"] == 1
+
+
+def test_negative_dimension_rejected(appendix_k):
+    with pytest.raises(ValueError):
+        combinatorial_laplacian(appendix_k, -2)
+
+
+def test_two_triangle_complex():
+    complex_ = SimplicialComplex.from_maximal_simplices([(0, 1, 2), (2, 3, 4)])
+    lap1 = combinatorial_laplacian(complex_, 1)
+    assert lap1.shape == (6, 6)
+    assert laplacian_kernel_dimension(complex_, 1) == 0
+    assert laplacian_kernel_dimension(complex_, 0) == 1

@@ -1,0 +1,86 @@
+"""Tests for persistent homology (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.point_clouds import circle_cloud, clusters_cloud, figure_eight_cloud
+from repro.tda.betti import betti_numbers
+from repro.tda.filtration import rips_filtration
+from repro.tda.persistence import (
+    PersistencePair,
+    persistence_diagrams,
+    persistence_features,
+    persistent_betti_number,
+)
+
+
+def test_circle_has_one_long_lived_loop():
+    points = circle_cloud(16)
+    diagrams = persistence_diagrams(rips_filtration(points, max_dimension=2), max_dimension=1)
+    long_lived = [p for p in diagrams[1].pairs if p.persistence > 0.5]
+    assert len(long_lived) == 1
+
+
+def test_h0_has_single_essential_class():
+    points = circle_cloud(10)
+    diagrams = persistence_diagrams(rips_filtration(points, max_dimension=1), max_dimension=0)
+    assert len(diagrams[0].essential_pairs()) == 1
+    # Every point is born at scale 0.
+    assert all(p.birth == 0.0 for p in diagrams[0].pairs)
+
+
+def test_clusters_merge_at_separation_scale():
+    points = clusters_cloud(num_clusters=3, points_per_cluster=5, separation=10.0, spread=0.1, seed=1)
+    diagrams = persistence_diagrams(rips_filtration(points, max_dimension=1), max_dimension=0)
+    # At a scale between the spread and the separation there are 3 components.
+    assert diagrams[0].betti_at(2.0) == 3
+    # At a huge scale everything is connected.
+    assert diagrams[0].betti_at(100.0) == 1
+
+
+def test_betti_at_matches_fixed_scale_computation(circle_points):
+    filtration = rips_filtration(circle_points, max_dimension=2)
+    diagrams = persistence_diagrams(filtration, max_dimension=1)
+    for eps in (0.3, 0.7, 1.2):
+        complex_ = filtration.complex_at(eps)
+        expected = betti_numbers(complex_, 1)
+        assert diagrams[0].betti_at(eps) == expected[0]
+        assert diagrams[1].betti_at(eps) == expected[1]
+
+
+def test_figure_eight_has_two_persistent_loops():
+    points = figure_eight_cloud(32)
+    diagrams = persistence_diagrams(rips_filtration(points, max_dimension=2), max_dimension=1)
+    long_lived = [p for p in diagrams[1].pairs if p.persistence > 0.4]
+    assert len(long_lived) == 2
+
+
+def test_persistent_betti_number_function():
+    points = circle_cloud(12)
+    # The circle's loop is born around the neighbour spacing and dies around the diameter.
+    assert persistent_betti_number(points, 1, birth_scale=0.8, death_scale=1.0) == 1
+    assert persistent_betti_number(points, 1, birth_scale=0.1, death_scale=0.2) == 0
+    with pytest.raises(ValueError):
+        persistent_betti_number(points, 1, birth_scale=1.0, death_scale=0.5)
+
+
+def test_persistence_pair_properties():
+    pair = PersistencePair(dimension=1, birth=0.2, death=np.inf)
+    assert pair.is_essential
+    finite = PersistencePair(dimension=0, birth=0.0, death=0.5)
+    assert finite.persistence == pytest.approx(0.5)
+
+
+def test_diagram_array_and_total_persistence():
+    points = circle_cloud(10)
+    diagrams = persistence_diagrams(rips_filtration(points, max_dimension=1), max_dimension=0)
+    arr = diagrams[0].as_array()
+    assert arr.shape[1] == 2
+    assert diagrams[0].total_persistence() >= 0.0
+
+
+def test_persistence_features_vector_shape():
+    features = persistence_features(circle_cloud(10), max_homology_dimension=1)
+    # 4 summary stats + 3 scale-sampled Betti numbers per dimension, 2 dimensions.
+    assert features.shape == (14,)
+    assert np.all(np.isfinite(features))

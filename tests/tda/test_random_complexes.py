@@ -1,0 +1,62 @@
+"""Tests for the random simplicial-complex generators (Section 4 workloads)."""
+
+import numpy as np
+
+from repro.tda.complexes import SimplicialComplex
+from repro.tda.random_complexes import random_point_cloud_complex, random_simplicial_complex
+
+
+def test_reproducible_with_seed():
+    a = random_simplicial_complex(8, seed=7)
+    b = random_simplicial_complex(8, seed=7)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = random_simplicial_complex(10, seed=1)
+    b = random_simplicial_complex(10, seed=2)
+    assert a != b
+
+
+def test_vertex_count_and_validity():
+    complex_ = random_simplicial_complex(12, seed=3)
+    assert isinstance(complex_, SimplicialComplex)
+    assert complex_.num_simplices(0) == 12
+    # Downward closure is guaranteed by construction (constructor validates).
+
+
+def test_edge_probability_extremes():
+    empty = random_simplicial_complex(6, edge_probability=0.0, seed=0, ensure_nontrivial=False)
+    assert empty.num_simplices(1) == 0
+    full = random_simplicial_complex(6, edge_probability=1.0, seed=0, max_dimension=2)
+    assert full.num_simplices(1) == 15
+    assert full.num_simplices(2) == 20
+
+
+def test_ensure_nontrivial_gives_edges():
+    for seed in range(5):
+        complex_ = random_simplicial_complex(5, seed=seed)
+        assert complex_.num_simplices(1) > 0
+
+
+def test_max_dimension_respected():
+    complex_ = random_simplicial_complex(10, edge_probability=0.9, max_dimension=1, seed=4)
+    assert complex_.dimension <= 1
+
+
+def test_random_point_cloud_complex():
+    complex_, points, epsilon = random_point_cloud_complex(8, seed=11)
+    assert points.shape == (8, 3)
+    assert epsilon > 0
+    assert complex_.num_simplices(0) == 8
+    # Reproducibility.
+    complex_b, points_b, eps_b = random_point_cloud_complex(8, seed=11)
+    assert np.allclose(points, points_b)
+    assert epsilon == eps_b
+    assert complex_ == complex_b
+
+
+def test_random_point_cloud_fixed_epsilon():
+    complex_, _, epsilon = random_point_cloud_complex(5, epsilon=10.0, seed=2)
+    assert epsilon == 10.0
+    assert complex_.num_simplices(1) == 10  # complete graph at huge scale

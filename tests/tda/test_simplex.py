@@ -1,0 +1,66 @@
+"""Tests for the Simplex value object."""
+
+import pytest
+
+from repro.tda.simplex import Simplex
+
+
+def test_vertices_sorted_ascending():
+    assert Simplex([3, 1, 2]).vertices == (1, 2, 3)
+
+
+def test_dimension():
+    assert Simplex([0]).dimension == 0
+    assert Simplex([0, 1]).dimension == 1
+    assert Simplex([0, 1, 2, 3]).dimension == 3
+
+
+def test_invalid_simplices_rejected():
+    with pytest.raises(ValueError):
+        Simplex([])
+    with pytest.raises(ValueError):
+        Simplex([1, 1])
+    with pytest.raises(ValueError):
+        Simplex([-1, 0])
+
+
+def test_faces_drop_one_vertex_each():
+    faces = Simplex([0, 1, 2]).faces()
+    assert faces == [Simplex([1, 2]), Simplex([0, 2]), Simplex([0, 1])]
+
+
+def test_vertex_has_no_faces():
+    assert Simplex([4]).faces() == []
+
+
+def test_boundary_signs_follow_equation_2():
+    boundary = Simplex([0, 1, 2]).boundary()
+    signs = [s for s, _ in boundary]
+    assert signs == [1, -1, 1]
+
+
+def test_all_subsimplices_count():
+    # A 2-simplex has 2^3 - 1 = 7 non-empty subsets.
+    assert len(Simplex([0, 1, 2]).all_subsimplices()) == 7
+
+
+def test_is_face_of():
+    assert Simplex([0, 2]).is_face_of(Simplex([0, 1, 2]))
+    assert not Simplex([0, 3]).is_face_of(Simplex([0, 1, 2]))
+
+
+def test_equality_with_tuples_and_hashing():
+    assert Simplex([2, 0]) == (0, 2)
+    assert Simplex([0, 2]) in {Simplex([0, 2])}
+
+
+def test_ordering_dimension_then_lex():
+    assert Simplex([5]) < Simplex([0, 1])
+    assert Simplex([0, 1]) < Simplex([0, 2])
+
+
+def test_contains_and_iter():
+    s = Simplex([1, 3])
+    assert 3 in s and 2 not in s
+    assert list(s) == [1, 3]
+    assert len(s) == 2

@@ -1,0 +1,70 @@
+"""Tests for the Takens delay embedding."""
+
+import numpy as np
+import pytest
+
+from repro.tda.takens import TakensEmbedding, optimal_delay_autocorrelation, takens_embedding
+
+
+def test_basic_embedding_values():
+    series = np.arange(10.0)
+    cloud = takens_embedding(series, dimension=3, delay=2)
+    assert cloud.shape == (6, 3)
+    assert np.array_equal(cloud[0], [0.0, 2.0, 4.0])
+    assert np.array_equal(cloud[-1], [5.0, 7.0, 9.0])
+
+
+def test_stride_subsamples_points():
+    series = np.arange(20.0)
+    dense = takens_embedding(series, dimension=2, delay=1, stride=1)
+    strided = takens_embedding(series, dimension=2, delay=1, stride=5)
+    assert dense.shape[0] == 19
+    assert strided.shape[0] == 4
+    assert np.array_equal(strided[1], dense[5])
+
+
+def test_too_short_series_rejected():
+    with pytest.raises(ValueError):
+        takens_embedding(np.arange(3.0), dimension=3, delay=2)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        takens_embedding(np.arange(10.0), dimension=0)
+    with pytest.raises(ValueError):
+        TakensEmbedding(dimension=2, delay=0)
+
+
+def test_estimator_api():
+    emb = TakensEmbedding(dimension=2, delay=3)
+    assert emb.window_size == 4
+    assert emb.transform(np.arange(10.0)).shape == (7, 2)
+
+
+def test_transform_batch():
+    emb = TakensEmbedding(dimension=2, delay=1)
+    clouds = emb.transform_batch(np.arange(20.0).reshape(2, 10))
+    assert len(clouds) == 2
+    assert clouds[0].shape == (9, 2)
+    with pytest.raises(ValueError):
+        emb.transform_batch(np.arange(10.0))
+
+
+def test_sine_embedding_traces_a_loop():
+    """A delay-embedded sine wave lies on an ellipse: β_1 = 1 at a suitable scale."""
+    from repro.tda.betti import betti_number
+    from repro.tda.rips import rips_complex
+
+    t = np.linspace(0, 6 * np.pi, 300, endpoint=False)
+    cloud = takens_embedding(np.sin(t), dimension=2, delay=25, stride=7)
+    complex_ = rips_complex(cloud, epsilon=0.45, max_dimension=2)
+    assert betti_number(complex_, 0) == 1
+    assert betti_number(complex_, 1) == 1
+
+
+def test_optimal_delay_heuristic():
+    t = np.linspace(0, 8 * np.pi, 400)
+    delay = optimal_delay_autocorrelation(np.sin(t), max_delay=100)
+    assert 1 <= delay <= 100
+    # Constant series falls back to 1.
+    assert optimal_delay_autocorrelation(np.ones(50)) == 1

@@ -1,0 +1,57 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("fig3", "table1", "fig4", "appendix", "timeseries"):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_appendix_command_prints_walkthrough(capsys):
+    exit_code = main(["appendix", "--shots", "200", "--backend", "exact"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Appendix A worked example" in captured
+    assert "β̃_1" in captured or "betti" in captured.lower()
+
+
+def test_fig3_command_reduced_grid(capsys):
+    exit_code = main(
+        ["fig3", "--complexes", "2", "--sizes", "5", "--shots", "100", "--precision", "1", "3"]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "n = 5" in captured
+    assert "Trend summary" in captured
+
+
+def test_table1_command_reduced(capsys):
+    exit_code = main(["table1", "--rows", "24", "--healthy", "8", "--precision", "1", "3"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Precision qubits" in captured
+    assert "Reference" in captured
+
+
+def test_fig4_command_reduced(capsys):
+    exit_code = main(["fig4", "--rows", "24", "--healthy", "8", "--scales", "3", "--repetitions", "2"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "grouping scale" in captured
+
+
+def test_timeseries_command_reduced(capsys):
+    exit_code = main(["timeseries", "--windows", "4", "--window-length", "300", "--stride", "24", "--classical"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "validation accuracy" in captured

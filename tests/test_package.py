@@ -1,0 +1,72 @@
+"""Package-level smoke tests: imports, version, lazy exports."""
+
+import pytest
+
+
+def test_version_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_lazy_exports():
+    import repro
+
+    assert repro.QTDABettiEstimator is not None
+    assert repro.RipsComplex is not None
+    assert repro.QTDAPipeline is not None
+    with pytest.raises(AttributeError):
+        _ = repro.does_not_exist
+
+
+def test_all_subpackages_importable():
+    import importlib
+
+    for name in (
+        "repro.paulis",
+        "repro.quantum",
+        "repro.tda",
+        "repro.core",
+        "repro.ml",
+        "repro.datasets",
+        "repro.experiments",
+        "repro.utils",
+    ):
+        module = importlib.import_module(name)
+        assert module is not None
+
+
+def test_public_api_docstrings():
+    """Every public headline class/function carries a docstring."""
+    from repro.core import QTDABettiEstimator, QTDAPipeline, build_hamiltonian, pad_laplacian
+    from repro.quantum import QuantumCircuit, StatevectorSimulator
+    from repro.tda import RipsComplex, SimplicialComplex, betti_number
+
+    for obj in (
+        QTDABettiEstimator,
+        QTDAPipeline,
+        build_hamiltonian,
+        pad_laplacian,
+        QuantumCircuit,
+        StatevectorSimulator,
+        RipsComplex,
+        SimplicialComplex,
+        betti_number,
+    ):
+        assert obj.__doc__ and obj.__doc__.strip()
+
+
+def test_readme_quickstart_snippet_runs():
+    """The snippet shown in the package docstring / README works as written."""
+    import numpy as np
+
+    from repro import QTDABettiEstimator
+    from repro.tda import RipsComplex
+
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [2.0, 1.0], [2.5, 0.2]])
+    complex_ = RipsComplex.from_points(points, epsilon=1.5, max_dimension=2).complex()
+    estimator = QTDABettiEstimator(precision_qubits=4, shots=1000, seed=7)
+    result = estimator.estimate(complex_, k=1)
+    assert result.betti_rounded >= 0
+    assert 0.0 <= result.p_zero <= 1.0

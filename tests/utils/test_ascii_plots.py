@@ -1,0 +1,57 @@
+"""Tests for the ASCII plotting helpers used by experiment reports."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plots import (
+    BoxplotSummary,
+    render_boxplot_table,
+    render_line_plot,
+    render_table,
+)
+
+
+def test_boxplot_summary_five_numbers():
+    summary = BoxplotSummary.from_samples("g", [1.0, 2.0, 3.0, 4.0, 5.0])
+    assert summary.minimum == 1.0
+    assert summary.median == 3.0
+    assert summary.maximum == 5.0
+    assert summary.count == 5
+    assert "g" in summary.row()
+
+
+def test_boxplot_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        BoxplotSummary.from_samples("g", [])
+
+
+def test_render_boxplot_table_contains_all_groups():
+    text = render_boxplot_table({"a": [1, 2, 3], "b": [4, 5, 6]}, title="T")
+    assert "T" in text
+    assert "a" in text and "b" in text
+
+
+def test_render_line_plot_dimensions():
+    text = render_line_plot(np.linspace(0, 1, 10), np.linspace(0, 1, 10), width=30, height=8)
+    lines = text.splitlines()
+    # header + height rows
+    assert len(lines) == 9
+    assert all(len(line) <= 30 for line in lines[1:])
+    assert "*" in text
+
+
+def test_render_line_plot_validates_lengths():
+    with pytest.raises(ValueError):
+        render_line_plot([1, 2], [1], width=10, height=5)
+
+
+def test_render_line_plot_single_point():
+    assert "0.5" in render_line_plot([1.0], [0.5])
+
+
+def test_render_table_alignment():
+    text = render_table(["col", "value"], [["a", 1], ["bb", 22]], title="tab")
+    lines = text.splitlines()
+    assert lines[0] == "tab"
+    assert "col" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
