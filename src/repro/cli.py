@@ -22,6 +22,28 @@ import sys
 from typing import Optional, Sequence
 
 
+def _add_batch_options(parser) -> None:
+    """Batch-engine knobs shared by the feature-extraction subcommands."""
+    parser.add_argument(
+        "--batch-backend",
+        choices=("serial", "threads", "processes"),
+        default="serial",
+        help="execution backend of the batched feature engine",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="worker-pool size for parallel backends")
+    parser.add_argument("--chunk-size", type=int, default=None, help="samples per submitted worker task")
+
+
+def _batch_config(args):
+    from repro.core.batch import BatchConfig
+
+    return BatchConfig(
+        backend=args.batch_backend,
+        max_workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+
+
 def _add_fig3(subparsers) -> None:
     parser = subparsers.add_parser("fig3", help="Fig. 3: error vs shots and precision qubits")
     parser.add_argument("--complexes", type=int, default=10, help="random complexes per size")
@@ -38,6 +60,7 @@ def _add_table1(subparsers) -> None:
     parser.add_argument("--shots", type=int, default=100)
     parser.add_argument("--precision", type=int, nargs="+", default=[1, 2, 3, 4, 5])
     parser.add_argument("--seed", type=int, default=2023)
+    _add_batch_options(parser)
 
 
 def _add_fig4(subparsers) -> None:
@@ -47,6 +70,7 @@ def _add_fig4(subparsers) -> None:
     parser.add_argument("--scales", type=int, default=7)
     parser.add_argument("--repetitions", type=int, default=5)
     parser.add_argument("--seed", type=int, default=13)
+    _add_batch_options(parser)
 
 
 def _add_appendix(subparsers) -> None:
@@ -67,6 +91,7 @@ def _add_timeseries(subparsers) -> None:
     parser.add_argument("--stride", type=int, default=16, help="Takens embedding stride")
     parser.add_argument("--classical", action="store_true", help="use exact Betti numbers instead of QPE estimates")
     parser.add_argument("--seed", type=int, default=7)
+    _add_batch_options(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,8 +136,9 @@ def _run_fig3(args) -> str:
 def _run_table1(args) -> str:
     from repro.experiments.gearbox_table1 import GearboxExperimentConfig, render_table1, run_gearbox_table1
 
+    batch = _batch_config(args)
     config = (
-        GearboxExperimentConfig()
+        GearboxExperimentConfig(batch=batch)
         if args.paper_scale
         else GearboxExperimentConfig(
             num_rows=args.rows,
@@ -120,6 +146,7 @@ def _run_table1(args) -> str:
             precision_grid=tuple(args.precision),
             shots=args.shots,
             seed=args.seed,
+            batch=batch,
         )
     )
     return render_table1(run_gearbox_table1(config))
@@ -132,17 +159,19 @@ def _run_fig4(args) -> str:
         run_grouping_scale_experiment,
     )
 
-    config = (
-        GroupingScaleConfig.paper_scale()
-        if args.paper_scale
-        else GroupingScaleConfig(
+    batch = _batch_config(args)
+    if args.paper_scale:
+        config = GroupingScaleConfig.paper_scale()
+        config.batch = batch
+    else:
+        config = GroupingScaleConfig(
             num_rows=args.rows,
             num_healthy=args.healthy,
             num_scales=args.scales,
             repetitions=args.repetitions,
             seed=args.seed,
+            batch=batch,
         )
-    )
     return render_grouping_scale_results(run_grouping_scale_experiment(config))
 
 
@@ -170,6 +199,7 @@ def _run_timeseries(args) -> str:
         takens_stride=args.stride,
         seed=args.seed,
         use_quantum=not args.classical,
+        batch=_batch_config(args),
     )
     return (
         f"Section 5 time-series classification ({result.num_windows} windows, eps = {result.epsilon:.3f})\n"

@@ -22,14 +22,27 @@ The pipeline implemented here follows Section 3 of the paper step by step:
 
 from repro.core.config import QTDAConfig
 from repro.core.padding import pad_laplacian, zero_pad_laplacian, PaddedLaplacian
-from repro.core.hamiltonian import build_hamiltonian, qtda_unitary, RescaledHamiltonian
+from repro.core.hamiltonian import (
+    build_hamiltonian,
+    qtda_unitary,
+    padded_spectrum,
+    PaddedSpectrum,
+    RescaledHamiltonian,
+    SpectrumCache,
+)
 from repro.core.mixed_state import maximally_mixed_state_circuit, mixed_state_purification_qubits
 from repro.core.qtda_circuit import qtda_circuit, QTDACircuitSpec
 from repro.core.estimator import BettiEstimate, QTDABettiEstimator
 from repro.core.pipeline import PipelineConfig, QTDAPipeline, betti_feature_vector
+from repro.core.batch import BatchConfig, BatchFeatureEngine
 
 __all__ = [
     "QTDAConfig",
+    "padded_spectrum",
+    "PaddedSpectrum",
+    "SpectrumCache",
+    "BatchConfig",
+    "BatchFeatureEngine",
     "pad_laplacian",
     "zero_pad_laplacian",
     "PaddedLaplacian",

@@ -1,0 +1,351 @@
+"""Batched Betti-feature extraction (the Section 5 experiments' hot path).
+
+The paper's experiments extract ``{β̃_0, β̃_1}`` features from hundreds of
+windows/rows; :class:`BatchFeatureEngine` fans those samples across a
+``concurrent.futures`` worker pool and funnels every exact-backend estimate
+through three reuse layers (DESIGN.md §7):
+
+1. *distance reuse* — each sample's distance matrix is computed once and
+   shared across every grouping scale ε of a sweep;
+2. *vectorised complexes* — for the paper's ``max_complex_dimension <= 2``
+   setting, Rips complexes and Laplacians are built as integer arrays
+   (:func:`repro.tda.rips.flag_complex_arrays`) instead of per-simplex Python
+   objects, producing bit-identical matrices;
+3. *spectrum cache* — Laplacian eigendecompositions are cached
+   (:class:`repro.core.hamiltonian.SpectrumCache`), so revisiting a Laplacian
+   across ε values, precision settings or repeated windows is free.
+
+Determinism: sample ``i`` always runs with the derived seed
+``derive_seed(config.estimator.seed, i)``, so the ``serial``, ``threads`` and
+``processes`` backends return bit-identical feature matrices for a fixed
+seed, regardless of worker count or chunking.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import QTDABettiEstimator
+from repro.core.hamiltonian import SpectrumCache, laplacian_spectrum_info
+from repro.core.pipeline import PipelineConfig, apply_pipeline_overrides
+from repro.tda.betti import betti_number
+from repro.tda.distances import pairwise_distances
+from repro.tda.laplacian import combinatorial_laplacian, laplacian_from_flag_arrays
+from repro.tda.rips import RipsComplex, flag_complex_arrays
+from repro.tda.takens import TakensEmbedding
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_integer
+
+#: Allowed execution backends of the batch engine.
+BATCH_BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass
+class BatchConfig:
+    """Execution knobs of :class:`BatchFeatureEngine`.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` (in-process loop, the reference), ``"threads"``
+        (``ThreadPoolExecutor`` — NumPy/LAPACK release the GIL on the
+        eigendecompositions, so threads already scale) or ``"processes"``
+        (``ProcessPoolExecutor`` — full parallelism at pickling cost).
+    max_workers:
+        Pool size for the parallel backends (default: ``os.cpu_count()``).
+    chunk_size:
+        Samples per submitted task.  Defaults to ``ceil(n / (4 * workers))``
+        so each worker sees a few chunks (load balancing) without per-sample
+        dispatch overhead.
+    spectrum_cache_size:
+        LRU capacity of the per-engine (serial/threads) or per-worker
+        (processes) spectrum cache; ``0`` disables caching.
+    """
+
+    backend: str = "serial"
+    max_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+    spectrum_cache_size: int = 1024
+
+    def __post_init__(self):
+        if self.backend not in BATCH_BACKENDS:
+            raise ValueError(f"backend must be one of {BATCH_BACKENDS}, got {self.backend!r}")
+        if self.max_workers is not None:
+            self.max_workers = check_integer(self.max_workers, "max_workers", minimum=1)
+        if self.chunk_size is not None:
+            self.chunk_size = check_integer(self.chunk_size, "chunk_size", minimum=1)
+        self.spectrum_cache_size = check_integer(
+            self.spectrum_cache_size, "spectrum_cache_size", minimum=0
+        )
+
+
+@dataclass(frozen=True)
+class _SampleTask:
+    """One point cloud (as a distance matrix) × all requested grouping scales."""
+
+    index: int
+    distances: np.ndarray
+    epsilons: Tuple[float, ...]
+    seed: Optional[int]
+
+
+def _small_eigenvalues(laplacian: np.ndarray, cache: Optional[SpectrumCache]) -> np.ndarray:
+    if cache is not None:
+        return cache.spectrum(laplacian)[0]
+    return laplacian_spectrum_info(laplacian)[0]
+
+
+def _sample_features(
+    task: _SampleTask,
+    config: PipelineConfig,
+    cache: Optional[SpectrumCache],
+    want_exact: bool,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Feature rows of one sample: ``(estimated (E, F), exact (E, F) or None)``.
+
+    ``E`` indexes the grouping scales of the task, ``F`` the homology
+    dimensions.  Pure given ``(task, config)`` — the execution backends rely
+    on that for bit-identical results.
+    """
+    dims = config.homology_dimensions
+    atol = config.estimator.zero_eigenvalue_atol
+    fast = config.max_complex_dimension <= 2
+    estimator: Optional[QTDABettiEstimator] = None
+    if config.use_quantum:
+        estimator = QTDABettiEstimator(
+            config.estimator.replace(seed=task.seed), spectrum_cache=cache
+        )
+    estimated = np.empty((len(task.epsilons), len(dims)))
+    exact = np.empty_like(estimated) if (want_exact or not config.use_quantum) else None
+    rips: Optional[RipsComplex] = None
+    for e_idx, epsilon in enumerate(task.epsilons):
+        if fast:
+            arrays = flag_complex_arrays(task.distances, epsilon, config.max_complex_dimension)
+            num_simplices = arrays.num_simplices
+            laplacian_of = lambda k: laplacian_from_flag_arrays(arrays, k)  # noqa: E731
+            complex_ = None
+        else:
+            # Generic clique route for dimensions above 2; successive ε share
+            # the distance matrix via with_epsilon.
+            rips = (
+                RipsComplex.from_distance_matrix(task.distances, epsilon, config.max_complex_dimension)
+                if rips is None
+                else rips.with_epsilon(epsilon)
+            )
+            complex_ = rips.complex()
+            num_simplices = complex_.num_simplices
+            laplacian_of = lambda k: combinatorial_laplacian(complex_, k)  # noqa: E731
+        for f_idx, k in enumerate(dims):
+            if num_simplices(k) == 0:
+                estimated[e_idx, f_idx] = 0.0
+                if exact is not None:
+                    exact[e_idx, f_idx] = 0.0
+                continue
+            laplacian = laplacian_of(k)
+            exact_value: Optional[float] = None
+            if exact is not None:
+                if fast:
+                    eigenvalues = _small_eigenvalues(laplacian, cache)
+                    exact_value = float(np.count_nonzero(np.abs(eigenvalues) <= atol))
+                else:
+                    exact_value = float(betti_number(complex_, k))
+                exact[e_idx, f_idx] = exact_value
+            if estimator is not None:
+                estimate = estimator.estimate_from_laplacian(laplacian)
+                estimated[e_idx, f_idx] = float(estimate.betti_estimate)
+            else:
+                estimated[e_idx, f_idx] = exact_value if exact_value is not None else 0.0
+    return estimated, exact
+
+
+# -- process-pool plumbing ------------------------------------------------------
+
+_PROCESS_CACHE: Optional[SpectrumCache] = None
+
+
+def _process_cache(size: int) -> Optional[SpectrumCache]:
+    """Per-worker-process spectrum cache, reused across chunks of one run."""
+    global _PROCESS_CACHE
+    if size <= 0:
+        return None
+    if _PROCESS_CACHE is None or _PROCESS_CACHE.maxsize != size:
+        _PROCESS_CACHE = SpectrumCache(size)
+    return _PROCESS_CACHE
+
+
+def _run_chunk(payload) -> List[Tuple[int, Tuple[np.ndarray, Optional[np.ndarray]]]]:
+    """Top-level (picklable) chunk runner for the ``processes`` backend."""
+    config, cache_size, tasks, want_exact = payload
+    cache = _process_cache(cache_size)
+    return [(task.index, _sample_features(task, config, cache, want_exact)) for task in tasks]
+
+
+class BatchFeatureEngine:
+    """Batched, cached Betti-feature extraction over many samples.
+
+    Semantically a vectorised :class:`repro.core.pipeline.QTDAPipeline`: the
+    same :class:`PipelineConfig` describes *what* to compute, while
+    :class:`BatchConfig` describes *how* (worker pool, chunking, cache).
+
+    Examples
+    --------
+    >>> from repro.core.pipeline import PipelineConfig
+    >>> from repro.datasets.point_clouds import circle_cloud
+    >>> engine = BatchFeatureEngine(PipelineConfig(epsilon=0.7, use_quantum=False))
+    >>> engine.transform_point_clouds([circle_cloud(10), circle_cloud(12)]).shape
+    (2, 2)
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        batch: Optional[BatchConfig] = None,
+        spectrum_cache: Optional[SpectrumCache] = None,
+        **overrides,
+    ):
+        base = config if config is not None else PipelineConfig()
+        self.config = apply_pipeline_overrides(base, overrides)
+        self.batch = batch if batch is not None else BatchConfig()
+        if spectrum_cache is not None:
+            self._cache: Optional[SpectrumCache] = spectrum_cache
+        elif self.batch.spectrum_cache_size > 0:
+            self._cache = SpectrumCache(self.batch.spectrum_cache_size)
+        else:
+            self._cache = None
+        self._takens = TakensEmbedding(
+            dimension=self.config.takens_dimension,
+            delay=self.config.takens_delay,
+            stride=self.config.takens_stride,
+        )
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def spectrum_cache(self) -> Optional[SpectrumCache]:
+        """The engine's spectrum cache, used by the serial/threads backends.
+
+        The ``processes`` backend cannot see this object: worker processes
+        keep their own per-process caches, built fresh for each transform
+        call (a pool is created per call).  Cross-call cache reuse therefore
+        requires the serial or threads backend.
+        """
+        return self._cache
+
+    @property
+    def feature_names(self) -> Tuple[str, ...]:
+        return tuple(f"betti_{k}" for k in self.config.homology_dimensions)
+
+    def transform_point_clouds(
+        self, clouds: Sequence[np.ndarray], epsilon: Optional[float] = None
+    ) -> np.ndarray:
+        """Feature matrix ``(num_clouds, num_features)`` — one row per cloud."""
+        distances = [pairwise_distances(np.asarray(c, dtype=float)) for c in clouds]
+        return self.transform_distance_matrices(distances, epsilon=epsilon)
+
+    def transform_distance_matrices(
+        self, matrices: Sequence[np.ndarray], epsilon: Optional[float] = None
+    ) -> np.ndarray:
+        """Like :meth:`transform_point_clouds` for precomputed distance matrices."""
+        eps = self.config.epsilon if epsilon is None else float(epsilon)
+        results = self._execute(self._tasks(matrices, (eps,)), want_exact=False)
+        if not results:
+            return np.zeros((0, len(self.config.homology_dimensions)))
+        return np.vstack([estimated[0] for estimated, _ in results])
+
+    def transform_time_series(self, batch: np.ndarray, epsilon: Optional[float] = None) -> np.ndarray:
+        """Delay-embed each row of ``batch`` and extract its Betti features."""
+        arr = np.asarray(batch, dtype=float)
+        if arr.ndim != 2:
+            raise ValueError("batch must be 2-D: one time series per row")
+        clouds = [self._takens.transform(row) for row in arr]
+        return self.transform_point_clouds(clouds, epsilon=epsilon)
+
+    def sweep(
+        self, clouds: Sequence[np.ndarray], epsilons: Iterable[float]
+    ) -> np.ndarray:
+        """ε-sweep fast path: features of every cloud at every grouping scale.
+
+        Each cloud's distance matrix is computed once; only the neighbourhood
+        graph/complex is rebuilt per ε.  Returns an array of shape
+        ``(num_epsilons, num_clouds, num_features)``.
+        """
+        scales = tuple(float(e) for e in epsilons)
+        distances = [pairwise_distances(np.asarray(c, dtype=float)) for c in clouds]
+        results = self._execute(self._tasks(distances, scales), want_exact=False)
+        if not results:
+            return np.zeros((len(scales), 0, len(self.config.homology_dimensions)))
+        return np.stack([estimated for estimated, _ in results], axis=1)
+
+    def features_and_exact(
+        self, clouds: Sequence[np.ndarray], epsilon: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(estimated, exact)`` feature matrices, one row per cloud.
+
+        The exact classical Betti numbers ride along at marginal cost — on
+        the fast path they are kernel counts of spectra the estimator already
+        needed (Eq. 6), served from the same cache.  When ``use_quantum`` is
+        false both matrices are equal.
+        """
+        eps = self.config.epsilon if epsilon is None else float(epsilon)
+        distances = [pairwise_distances(np.asarray(c, dtype=float)) for c in clouds]
+        results = self._execute(self._tasks(distances, (eps,)), want_exact=True)
+        if not results:
+            empty = np.zeros((0, len(self.config.homology_dimensions)))
+            return empty, empty.copy()
+        estimated = np.vstack([est[0] for est, _ in results])
+        exact = np.vstack([exact_rows[0] for _, exact_rows in results])
+        return estimated, exact
+
+    # -- execution ------------------------------------------------------------
+    def _tasks(
+        self, distances: Sequence[np.ndarray], epsilons: Tuple[float, ...]
+    ) -> List[_SampleTask]:
+        base_seed = self.config.estimator.seed
+        return [
+            _SampleTask(
+                index=i,
+                distances=np.asarray(d, dtype=float),
+                epsilons=epsilons,
+                seed=derive_seed(base_seed, i),
+            )
+            for i, d in enumerate(distances)
+        ]
+
+    def _execute(
+        self, tasks: List[_SampleTask], want_exact: bool
+    ) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+        if not tasks:
+            return []
+        if self.batch.backend == "serial":
+            return [_sample_features(t, self.config, self._cache, want_exact) for t in tasks]
+        workers = self.batch.max_workers or (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(tasks)))
+        chunk = self.batch.chunk_size or max(1, math.ceil(len(tasks) / (4 * workers)))
+        chunks = [tasks[i : i + chunk] for i in range(0, len(tasks), chunk)]
+        results: List[Optional[Tuple[np.ndarray, Optional[np.ndarray]]]] = [None] * len(tasks)
+        if self.batch.backend == "threads":
+            def run(chunk_tasks):
+                return [
+                    (t.index, _sample_features(t, self.config, self._cache, want_exact))
+                    for t in chunk_tasks
+                ]
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for chunk_result in pool.map(run, chunks):
+                    for index, value in chunk_result:
+                        results[index] = value
+        else:  # processes
+            payloads = [
+                (self.config, self.batch.spectrum_cache_size, chunk_tasks, want_exact)
+                for chunk_tasks in chunks
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for chunk_result in pool.map(_run_chunk, payloads):
+                    for index, value in chunk_result:
+                        results[index] = value
+        return results  # type: ignore[return-value]

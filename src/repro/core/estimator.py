@@ -27,7 +27,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import QTDAConfig
-from repro.core.hamiltonian import RescaledHamiltonian, build_hamiltonian
+from repro.core.hamiltonian import (
+    RescaledHamiltonian,
+    SpectrumCache,
+    build_hamiltonian,
+    padded_spectrum,
+)
 from repro.core.qtda_circuit import QTDACircuitSpec, qtda_circuit
 from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
 from repro.quantum.measurement import sample_counts
@@ -124,10 +129,18 @@ class QTDABettiEstimator:
     1
     """
 
-    def __init__(self, config: Optional[QTDAConfig] = None, **overrides):
+    def __init__(
+        self,
+        config: Optional[QTDAConfig] = None,
+        spectrum_cache: Optional[SpectrumCache] = None,
+        **overrides,
+    ):
         base = config if config is not None else QTDAConfig()
         self.config = base.replace(**overrides) if overrides else base
         self._rng = as_rng(self.config.seed)
+        #: Optional shared cache of Laplacian spectra used by the ``exact``
+        #: backend (see DESIGN.md §6); caching never changes results, only cost.
+        self.spectrum_cache = spectrum_cache
 
     # -- public API -----------------------------------------------------------
     def estimate(self, complex_: SimplicialComplex, k: int, compute_exact: bool = True) -> BettiEstimate:
@@ -154,7 +167,7 @@ class QTDABettiEstimator:
                 precision_qubits=self.config.precision_qubits,
                 shots=self.config.shots,
                 backend=self.config.backend,
-                exact_betti=exact if exact is not None else 0,
+                exact_betti=exact,
                 lambda_max=0.0,
                 delta=self.config.delta,
             )
@@ -162,28 +175,53 @@ class QTDABettiEstimator:
         return self.estimate_from_laplacian(laplacian, exact_betti=exact)
 
     def estimate_from_laplacian(self, laplacian: np.ndarray, exact_betti: Optional[int] = None) -> BettiEstimate:
-        """Estimate the kernel dimension of an explicit combinatorial Laplacian."""
-        hamiltonian = build_hamiltonian(
-            laplacian, delta=self.config.delta, padding=self.config.padding
-        )
+        """Estimate the kernel dimension of an explicit combinatorial Laplacian.
+
+        Accepts dense or ``scipy.sparse`` matrices.  The ``exact`` backend
+        diagonalises the small ``|S_k| x |S_k|`` matrix once (through the
+        shared :class:`SpectrumCache` when one is attached) and derives the
+        padded Hamiltonian's eigenphases analytically; circuit backends build
+        the dense padded Hamiltonian as before.
+        """
         if exact_betti is None:
             exact_betti_val: Optional[int] = None
         else:
             exact_betti_val = int(exact_betti)
-        p_zero, counts = self._p_zero(hamiltonian)
-        dim = 2**hamiltonian.num_qubits
+        if self.config.backend == "exact":
+            spectrum = padded_spectrum(
+                laplacian,
+                delta=self.config.delta,
+                padding=self.config.padding,
+                cache=self.spectrum_cache,
+            )
+            distribution = qpe_outcome_distribution(
+                spectrum.eigenphases(), self.config.precision_qubits
+            )
+            num_qubits = spectrum.num_qubits
+            lambda_max = spectrum.lambda_max
+        else:
+            hamiltonian = build_hamiltonian(
+                laplacian, delta=self.config.delta, padding=self.config.padding
+            )
+            distribution = self._circuit_distribution(
+                hamiltonian, synthesis="exact" if self.config.backend == "statevector" else "trotter"
+            )
+            num_qubits = hamiltonian.num_qubits
+            lambda_max = hamiltonian.padded.lambda_max
+        p_zero, counts = self._readout(distribution)
+        dim = 2**num_qubits
         estimate = dim * p_zero
         return BettiEstimate(
             betti_estimate=float(estimate),
             betti_rounded=int(round(estimate)),
             p_zero=float(p_zero),
-            num_system_qubits=hamiltonian.num_qubits,
+            num_system_qubits=num_qubits,
             precision_qubits=self.config.precision_qubits,
             shots=self.config.shots,
             backend=self.config.backend,
             exact_betti=exact_betti_val,
             counts=counts,
-            lambda_max=hamiltonian.padded.lambda_max,
+            lambda_max=lambda_max,
             delta=self.config.delta,
         )
 
@@ -194,16 +232,6 @@ class QTDABettiEstimator:
         return [self.estimate(complex_, k, compute_exact=compute_exact) for k in dimensions]
 
     # -- backends ----------------------------------------------------------------
-    def _p_zero(self, hamiltonian: RescaledHamiltonian) -> tuple[float, Dict[str, int]]:
-        backend = self.config.backend
-        if backend == "exact":
-            distribution = qpe_outcome_distribution(
-                hamiltonian.eigenphases(), self.config.precision_qubits
-            )
-        else:
-            distribution = self._circuit_distribution(hamiltonian, synthesis="exact" if backend == "statevector" else "trotter")
-        return self._readout(distribution)
-
     def _circuit_distribution(self, hamiltonian: RescaledHamiltonian, synthesis: str) -> np.ndarray:
         circuit, spec = qtda_circuit(
             hamiltonian,

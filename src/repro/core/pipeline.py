@@ -77,15 +77,31 @@ class PipelineConfig:
             )
 
 
+def apply_pipeline_overrides(base: PipelineConfig, overrides: dict) -> PipelineConfig:
+    """``dataclasses.replace`` with one wrinkle: ``max_complex_dimension`` is
+    re-derived when only ``homology_dimensions`` is overridden.
+
+    The base config's ``__post_init__`` has already resolved
+    ``max_complex_dimension`` to a concrete integer, so carrying it through a
+    plain ``replace`` would pin the override to the *old* homology dimensions
+    (e.g. ``homology_dimensions=(0, 1, 2)`` against a resolved
+    ``max_complex_dimension=2`` raises).
+    """
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    if "homology_dimensions" in overrides and "max_complex_dimension" not in overrides:
+        overrides = dict(overrides, max_complex_dimension=None)
+    return replace(base, **overrides)
+
+
 class QTDAPipeline:
     """Extract (estimated) Betti-number features from point clouds or time series."""
 
     def __init__(self, config: Optional[PipelineConfig] = None, **overrides):
         base = config if config is not None else PipelineConfig()
-        if overrides:
-            from dataclasses import replace
-
-            base = replace(base, **overrides)
+        base = apply_pipeline_overrides(base, overrides)
         self.config = base
         self._estimator = QTDABettiEstimator(base.estimator)
         self._takens = TakensEmbedding(
@@ -93,6 +109,7 @@ class QTDAPipeline:
             delay=base.takens_delay,
             stride=base.takens_stride,
         )
+        self._engine = None  # lazily built serial BatchFeatureEngine
 
     # -- single-sample features -------------------------------------------------
     def features_from_point_cloud(self, points: np.ndarray, epsilon: Optional[float] = None) -> np.ndarray:
@@ -124,16 +141,32 @@ class QTDAPipeline:
         return self.features_from_point_cloud(cloud, epsilon=epsilon)
 
     # -- batch features -----------------------------------------------------------
+    def _batch_engine(self):
+        """The serial :class:`repro.core.batch.BatchFeatureEngine` behind the batch methods.
+
+        Built lazily (the import is deferred to avoid a module cycle) and
+        kept for the pipeline's lifetime so its spectrum cache persists
+        across calls.
+        """
+        if self._engine is None:
+            from repro.core.batch import BatchFeatureEngine
+
+            self._engine = BatchFeatureEngine(self.config)
+        return self._engine
+
     def transform_point_clouds(self, clouds: Sequence[np.ndarray], epsilon: Optional[float] = None) -> np.ndarray:
-        """Feature matrix (one row per cloud)."""
-        return np.vstack([self.features_from_point_cloud(c, epsilon=epsilon) for c in clouds])
+        """Feature matrix (one row per cloud).
+
+        Delegates to the batch engine's serial backend; sample ``i`` runs with
+        the derived seed ``derive_seed(estimator.seed, i)``, so the result is
+        reproducible per sample and identical to what the parallel engine
+        backends produce for the same configuration.
+        """
+        return self._batch_engine().transform_point_clouds(clouds, epsilon=epsilon)
 
     def transform_time_series(self, batch: np.ndarray, epsilon: Optional[float] = None) -> np.ndarray:
         """Feature matrix for a batch of time series (one series per row)."""
-        arr = np.asarray(batch, dtype=float)
-        if arr.ndim != 2:
-            raise ValueError("batch must be 2-D: one time series per row")
-        return np.vstack([self.features_from_time_series(row, epsilon=epsilon) for row in arr])
+        return self._batch_engine().transform_time_series(batch, epsilon=epsilon)
 
     @property
     def feature_names(self) -> Tuple[str, ...]:

@@ -21,8 +21,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchConfig, BatchFeatureEngine
 from repro.core.config import QTDAConfig
-from repro.core.estimator import QTDABettiEstimator
+from repro.core.hamiltonian import SpectrumCache
+from repro.core.pipeline import PipelineConfig
 from repro.datasets.features import feature_rows_to_point_clouds
 from repro.datasets.gearbox import (
     GearboxDatasetConfig,
@@ -33,8 +35,6 @@ from repro.ml.linear_model import LogisticRegression
 from repro.ml.metrics import accuracy_score, mean_absolute_error
 from repro.ml.model_selection import train_test_split
 from repro.ml.preprocessing import StandardScaler
-from repro.tda.betti import betti_number
-from repro.tda.rips import RipsComplex
 from repro.tda.takens import TakensEmbedding
 from repro.utils.ascii_plots import render_table
 from repro.utils.rng import SeedLike, derive_seed
@@ -60,6 +60,7 @@ class GearboxExperimentConfig:
     window_length: int = 500
     seed: SeedLike = 2023
     gearbox: GearboxDatasetConfig = field(default_factory=GearboxDatasetConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
 
     @classmethod
     def quick(cls) -> "GearboxExperimentConfig":
@@ -115,24 +116,28 @@ def _betti_features(
     clouds: Sequence[np.ndarray],
     epsilon: float,
     homology_dimensions: Sequence[int],
-    estimator: Optional[QTDABettiEstimator],
+    estimator_config: Optional[QTDAConfig],
+    batch: Optional[BatchConfig] = None,
+    spectrum_cache: Optional[SpectrumCache] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """(estimated features, exact features) for each cloud.
+    """(estimated features, exact features) for each cloud, via the batch engine.
 
-    When ``estimator`` is ``None`` only exact features are produced (both
-    returned arrays are the same object).
+    When ``estimator_config`` is ``None`` only exact (classical) features are
+    produced and both returned matrices are equal.  Passing the same
+    ``spectrum_cache`` across calls lets a precision sweep over identical
+    complexes reuse every Laplacian eigendecomposition.
     """
-    exact_rows = np.empty((len(clouds), len(homology_dimensions)))
-    estimated_rows = np.empty_like(exact_rows)
-    for row, cloud in enumerate(clouds):
-        complex_ = RipsComplex.from_points(cloud, epsilon, max_dimension=max(homology_dimensions) + 1).complex()
-        for col, k in enumerate(homology_dimensions):
-            exact_rows[row, col] = betti_number(complex_, k)
-            if estimator is None:
-                estimated_rows[row, col] = exact_rows[row, col]
-            else:
-                estimated_rows[row, col] = estimator.estimate(complex_, k, compute_exact=False).betti_estimate
-    return estimated_rows, exact_rows
+    engine = BatchFeatureEngine(
+        PipelineConfig(
+            epsilon=float(epsilon),
+            homology_dimensions=tuple(homology_dimensions),
+            use_quantum=estimator_config is not None,
+            estimator=estimator_config if estimator_config is not None else QTDAConfig(),
+        ),
+        batch=batch,
+        spectrum_cache=spectrum_cache,
+    )
+    return engine.features_and_exact(clouds, epsilon=float(epsilon))
 
 
 def _fit_and_score(
@@ -166,22 +171,35 @@ def run_gearbox_table1(config: GearboxExperimentConfig | None = None) -> Table1R
     clouds = feature_rows_to_point_clouds(features)
     epsilon = cfg.epsilon if cfg.epsilon is not None else _default_epsilon(clouds)
     split_seed = derive_seed(cfg.seed, 77)
+    # One spectrum cache for the whole sweep: the complexes are identical
+    # across the reference pass and every precision setting, so with the
+    # serial/threads backends each Laplacian is diagonalised exactly once.
+    # (The processes backend cannot share it — workers keep per-process
+    # caches whose lifetime is one _betti_features call; see DESIGN.md §7.)
+    cache = SpectrumCache()
 
     # Reference: actual (classical) Betti numbers as features.
-    exact_features, _ = _betti_features(clouds, epsilon, cfg.homology_dimensions, estimator=None)
+    exact_features, _ = _betti_features(
+        clouds, epsilon, cfg.homology_dimensions, None, batch=cfg.batch, spectrum_cache=cache
+    )
     ref_train, ref_val = _fit_and_score(exact_features, labels, cfg.train_fraction, split_seed)
 
     rows: List[Table1Row] = []
     for precision in cfg.precision_grid:
-        estimator = QTDABettiEstimator(
-            QTDAConfig(
-                precision_qubits=precision,
-                shots=cfg.shots,
-                backend="exact",
-                seed=derive_seed(cfg.seed, precision),
-            )
+        estimator_config = QTDAConfig(
+            precision_qubits=precision,
+            shots=cfg.shots,
+            backend="exact",
+            seed=derive_seed(cfg.seed, precision),
         )
-        estimated, exact = _betti_features(clouds, epsilon, cfg.homology_dimensions, estimator)
+        estimated, exact = _betti_features(
+            clouds,
+            epsilon,
+            cfg.homology_dimensions,
+            estimator_config,
+            batch=cfg.batch,
+            spectrum_cache=cache,
+        )
         train_acc, val_acc = _fit_and_score(estimated, labels, cfg.train_fraction, split_seed)
         mae = mean_absolute_error(exact.reshape(-1), estimated.reshape(-1))
         rows.append(
@@ -243,6 +261,7 @@ def run_timeseries_classification(
     train_fraction: float = 0.5,
     seed: SeedLike = 7,
     use_quantum: bool = True,
+    batch: Optional[BatchConfig] = None,
 ) -> TimeseriesClassificationResult:
     """Classify healthy vs faulty gearbox windows from Betti-number features.
 
@@ -259,12 +278,12 @@ def run_timeseries_classification(
     embedder = TakensEmbedding(dimension=takens_dimension, delay=takens_delay, stride=takens_stride)
     clouds = [embedder.transform(window) for window in windows]
     eps = epsilon if epsilon is not None else _default_epsilon(clouds, percentile=epsilon_percentile)
-    estimator = (
-        QTDABettiEstimator(QTDAConfig(precision_qubits=precision_qubits, shots=shots, backend="exact", seed=derive_seed(seed, 3)))
+    estimator_config = (
+        QTDAConfig(precision_qubits=precision_qubits, shots=shots, backend="exact", seed=derive_seed(seed, 3))
         if use_quantum
         else None
     )
-    features, _ = _betti_features(clouds, eps, (0, 1), estimator)
+    features, _ = _betti_features(clouds, eps, (0, 1), estimator_config, batch=batch)
     train_acc, val_acc = _fit_and_score(features, labels, train_fraction, derive_seed(seed, 99))
     return TimeseriesClassificationResult(
         training_accuracy=train_acc,

@@ -20,9 +20,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchConfig, BatchFeatureEngine
+from repro.core.pipeline import PipelineConfig
 from repro.datasets.features import feature_rows_to_point_clouds
 from repro.datasets.gearbox import GearboxDatasetConfig, generate_processed_gearbox_dataset
-from repro.experiments.gearbox_table1 import _betti_features, _fit_and_score
+from repro.experiments.gearbox_table1 import _fit_and_score
 from repro.tda.distances import pairwise_distances
 from repro.utils.ascii_plots import render_line_plot
 from repro.utils.rng import SeedLike, derive_seed
@@ -42,6 +44,7 @@ class GroupingScaleConfig:
     window_length: int = 400
     seed: SeedLike = 31
     gearbox: GearboxDatasetConfig = field(default_factory=GearboxDatasetConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
 
     @classmethod
     def paper_scale(cls) -> "GroupingScaleConfig":
@@ -91,10 +94,17 @@ def run_grouping_scale_experiment(config: GroupingScaleConfig | None = None) -> 
     )
     clouds = feature_rows_to_point_clouds(features)
     scales = _scale_grid(clouds, cfg)
+    # ε-sweep fast path: every cloud's distance matrix is computed once and
+    # only the neighbourhood graph/complex is rebuilt per grouping scale.
+    engine = BatchFeatureEngine(
+        PipelineConfig(homology_dimensions=cfg.homology_dimensions, use_quantum=False),
+        batch=cfg.batch,
+    )
+    sweep_features = engine.sweep(clouds, scales)
     means: List[float] = []
     stds: List[float] = []
     for scale_index, epsilon in enumerate(scales):
-        betti_features, _ = _betti_features(clouds, float(epsilon), cfg.homology_dimensions, estimator=None)
+        betti_features = sweep_features[scale_index]
         accuracies = []
         for rep in range(cfg.repetitions):
             train_acc, _ = _fit_and_score(

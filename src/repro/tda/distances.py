@@ -91,7 +91,9 @@ def diameter_bounds(points: np.ndarray, metric: MetricLike = "euclidean") -> Tup
 
     Handy when choosing a grouping-scale sweep: below the lower bound the
     complex is a set of isolated vertices, above the upper bound it is a full
-    simplex.
+    simplex.  Duplicate points contribute zero distances, which are *not*
+    positive and are therefore excluded from the lower bound; when every pair
+    coincides (no positive distance exists) both bounds are 0.
     """
     dist = pairwise_distances(points, metric=metric)
     n = dist.shape[0]
@@ -99,4 +101,6 @@ def diameter_bounds(points: np.ndarray, metric: MetricLike = "euclidean") -> Tup
         return (0.0, 0.0)
     iu, ju = np.triu_indices(n, k=1)
     values = dist[iu, ju]
-    return (float(values.min()), float(values.max()))
+    positive = values[values > 0.0]
+    lower = float(positive.min()) if positive.size else 0.0
+    return (lower, float(values.max()))

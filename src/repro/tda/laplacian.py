@@ -39,6 +39,72 @@ def combinatorial_laplacian(complex_: SimplicialComplex, k: int, sparse_format: 
     return np.asarray(lap.todense(), dtype=float)
 
 
+def laplacian_from_flag_arrays(arrays, k: int, sparse_format: bool = False) -> np.ndarray | sparse.csr_matrix:
+    """``Δ_k`` straight from :class:`repro.tda.rips.FlagComplexArrays`.
+
+    The array representation keeps the lexicographic simplex order of
+    :class:`SimplicialComplex`, so this returns *exactly* the matrix
+    :func:`combinatorial_laplacian` would build from the equivalent complex —
+    without per-simplex Python objects on the batch engine's hot path.
+    Supports ``k <= 2`` (the arrays hold nothing higher).
+    """
+    k = check_integer(k, "k", minimum=0)
+    n = arrays.num_points
+    edges = arrays.edges
+    triangles = arrays.triangles
+    num_k = arrays.num_simplices(k)
+    if num_k == 0:
+        return sparse.csr_matrix((0, 0)) if sparse_format else np.zeros((0, 0))
+    if k == 0:
+        # ∂_1 ∂_1ᵀ is the graph Laplacian: vertex degrees on the diagonal,
+        # -1 per edge — built directly instead of via two sparse products
+        # (same integer entries either way).
+        dense = np.zeros((n, n))
+        if len(edges):
+            dense[edges[:, 0], edges[:, 1]] = -1.0
+            dense[edges[:, 1], edges[:, 0]] = -1.0
+            degrees = np.bincount(edges.reshape(-1), minlength=n).astype(float)
+            np.fill_diagonal(dense, degrees)
+        if sparse_format:
+            return sparse.csr_matrix(dense)
+        return dense
+    elif k == 1:
+        d1 = _flag_d1(edges, n)
+        lap = (d1.T @ d1).tocsr()
+        if len(triangles):
+            d2 = _flag_d2(triangles, edges, n)
+            lap = (lap + d2 @ d2.T).tocsr()
+    elif k == 2:
+        d2 = _flag_d2(triangles, edges, n)
+        lap = (d2.T @ d2).tocsr()
+    else:  # pragma: no cover - num_k == 0 for k > 2 always returns above
+        raise ValueError("flag arrays hold no simplices above dimension 2")
+    if sparse_format:
+        return lap
+    return np.asarray(lap.todense(), dtype=float)
+
+
+def _flag_d1(edges: np.ndarray, num_points: int) -> sparse.csr_matrix:
+    """``∂_1`` (shape ``(n, |S_1|)``): column for edge ``(i, j)`` is ``+1`` at ``j``, ``-1`` at ``i``."""
+    m = len(edges)
+    cols = np.repeat(np.arange(m), 2)
+    rows = edges[:, ::-1].reshape(-1)  # (j, i) per column
+    data = np.tile(np.array([1.0, -1.0]), m)
+    return sparse.csr_matrix((data, (rows, cols)), shape=(num_points, m))
+
+
+def _flag_d2(triangles: np.ndarray, edges: np.ndarray, num_points: int) -> sparse.csr_matrix:
+    """``∂_2`` (shape ``(|S_1|, |S_2|)``): column for ``(a, b, c)`` hits faces ``(b,c), (a,c), (a,b)`` with signs ``+1, -1, +1``."""
+    edge_codes = edges[:, 0] * num_points + edges[:, 1]
+    t = len(triangles)
+    a, b, c = triangles[:, 0], triangles[:, 1], triangles[:, 2]
+    face_codes = np.stack([b * num_points + c, a * num_points + c, a * num_points + b], axis=1)
+    rows = np.searchsorted(edge_codes, face_codes.reshape(-1))
+    cols = np.repeat(np.arange(t), 3)
+    data = np.tile(np.array([1.0, -1.0, 1.0]), t)
+    return sparse.csr_matrix((data, (rows, cols)), shape=(len(edges), t))
+
+
 def laplacian_spectrum(complex_: SimplicialComplex, k: int) -> np.ndarray:
     """Sorted eigenvalues of ``Δ_k`` (empty array when there are no ``k``-simplices)."""
     lap = combinatorial_laplacian(complex_, k)

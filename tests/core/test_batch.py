@@ -1,0 +1,220 @@
+"""Tests for the batched feature engine, the spectrum cache and the fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BATCH_BACKENDS, BatchConfig, BatchFeatureEngine
+from repro.core.config import QTDAConfig
+from repro.core.hamiltonian import SpectrumCache, build_hamiltonian, padded_spectrum
+from repro.core.pipeline import PipelineConfig, QTDAPipeline
+from repro.datasets.point_clouds import circle_cloud, clusters_cloud
+from repro.tda.betti import betti_number
+from repro.tda.laplacian import combinatorial_laplacian, laplacian_from_flag_arrays
+from repro.tda.rips import RipsComplex, flag_complex_arrays, rips_complex, rips_sweep
+
+
+@pytest.fixture()
+def clouds():
+    return [circle_cloud(12), clusters_cloud(3, 5, seed=2), circle_cloud(8), clusters_cloud(2, 4, seed=5)]
+
+
+@pytest.fixture()
+def quantum_config():
+    return PipelineConfig(
+        epsilon=0.7,
+        use_quantum=True,
+        estimator=QTDAConfig(precision_qubits=4, shots=200, seed=42),
+    )
+
+
+# -- backend equivalence ---------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BATCH_BACKENDS)
+def test_backends_bit_identical_under_fixed_seed(clouds, quantum_config, backend):
+    """Same seed ⇒ identical feature matrices, regardless of execution backend."""
+    reference = BatchFeatureEngine(quantum_config).transform_point_clouds(clouds)
+    engine = BatchFeatureEngine(
+        quantum_config, batch=BatchConfig(backend=backend, max_workers=2, chunk_size=1)
+    )
+    assert np.array_equal(reference, engine.transform_point_clouds(clouds))
+
+
+def test_pipeline_batch_methods_match_engine(clouds, quantum_config):
+    pipeline = QTDAPipeline(quantum_config)
+    engine = BatchFeatureEngine(quantum_config)
+    assert np.array_equal(
+        pipeline.transform_point_clouds(clouds), engine.transform_point_clouds(clouds)
+    )
+
+
+def test_chunking_does_not_change_results(clouds, quantum_config):
+    whole = BatchFeatureEngine(
+        quantum_config, batch=BatchConfig(backend="threads", chunk_size=len(clouds))
+    ).transform_point_clouds(clouds)
+    split = BatchFeatureEngine(
+        quantum_config, batch=BatchConfig(backend="threads", chunk_size=1)
+    ).transform_point_clouds(clouds)
+    assert np.array_equal(whole, split)
+
+
+def test_transform_time_series_matches_pipeline():
+    series = np.vstack([np.sin(np.linspace(0, 4 * np.pi, 60) + phase) for phase in (0.0, 0.5, 1.0)])
+    config = PipelineConfig(
+        epsilon=0.8, use_quantum=False, takens_dimension=2, takens_delay=5, takens_stride=3
+    )
+    engine_matrix = BatchFeatureEngine(config).transform_time_series(series)
+    pipeline_matrix = QTDAPipeline(config).transform_time_series(series)
+    assert np.array_equal(engine_matrix, pipeline_matrix)
+    with pytest.raises(ValueError):
+        BatchFeatureEngine(config).transform_time_series(series[0])
+
+
+def test_empty_batch(quantum_config):
+    engine = BatchFeatureEngine(quantum_config)
+    assert engine.transform_point_clouds([]).shape == (0, 2)
+    assert engine.sweep([], [0.5, 1.0]).shape == (2, 0, 2)
+
+
+# -- sweep fast path -------------------------------------------------------------
+
+def test_sweep_matches_per_epsilon_transforms(clouds):
+    engine = BatchFeatureEngine(PipelineConfig(use_quantum=False))
+    epsilons = [0.4, 0.7, 1.2]
+    swept = engine.sweep(clouds, epsilons)
+    assert swept.shape == (3, len(clouds), 2)
+    for index, epsilon in enumerate(epsilons):
+        assert np.array_equal(swept[index], engine.transform_point_clouds(clouds, epsilon=epsilon))
+
+
+def test_features_and_exact_against_classical_betti(clouds, quantum_config):
+    estimated, exact = BatchFeatureEngine(quantum_config).features_and_exact(clouds, epsilon=0.7)
+    assert estimated.shape == exact.shape == (len(clouds), 2)
+    for row, cloud in enumerate(clouds):
+        complex_ = rips_complex(np.asarray(cloud, dtype=float), 0.7, 2)
+        for col, k in enumerate((0, 1)):
+            assert exact[row, col] == betti_number(complex_, k)
+
+
+def test_fallback_path_above_dimension_two(clouds):
+    """max_complex_dimension > 2 routes through the generic clique path."""
+    config = PipelineConfig(epsilon=0.7, use_quantum=False, homology_dimensions=(0, 1, 2))
+    assert config.max_complex_dimension == 3
+    features = BatchFeatureEngine(config).transform_point_clouds(clouds[:2])
+    assert features.shape == (2, 3)
+    pipeline_features = QTDAPipeline(config).transform_point_clouds(clouds[:2])
+    assert np.array_equal(features, pipeline_features)
+
+
+# -- flag-complex fast path ------------------------------------------------------
+
+def test_flag_arrays_match_clique_complex_and_laplacians():
+    rng = np.random.default_rng(3)
+    for _ in range(15):
+        points = rng.normal(size=(int(rng.integers(2, 16)), 3))
+        epsilon = float(rng.uniform(0.3, 2.5))
+        rips = RipsComplex.from_points(points, epsilon, max_dimension=2)
+        complex_ = rips.complex()
+        arrays = rips.flag_arrays()
+        assert arrays.to_complex() == complex_
+        assert arrays.f_vector() == complex_.f_vector()
+        for k in (0, 1, 2):
+            assert np.array_equal(
+                combinatorial_laplacian(complex_, k), laplacian_from_flag_arrays(arrays, k)
+            )
+
+
+def test_flag_arrays_reject_high_dimensions():
+    with pytest.raises(ValueError):
+        flag_complex_arrays(np.zeros((3, 3)), 1.0, max_dimension=3)
+
+
+def test_with_epsilon_shares_distances_and_rips_sweep():
+    points = circle_cloud(10)
+    rips = RipsComplex.from_points(points, 0.3)
+    wider = rips.with_epsilon(0.9)
+    assert wider.epsilon == 0.9
+    assert wider.distance_matrix is rips.distance_matrix
+    assert wider.complex() == RipsComplex.from_points(points, 0.9).complex()
+    sweep = rips_sweep(points, [0.3, 0.6, 0.9])
+    assert [r.epsilon for r in sweep] == [0.3, 0.6, 0.9]
+    assert sweep[0].distance_matrix is sweep[2].distance_matrix
+
+
+# -- spectrum cache --------------------------------------------------------------
+
+def test_padded_spectrum_matches_dense_padded_eigendecomposition():
+    """The satellite criterion: analytic phases vs np.linalg.eigvalsh of the dense padded matrix."""
+    rng = np.random.default_rng(11)
+    cache = SpectrumCache()
+    for _ in range(10):
+        points = rng.normal(size=(int(rng.integers(3, 14)), 3))
+        complex_ = rips_complex(points, float(rng.uniform(0.5, 2.0)), 2)
+        for k in (0, 1):
+            if complex_.num_simplices(k) == 0:
+                continue
+            laplacian = combinatorial_laplacian(complex_, k)
+            for padding in ("identity", "zero"):
+                spectrum = padded_spectrum(laplacian, delta=6.0, padding=padding, cache=cache)
+                hamiltonian = build_hamiltonian(laplacian, delta=6.0, padding=padding)
+                assert spectrum.num_qubits == hamiltonian.num_qubits
+                assert spectrum.lambda_max == hamiltonian.padded.lambda_max
+                dense_eigenvalues = np.linalg.eigvalsh(hamiltonian.matrix)
+                np.testing.assert_allclose(
+                    np.sort(spectrum.hamiltonian_eigenvalues()), dense_eigenvalues, atol=1e-9
+                )
+                np.testing.assert_allclose(
+                    np.sort(spectrum.eigenphases()), np.sort(hamiltonian.eigenphases()), atol=1e-10
+                )
+
+
+def test_spectrum_cache_hits_are_bit_identical():
+    laplacian = combinatorial_laplacian(rips_complex(circle_cloud(10), 0.7, 2), 1)
+    cache = SpectrumCache(maxsize=4)
+    first, lam_first = cache.spectrum(laplacian)
+    second, lam_second = cache.spectrum(laplacian)
+    assert cache.hits == 1 and cache.misses == 1
+    assert lam_first == lam_second
+    assert np.array_equal(first, second)
+
+
+def test_spectrum_cache_lru_eviction():
+    cache = SpectrumCache(maxsize=2)
+    matrices = [np.diag([float(i), float(i + 1)]) for i in range(3)]
+    for matrix in matrices:
+        cache.spectrum(matrix)
+    assert len(cache) == 2
+    cache.spectrum(matrices[0])  # evicted above -> miss again
+    assert cache.misses == 4
+
+
+def test_cache_reuse_across_precision_sweep(clouds):
+    """Table 1 pattern: same complexes under several precision settings hit the cache."""
+    cache = SpectrumCache()
+    for precision in (1, 3, 5):
+        config = PipelineConfig(
+            epsilon=0.7,
+            use_quantum=True,
+            estimator=QTDAConfig(precision_qubits=precision, shots=None),
+        )
+        BatchFeatureEngine(config, spectrum_cache=cache).transform_point_clouds(clouds)
+    assert cache.hits >= 2 * cache.misses  # two of three sweeps fully served from cache
+
+
+# -- configuration ---------------------------------------------------------------
+
+def test_batch_config_validation():
+    with pytest.raises(ValueError):
+        BatchConfig(backend="fibers")
+    with pytest.raises(ValueError):
+        BatchConfig(max_workers=0)
+    with pytest.raises(ValueError):
+        BatchConfig(chunk_size=0)
+    assert BatchConfig(spectrum_cache_size=0).spectrum_cache_size == 0
+
+
+def test_cache_disabled_still_correct(clouds, quantum_config):
+    cached = BatchFeatureEngine(quantum_config).transform_point_clouds(clouds)
+    uncached = BatchFeatureEngine(
+        quantum_config, batch=BatchConfig(spectrum_cache_size=0)
+    ).transform_point_clouds(clouds)
+    assert np.array_equal(cached, uncached)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.core.config import QTDAConfig
 from repro.core.estimator import BettiEstimate, QTDABettiEstimator
@@ -50,6 +51,17 @@ def test_no_k_simplices_short_circuit(hollow_triangle):
     assert result.exact_betti == 0
 
 
+def test_no_k_simplices_without_compute_exact_reports_no_ground_truth(hollow_triangle):
+    """Regression: the num_k == 0 path must not invent exact_betti=0 when
+    compute_exact=False — absolute_error would then claim a ground truth
+    that was never computed."""
+    estimator = QTDABettiEstimator(precision_qubits=3, shots=100)
+    result = estimator.estimate(hollow_triangle, 2, compute_exact=False)
+    assert result.exact_betti is None
+    assert result.absolute_error is None
+    assert result.rounded_error is None
+
+
 def test_estimate_from_laplacian_directly(appendix_k):
     laplacian = combinatorial_laplacian(appendix_k, 1)
     estimator = QTDABettiEstimator(precision_qubits=4, shots=None, delta=6.0)
@@ -63,6 +75,22 @@ def test_estimate_requires_complex_type():
     estimator = QTDABettiEstimator()
     with pytest.raises(TypeError):
         estimator.estimate(np.eye(4), 1)
+
+
+@pytest.mark.parametrize("backend", ["exact", "statevector"])
+def test_estimate_from_laplacian_rejects_asymmetric_matrices(backend):
+    """Every backend validates symmetry — eigvalsh would silently read one
+    triangle of a garbage matrix on the exact fast path."""
+    estimator = QTDABettiEstimator(precision_qubits=3, shots=None, backend=backend)
+    with pytest.raises(ValueError, match="symmetric"):
+        estimator.estimate_from_laplacian(np.array([[1.0, 5.0], [0.0, 1.0]]))
+
+
+@pytest.mark.parametrize("backend", ["exact", "statevector"])
+def test_estimate_from_laplacian_accepts_sparse_input(appendix_k, backend):
+    laplacian = sparse.csr_matrix(combinatorial_laplacian(appendix_k, 1))
+    estimator = QTDABettiEstimator(precision_qubits=4, shots=None, delta=6.0, backend=backend)
+    assert estimator.estimate_from_laplacian(laplacian).betti_rounded == 1
 
 
 def test_shot_sampling_reproducible_with_seed(appendix_k):

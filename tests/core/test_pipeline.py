@@ -99,3 +99,15 @@ def test_betti_feature_vector_convenience():
 def test_pipeline_keyword_overrides():
     pipeline = QTDAPipeline(epsilon=0.5, use_quantum=False)
     assert pipeline.config.epsilon == 0.5
+
+
+def test_homology_dimensions_override_rederives_max_complex_dimension():
+    """Regression: overriding only homology_dimensions must not carry the base
+    config's already-resolved max_complex_dimension through the replace."""
+    pipeline = QTDAPipeline(homology_dimensions=(0, 1, 2))
+    assert pipeline.config.max_complex_dimension == 3
+    # An explicit max_complex_dimension override still wins (and still validates).
+    pipeline = QTDAPipeline(homology_dimensions=(0,), max_complex_dimension=2)
+    assert pipeline.config.max_complex_dimension == 2
+    with pytest.raises(ValueError):
+        QTDAPipeline(homology_dimensions=(0, 1, 2), max_complex_dimension=2)

@@ -53,6 +53,17 @@ def test_epsilon_graph_from_distance_matrix():
     assert graph.number_of_edges() == 1
 
 
+def test_diameter_bounds_ignore_duplicate_points():
+    """Regression: duplicates contribute zero distances, which are not
+    'positive' — the lower bound must skip them."""
+    points = np.array([[0.0, 0.0], [0.0, 0.0], [3.0, 0.0]])
+    lo, hi = diameter_bounds(points)
+    assert lo == pytest.approx(3.0)
+    assert hi == pytest.approx(3.0)
+    # All-duplicates cloud: no positive distance exists, both bounds are 0.
+    assert diameter_bounds(np.zeros((4, 2))) == (0.0, 0.0)
+
+
 def test_diameter_bounds():
     points = np.array([[0.0, 0.0], [1.0, 0.0], [4.0, 0.0]])
     lo, hi = diameter_bounds(points)
