@@ -5,6 +5,7 @@ paper's experiments be regenerated without writing any Python:
 
 .. code-block:: bash
 
+    repro-experiments list-backends               # registered estimator backends
     repro-experiments appendix                    # Appendix A walkthrough
     repro-experiments fig3 --complexes 10         # error vs shots / precision
     repro-experiments table1 --rows 80            # gearbox Table 1 analogue
@@ -13,6 +14,9 @@ paper's experiments be regenerated without writing any Python:
 
 Every subcommand prints the same report the corresponding benchmark prints;
 ``--paper-scale`` switches to the full grids described in EXPERIMENTS.md.
+The estimation subcommands accept ``--backend`` (any name from the
+:mod:`repro.core.backends` registry) and, for the noisy workload,
+``--noise-channel`` / ``--noise-strength``.
 """
 
 from __future__ import annotations
@@ -20,6 +24,35 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+
+def _add_backend_option(parser, default: str = "exact") -> None:
+    # Deliberately not `choices=`: resolving the registry here would import
+    # the heavy backend modules on every `--help`, and would reject backends
+    # registered after the parser was built.  QTDAConfig validates the name
+    # against the live registry and its error lists the available backends.
+    parser.add_argument(
+        "--backend",
+        default=default,
+        help="estimator backend name (see 'list-backends' for the registry)",
+    )
+
+
+def _add_noise_options(parser) -> None:
+    parser.add_argument(
+        "--noise-channel",
+        default=None,
+        help=(
+            "per-gate noise channel for the noisy-density backend "
+            "(depolarizing, bit-flip, phase-flip or amplitude-damping)"
+        ),
+    )
+    parser.add_argument(
+        "--noise-strength",
+        type=float,
+        default=0.0,
+        help="per-gate error probability of the noise channel",
+    )
 
 
 def _add_batch_options(parser) -> None:
@@ -51,6 +84,7 @@ def _add_fig3(subparsers) -> None:
     parser.add_argument("--shots", type=int, nargs="+", default=[100, 1000, 10000], help="shot grid")
     parser.add_argument("--precision", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6], help="precision-qubit grid")
     parser.add_argument("--seed", type=int, default=1234)
+    _add_backend_option(parser)
 
 
 def _add_table1(subparsers) -> None:
@@ -60,6 +94,8 @@ def _add_table1(subparsers) -> None:
     parser.add_argument("--shots", type=int, default=100)
     parser.add_argument("--precision", type=int, nargs="+", default=[1, 2, 3, 4, 5])
     parser.add_argument("--seed", type=int, default=2023)
+    _add_backend_option(parser)
+    _add_noise_options(parser)
     _add_batch_options(parser)
 
 
@@ -77,7 +113,8 @@ def _add_appendix(subparsers) -> None:
     parser = subparsers.add_parser("appendix", help="Appendix A worked example")
     parser.add_argument("--shots", type=int, default=1000)
     parser.add_argument("--precision", type=int, default=3)
-    parser.add_argument("--backend", choices=("exact", "statevector", "trotter"), default="statevector")
+    _add_backend_option(parser, default="statevector")
+    _add_noise_options(parser)
     parser.add_argument("--draw", action="store_true", help="include an ASCII drawing of the Fig. 6 circuit")
     parser.add_argument("--seed", type=int, default=1)
 
@@ -91,7 +128,15 @@ def _add_timeseries(subparsers) -> None:
     parser.add_argument("--stride", type=int, default=16, help="Takens embedding stride")
     parser.add_argument("--classical", action="store_true", help="use exact Betti numbers instead of QPE estimates")
     parser.add_argument("--seed", type=int, default=7)
+    _add_backend_option(parser)
+    _add_noise_options(parser)
     _add_batch_options(parser)
+
+
+def _add_list_backends(subparsers) -> None:
+    subparsers.add_parser(
+        "list-backends", help="list the registered estimator backends and their descriptions"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,12 +147,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--paper-scale", action="store_true", help="use the full paper-sized parameter grids (slow)")
     subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_list_backends(subparsers)
     _add_fig3(subparsers)
     _add_table1(subparsers)
     _add_fig4(subparsers)
     _add_appendix(subparsers)
     _add_timeseries(subparsers)
     return parser
+
+
+def _run_list_backends(args) -> str:
+    from repro.core.backends import available_backends, get_backend
+
+    names = available_backends()
+    width = max(len(name) for name in names)
+    lines = ["Registered estimator backends:"]
+    for name in names:
+        backend = get_backend(name)
+        sparse_tag = "  [sparse input]" if getattr(backend, "prefers_sparse", False) else ""
+        lines.append(f"  {name:<{width}}  {backend.description}{sparse_tag}")
+    return "\n".join(lines)
 
 
 def _run_fig3(args) -> str:
@@ -118,17 +177,18 @@ def _run_fig3(args) -> str:
         run_shots_precision_experiment,
     )
 
-    config = (
-        ShotsPrecisionConfig.paper_scale()
-        if args.paper_scale
-        else ShotsPrecisionConfig(
+    if args.paper_scale:
+        config = ShotsPrecisionConfig.paper_scale()
+        config.backend = args.backend
+    else:
+        config = ShotsPrecisionConfig(
             complex_sizes=tuple(args.sizes),
             num_complexes=args.complexes,
             shots_grid=tuple(args.shots),
             precision_grid=tuple(args.precision),
             seed=args.seed,
+            backend=args.backend,
         )
-    )
     result = run_shots_precision_experiment(config)
     return render_shots_precision_results(result) + f"\n\nTrend summary: {error_trend_summary(result)}"
 
@@ -138,7 +198,12 @@ def _run_table1(args) -> str:
 
     batch = _batch_config(args)
     config = (
-        GearboxExperimentConfig(batch=batch)
+        GearboxExperimentConfig(
+            batch=batch,
+            backend=args.backend,
+            noise_channel=args.noise_channel,
+            noise_strength=args.noise_strength,
+        )
         if args.paper_scale
         else GearboxExperimentConfig(
             num_rows=args.rows,
@@ -147,6 +212,9 @@ def _run_table1(args) -> str:
             shots=args.shots,
             seed=args.seed,
             batch=batch,
+            backend=args.backend,
+            noise_channel=args.noise_channel,
+            noise_strength=args.noise_strength,
         )
     )
     return render_table1(run_gearbox_table1(config))
@@ -184,6 +252,8 @@ def _run_appendix(args) -> str:
         backend=args.backend,
         seed=args.seed,
         include_drawing=args.draw,
+        noise_channel=args.noise_channel,
+        noise_strength=args.noise_strength,
     )
     return render_worked_example(result)
 
@@ -200,6 +270,9 @@ def _run_timeseries(args) -> str:
         seed=args.seed,
         use_quantum=not args.classical,
         batch=_batch_config(args),
+        backend=args.backend,
+        noise_channel=args.noise_channel,
+        noise_strength=args.noise_strength,
     )
     return (
         f"Section 5 time-series classification ({result.num_windows} windows, eps = {result.epsilon:.3f})\n"
@@ -209,6 +282,7 @@ def _run_timeseries(args) -> str:
 
 
 _COMMANDS = {
+    "list-backends": _run_list_backends,
     "fig3": _run_fig3,
     "table1": _run_table1,
     "fig4": _run_fig4,

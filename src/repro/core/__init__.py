@@ -13,13 +13,24 @@ The pipeline implemented here follows Section 3 of the paper step by step:
 4. :mod:`repro.core.qtda_circuit` — assemble the full circuit of Fig. 6
    (mixed-state preparation + QPE with the chosen number of precision
    qubits).
-5. :mod:`repro.core.estimator` — run the circuit (or its analytical
-   equivalent), read off ``p(0)`` and return ``β̃_k = 2^q · p(0)``
-   (Eqs. 10–11).
-6. :mod:`repro.core.pipeline` — go from raw point clouds / time series to
+5. :mod:`repro.core.backends` — the pluggable execution-backend registry
+   (analytical, sparse spectral, circuit, Trotterised, noisy density-matrix
+   paths; see DESIGN.md §5).
+6. :mod:`repro.core.estimator` — resolve the configured backend, read off
+   ``p(0)`` and return ``β̃_k = 2^q · p(0)`` (Eqs. 10–11).
+7. :mod:`repro.core.pipeline` — go from raw point clouds / time series to
    Betti-number feature vectors for machine learning (Section 5).
 """
 
+from repro.core.backends import (
+    BackendResult,
+    BettiBackend,
+    EstimationProblem,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.core.config import QTDAConfig
 from repro.core.padding import pad_laplacian, zero_pad_laplacian, PaddedLaplacian
 from repro.core.hamiltonian import (
@@ -38,6 +49,13 @@ from repro.core.batch import BatchConfig, BatchFeatureEngine
 
 __all__ = [
     "QTDAConfig",
+    "BackendResult",
+    "BettiBackend",
+    "EstimationProblem",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     "padded_spectrum",
     "PaddedSpectrum",
     "SpectrumCache",

@@ -1,0 +1,56 @@
+"""Pluggable execution backends for the QPE Betti-number estimator.
+
+This subpackage is the architectural seam between *what* the Section 3
+algorithm computes (``β̃_k = 2^q · p(0)``) and *how* the readout distribution
+is obtained.  Importing it registers the built-in backends:
+
+========================  ====================================================
+name                      realisation
+========================  ====================================================
+``exact``                 analytical QPE readout from the padded spectrum
+``sparse-exact``          shift-invert partial spectrum on the sparse
+                          Laplacian (dense fallback below a size threshold)
+``statevector``           explicit Fig. 6 circuit, exact controlled powers
+``trotter``               Fig. 6 with Trotterised evolution (Fig. 7)
+``noisy-density``         Fig. 6 on the density-matrix simulator with a
+                          per-gate noise channel
+========================  ====================================================
+
+Third-party backends implement :class:`BettiBackend` and call
+:func:`register_backend`; every consumer (config validation, estimator,
+pipeline, batch engine, CLI, experiment drivers) resolves names through this
+registry, so a registered backend is immediately usable everywhere.  See
+DESIGN.md §5.
+"""
+
+from repro.core.backends.base import (
+    BackendResult,
+    BettiBackend,
+    EstimationProblem,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+# Importing the modules registers the built-in backends.
+from repro.core.backends.exact import ExactBackend
+from repro.core.backends.sparse_exact import SparseExactBackend
+from repro.core.backends.statevector import StatevectorBackend
+from repro.core.backends.trotter import TrotterBackend
+from repro.core.backends.noisy_density import NoisyDensityBackend
+
+__all__ = [
+    "BackendResult",
+    "BettiBackend",
+    "EstimationProblem",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "ExactBackend",
+    "SparseExactBackend",
+    "StatevectorBackend",
+    "TrotterBackend",
+    "NoisyDensityBackend",
+]

@@ -1,0 +1,180 @@
+"""Backend protocol, result type and registry for Betti-number estimation.
+
+A *backend* is one realisation of the Section 3 estimator: given a
+combinatorial Laplacian it produces the QPE precision-register readout
+distribution from which ``β̃_k = 2^q · p(0)`` follows (Eqs. 10–11).  The
+paper itself admits several interchangeable realisations — the analytical
+QPE readout, the explicit Fig. 6 circuit, the Trotterised Fig. 7 evolution —
+and this module makes them a first-class, extensible subsystem instead of
+string-dispatched branches inside the estimator (see DESIGN.md §5).
+
+Every backend implements :class:`BettiBackend` and registers itself under a
+unique name with :func:`register_backend`; :class:`QTDAConfig` validates its
+``backend`` field against :func:`available_backends`, and
+:class:`repro.core.estimator.QTDABettiEstimator` resolves the configured name
+through :func:`get_backend` at estimation time.  Future execution paths (GPU
+statevector, tensor networks, real-hardware adapters) plug in the same way
+without touching the estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+from scipy import sparse as _sparse
+
+from repro.core.hamiltonian import RescaledHamiltonian, SpectrumCache, build_hamiltonian
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a config<->backends cycle
+    from repro.core.config import QTDAConfig
+
+
+@dataclass
+class EstimationProblem:
+    """One Betti estimation task: a combinatorial Laplacian plus shared caches.
+
+    Attributes
+    ----------
+    laplacian:
+        The ``|S_k| x |S_k|`` combinatorial Laplacian, dense or
+        ``scipy.sparse``.  Backends pull whichever view they need —
+        :meth:`dense_hamiltonian` materialises the padded, rescaled
+        ``2^q x 2^q`` matrix for circuit execution, while spectral backends
+        work from the matrix directly (the ``sparse-exact`` backend never
+        densifies above its fallback threshold).
+    spectrum_cache:
+        Optional shared :class:`SpectrumCache` used by the spectral backends;
+        caching never changes results, only cost (DESIGN.md §6).
+    """
+
+    laplacian: "np.ndarray | _sparse.spmatrix"
+    spectrum_cache: Optional[SpectrumCache] = None
+
+    @property
+    def dimension(self) -> int:
+        """``|S_k|`` — the unpadded Laplacian dimension."""
+        return int(self.laplacian.shape[0])
+
+    @property
+    def is_sparse(self) -> bool:
+        return _sparse.issparse(self.laplacian)
+
+    def dense_hamiltonian(self, config: "QTDAConfig") -> RescaledHamiltonian:
+        """The padded, rescaled dense Hamiltonian (circuit backends need the matrix)."""
+        return build_hamiltonian(self.laplacian, delta=config.delta, padding=config.padding)
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """What a backend hands back to the estimator.
+
+    Attributes
+    ----------
+    distribution:
+        Length-``2^t`` probability vector over precision-register readouts;
+        the estimator derives ``p(0)`` (exactly or by shot sampling) from it.
+    num_system_qubits:
+        ``q``, so that ``β̃_k = 2**num_system_qubits * p(0)``.
+    lambda_max:
+        The Gershgorin bound ``λ̃_max`` used for padding/rescaling
+        (spectral-scaling provenance, echoed into :class:`BettiEstimate`).
+    """
+
+    distribution: np.ndarray
+    num_system_qubits: int
+    lambda_max: float
+
+
+@runtime_checkable
+class BettiBackend(Protocol):
+    """Protocol every estimator backend implements.
+
+    ``run`` receives the estimation problem (the rescale-ready Laplacian plus
+    caches), the full :class:`QTDAConfig` and the estimator's RNG; it returns
+    the readout distribution.  Shot sampling is *not* the backend's job — the
+    estimator samples the returned distribution so that finite-shot behaviour
+    is identical across backends.
+    """
+
+    #: Registry name (also the value of ``QTDAConfig.backend``).
+    name: str
+    #: One-line human description (shown by ``repro-experiments list-backends``).
+    description: str
+    #: Whether :meth:`QTDABettiEstimator.estimate` should hand this backend a
+    #: sparse Laplacian (spectral backends that never densify set this).
+    prefers_sparse: bool
+
+    def run(
+        self,
+        problem: EstimationProblem,
+        config: "QTDAConfig",
+        rng: np.random.Generator,
+    ) -> BackendResult:  # pragma: no cover - protocol signature
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, BettiBackend] = {}
+
+
+def register_backend(name: str, backend: BettiBackend) -> None:
+    """Register ``backend`` under ``name``.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is already taken (re-registering is almost always an
+        accident — call :func:`unregister_backend` first to replace a
+        backend deliberately) or if ``backend`` does not implement the
+        :class:`BettiBackend` protocol.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY:
+        raise ValueError(
+            f"backend {name!r} is already registered; call unregister_backend({name!r}) "
+            "first to replace it"
+        )
+    if not callable(getattr(backend, "run", None)):
+        raise TypeError(f"backend {name!r} does not implement BettiBackend.run")
+    for attribute in ("description", "prefers_sparse"):
+        if not hasattr(backend, attribute):
+            # Consumers read these without getattr fallbacks (the estimator
+            # consults prefers_sparse on every estimate), so a late
+            # AttributeError there would be far harder to diagnose.
+            raise TypeError(f"backend {name!r} is missing the {attribute!r} attribute")
+    _REGISTRY[name] = backend
+
+
+def unregister_backend(name: str) -> BettiBackend:
+    """Remove and return the backend registered under ``name``."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ValueError(
+            f"Unknown backend {name!r}; available backends: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> tuple:
+    """Sorted names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> BettiBackend:
+    """Resolve a backend by name.
+
+    The error message lists every registered name so a typo in a config file
+    or CLI flag is immediately actionable.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"Unknown backend {name!r}; available backends: {', '.join(available_backends())}"
+        ) from None

@@ -19,6 +19,11 @@ Determinism: sample ``i`` always runs with the derived seed
 ``derive_seed(config.estimator.seed, i)``, so the ``serial``, ``threads`` and
 ``processes`` backends return bit-identical feature matrices for a fixed
 seed, regardless of worker count or chunking.
+
+Estimator backends are orthogonal to these *execution* backends: the engine
+builds a :class:`QTDABettiEstimator` per sample from ``config.estimator``, so
+any backend registered in :mod:`repro.core.backends` (``exact``,
+``sparse-exact``, ``noisy-density``, ...) passes through unchanged.
 """
 
 from __future__ import annotations

@@ -4,20 +4,23 @@ Collects the knobs the paper varies in its experiments — number of precision
 qubits, number of shots, the spectral-scaling constant ``δ`` — plus the
 implementation choices this library adds (simulation backend, padding mode,
 Trotter parameters, optional noise).
+
+The ``backend`` field is validated against the pluggable backend registry
+(:mod:`repro.core.backends`), so any backend registered with
+:func:`repro.core.backends.register_backend` — built-in or third-party —
+is immediately usable from a config.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.quantum.noise import NoiseModel
-from repro.utils.validation import check_integer, check_positive_integer
-
-#: Allowed simulation backends (see DESIGN.md §5 for their semantics).
-BACKENDS = ("exact", "statevector", "trotter")
+from repro.core.backends import available_backends
+from repro.quantum.noise import NOISE_CHANNELS, NoiseModel
+from repro.utils.validation import check_integer, check_positive_integer, check_probability
 
 #: Allowed padding modes (Eq. 7 identity padding vs the naive zero padding).
 PADDING_MODES = ("identity", "zero")
@@ -42,10 +45,10 @@ class QTDAConfig:
         distinguish from phase 0 (phases are periodic), and the top of the
         spectrum leaks into the Betti count.
     backend:
-        ``"exact"`` (analytical QPE distribution), ``"statevector"`` (explicit
-        circuit with exact controlled powers of ``U``) or ``"trotter"``
-        (explicit circuit with ``U`` synthesised from the Pauli
-        decomposition, Fig. 7).
+        Name of a registered estimation backend (see
+        :func:`repro.core.backends.available_backends`; the built-ins are
+        ``"exact"``, ``"sparse-exact"``, ``"statevector"``, ``"trotter"``
+        and ``"noisy-density"``).
     padding:
         ``"identity"`` for the paper's λ̃_max/2-identity padding (Eq. 7) or
         ``"zero"`` for the naive zero padding it argues against.
@@ -56,9 +59,16 @@ class QTDAConfig:
         auxiliary qubits and Bell pairs (Fig. 2).  When false, the mixed
         state is simulated by averaging over computational basis states,
         which needs no auxiliary qubits.
+    noise_channel, noise_strength:
+        Declarative noise parametrisation consumed by the ``noisy-density``
+        backend (and honoured by the other circuit backends): a channel name
+        from :data:`repro.quantum.noise.NOISE_CHANNELS` and its per-gate
+        error probability.  Unlike ``noise_model`` these fields are plain
+        data, so configs stay serialisable (:meth:`as_dict`).
     noise_model:
-        Optional noise model applied by the density-matrix simulator
-        (only honoured by circuit backends).
+        Optional explicit noise model object; takes precedence over
+        ``noise_channel``/``noise_strength`` when set (only honoured by
+        circuit backends).
     seed:
         RNG seed for shot sampling.
     """
@@ -71,6 +81,8 @@ class QTDAConfig:
     trotter_steps: int = 4
     trotter_order: int = 1
     use_purification: bool = True
+    noise_channel: Optional[str] = None
+    noise_strength: float = 0.0
     noise_model: Optional[NoiseModel] = None
     seed: Optional[int] = None
     zero_eigenvalue_atol: float = 1e-8
@@ -82,17 +94,64 @@ class QTDAConfig:
         self.delta = float(self.delta)
         if not 0.0 < self.delta < 2.0 * np.pi:
             raise ValueError(f"delta must lie in (0, 2π), got {self.delta}")
-        if self.backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, got {self.backend!r}"
+            )
         if self.padding not in PADDING_MODES:
             raise ValueError(f"padding must be one of {PADDING_MODES}, got {self.padding!r}")
         self.trotter_steps = check_positive_integer(self.trotter_steps, "trotter_steps")
         self.trotter_order = check_integer(self.trotter_order, "trotter_order", minimum=1, maximum=2)
+        if self.noise_channel is not None and self.noise_channel not in NOISE_CHANNELS:
+            raise ValueError(
+                f"noise_channel must be one of {NOISE_CHANNELS}, got {self.noise_channel!r}"
+            )
+        self.noise_strength = check_probability(self.noise_strength, "noise_strength")
         if self.noise_model is not None and not isinstance(self.noise_model, NoiseModel):
             raise TypeError("noise_model must be a repro.quantum.NoiseModel or None")
+        if self.noise_strength > 0 and self.noise_channel is None and self.noise_model is None:
+            # Without this check the strength would be silently ignored and a
+            # run claiming noise would report noiseless results.
+            raise ValueError(
+                f"noise_strength={self.noise_strength} requires a noise_channel "
+                f"(one of {NOISE_CHANNELS}) or an explicit noise_model"
+            )
+
+    def resolved_noise_model(self) -> Optional[NoiseModel]:
+        """The effective noise model of this config.
+
+        An explicit ``noise_model`` object wins; otherwise one is built from
+        ``noise_channel``/``noise_strength``; ``None`` means noiseless.
+        """
+        if self.noise_model is not None:
+            return self.noise_model
+        if self.noise_channel is None:
+            return None
+        return NoiseModel.from_channel(self.noise_channel, self.noise_strength)
 
     def replace(self, **overrides) -> "QTDAConfig":
         """Copy with selected fields overridden (dataclasses.replace wrapper)."""
         from dataclasses import replace as dc_replace
 
         return dc_replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view, round-trippable through :meth:`from_dict`.
+
+        Raises when an explicit ``noise_model`` object is attached — Kraus
+        operators are not plain data; use ``noise_channel``/``noise_strength``
+        for serialisable noise configuration.
+        """
+        if self.noise_model is not None:
+            raise ValueError(
+                "QTDAConfig with an explicit noise_model object is not serialisable; "
+                "use noise_channel/noise_strength instead"
+            )
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        del data["noise_model"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QTDAConfig":
+        """Inverse of :meth:`as_dict` (re-runs all field validation)."""
+        return cls(**data)

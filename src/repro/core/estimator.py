@@ -5,18 +5,12 @@ Laplacian -> padding -> rescaling -> (circuit or analytical) QPE with a
 maximally mixed input -> probability of the all-zero phase readout ->
 ``β̃_k = 2^q · p(0)``.
 
-Three backends are supported (see DESIGN.md §5):
-
-* ``exact`` — the analytical QPE readout distribution from the Hamiltonian's
-  eigenphases; fastest, used for the paper-scale sweeps.  With finite
-  ``shots`` the distribution is sampled, reproducing shot noise exactly.
-* ``statevector`` — explicit Fig. 6 circuit with exact controlled powers of
-  ``U``; with purification (Fig. 2) it runs on ``t + 2q`` qubits, otherwise
-  on ``t + q`` qubits via the density-matrix simulator with an ``I/2^q``
-  input.
-* ``trotter`` — like ``statevector`` but ``U`` is synthesised from the Pauli
-  decomposition of ``H`` (Fig. 7), so the estimate includes product-formula
-  error.
+Execution is delegated to the pluggable backend registry
+(:mod:`repro.core.backends`, DESIGN.md §5): the configured ``backend`` name
+is resolved through :func:`repro.core.backends.get_backend`, the backend
+returns the precision-register readout distribution, and the estimator
+derives ``p(0)`` from it — exactly for infinite shots, by multinomial
+sampling otherwise, so finite-shot behaviour is identical across backends.
 """
 
 from __future__ import annotations
@@ -26,18 +20,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.backends import EstimationProblem, get_backend
 from repro.core.config import QTDAConfig
-from repro.core.hamiltonian import (
-    RescaledHamiltonian,
-    SpectrumCache,
-    build_hamiltonian,
-    padded_spectrum,
-)
-from repro.core.qtda_circuit import QTDACircuitSpec, qtda_circuit
-from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.core.hamiltonian import SpectrumCache
 from repro.quantum.measurement import sample_counts
-from repro.quantum.qpe import qpe_outcome_distribution
-from repro.quantum.statevector import StatevectorSimulator
 from repro.tda.complexes import SimplicialComplex
 from repro.tda.laplacian import combinatorial_laplacian
 from repro.utils.rng import as_rng
@@ -109,6 +95,8 @@ class BettiEstimate:
             "backend": self.backend,
             "exact_betti": self.exact_betti,
             "absolute_error": self.absolute_error,
+            "rounded_error": self.rounded_error,
+            "counts": dict(self.counts),
             "lambda_max": self.lambda_max,
             "delta": self.delta,
         }
@@ -138,11 +126,16 @@ class QTDABettiEstimator:
         base = config if config is not None else QTDAConfig()
         self.config = base.replace(**overrides) if overrides else base
         self._rng = as_rng(self.config.seed)
-        #: Optional shared cache of Laplacian spectra used by the ``exact``
-        #: backend (see DESIGN.md §6); caching never changes results, only cost.
+        #: Optional shared cache of Laplacian spectra used by the spectral
+        #: backends (see DESIGN.md §6); caching never changes results, only cost.
         self.spectrum_cache = spectrum_cache
 
     # -- public API -----------------------------------------------------------
+    @property
+    def backend(self):
+        """The resolved :class:`repro.core.backends.BettiBackend` instance."""
+        return get_backend(self.config.backend)
+
     def estimate(self, complex_: SimplicialComplex, k: int, compute_exact: bool = True) -> BettiEstimate:
         """Estimate ``β_k`` of a simplicial complex.
 
@@ -171,57 +164,41 @@ class QTDABettiEstimator:
                 lambda_max=0.0,
                 delta=self.config.delta,
             )
-        laplacian = combinatorial_laplacian(complex_, k)
+        laplacian = combinatorial_laplacian(
+            complex_, k, sparse_format=self.backend.prefers_sparse
+        )
         return self.estimate_from_laplacian(laplacian, exact_betti=exact)
 
     def estimate_from_laplacian(self, laplacian: np.ndarray, exact_betti: Optional[int] = None) -> BettiEstimate:
         """Estimate the kernel dimension of an explicit combinatorial Laplacian.
 
-        Accepts dense or ``scipy.sparse`` matrices.  The ``exact`` backend
-        diagonalises the small ``|S_k| x |S_k|`` matrix once (through the
-        shared :class:`SpectrumCache` when one is attached) and derives the
-        padded Hamiltonian's eigenphases analytically; circuit backends build
-        the dense padded Hamiltonian as before.
+        Accepts dense or ``scipy.sparse`` matrices.  The configured backend
+        is resolved through the registry and handed an
+        :class:`~repro.core.backends.EstimationProblem` (the Laplacian plus
+        the shared spectrum cache, when one is attached); shot sampling of
+        the returned distribution happens here so it is identical across
+        backends.
         """
         if exact_betti is None:
             exact_betti_val: Optional[int] = None
         else:
             exact_betti_val = int(exact_betti)
-        if self.config.backend == "exact":
-            spectrum = padded_spectrum(
-                laplacian,
-                delta=self.config.delta,
-                padding=self.config.padding,
-                cache=self.spectrum_cache,
-            )
-            distribution = qpe_outcome_distribution(
-                spectrum.eigenphases(), self.config.precision_qubits
-            )
-            num_qubits = spectrum.num_qubits
-            lambda_max = spectrum.lambda_max
-        else:
-            hamiltonian = build_hamiltonian(
-                laplacian, delta=self.config.delta, padding=self.config.padding
-            )
-            distribution = self._circuit_distribution(
-                hamiltonian, synthesis="exact" if self.config.backend == "statevector" else "trotter"
-            )
-            num_qubits = hamiltonian.num_qubits
-            lambda_max = hamiltonian.padded.lambda_max
-        p_zero, counts = self._readout(distribution)
-        dim = 2**num_qubits
+        problem = EstimationProblem(laplacian=laplacian, spectrum_cache=self.spectrum_cache)
+        result = self.backend.run(problem, self.config, self._rng)
+        p_zero, counts = self._readout(result.distribution)
+        dim = 2**result.num_system_qubits
         estimate = dim * p_zero
         return BettiEstimate(
             betti_estimate=float(estimate),
             betti_rounded=int(round(estimate)),
             p_zero=float(p_zero),
-            num_system_qubits=num_qubits,
+            num_system_qubits=result.num_system_qubits,
             precision_qubits=self.config.precision_qubits,
             shots=self.config.shots,
             backend=self.config.backend,
             exact_betti=exact_betti_val,
             counts=counts,
-            lambda_max=lambda_max,
+            lambda_max=result.lambda_max,
             delta=self.config.delta,
         )
 
@@ -231,36 +208,7 @@ class QTDABettiEstimator:
         """Estimate several Betti numbers of the same complex (e.g. ``[0, 1]``)."""
         return [self.estimate(complex_, k, compute_exact=compute_exact) for k in dimensions]
 
-    # -- backends ----------------------------------------------------------------
-    def _circuit_distribution(self, hamiltonian: RescaledHamiltonian, synthesis: str) -> np.ndarray:
-        circuit, spec = qtda_circuit(
-            hamiltonian,
-            precision_qubits=self.config.precision_qubits,
-            use_purification=self.config.use_purification and self.config.noise_model is None,
-            synthesis=synthesis,
-            trotter_steps=self.config.trotter_steps,
-            trotter_order=self.config.trotter_order,
-        )
-        precision_register = list(spec.precision_register)
-        if self.config.noise_model is not None or spec.auxiliary_qubits == 0:
-            # Density-matrix route: start the system register in I/2^q directly.
-            sim = DensityMatrixSimulator(noise_model=self.config.noise_model)
-            initial = self._mixed_initial_state(spec)
-            final = sim.run(circuit, initial_state=initial)
-            return final.marginal_probabilities(precision_register)
-        sim = StatevectorSimulator()
-        return sim.probabilities(circuit, qubits=precision_register)
-
-    def _mixed_initial_state(self, spec: QTDACircuitSpec) -> DensityMatrix:
-        """``|0><0|`` on precision (and auxiliary) registers, ``I/2^q`` on the system."""
-        t, q, aux = spec.precision_qubits, spec.system_qubits, spec.auxiliary_qubits
-        rho_precision = DensityMatrix.zero_state(t).matrix
-        rho_system = DensityMatrix.maximally_mixed(q).matrix
-        rho = np.kron(rho_precision, rho_system)
-        if aux:
-            rho = np.kron(rho, DensityMatrix.zero_state(aux).matrix)
-        return DensityMatrix(rho)
-
+    # -- readout ----------------------------------------------------------------
     def _readout(self, distribution: np.ndarray) -> tuple[float, Dict[str, int]]:
         """Exact or sampled probability of the all-zero precision readout."""
         distribution = np.asarray(distribution, dtype=float)

@@ -11,7 +11,10 @@ features in two flavours:
   features are extracted.
 
 :class:`QTDAPipeline` implements both, with the estimator backend and all QPE
-parameters configurable through :class:`repro.core.config.QTDAConfig`.
+parameters configurable through :class:`repro.core.config.QTDAConfig`.  The
+pipeline never inspects the backend name: any backend registered with
+:func:`repro.core.backends.register_backend` (including ``sparse-exact`` and
+``noisy-density``) flows through unchanged via the estimator.
 """
 
 from __future__ import annotations

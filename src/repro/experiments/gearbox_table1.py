@@ -59,6 +59,12 @@ class GearboxExperimentConfig:
     homology_dimensions: Tuple[int, ...] = (0, 1)
     window_length: int = 500
     seed: SeedLike = 2023
+    #: Any registered estimator backend (repro.core.backends); the paper's
+    #: sweep uses the analytical ``exact`` path.
+    backend: str = "exact"
+    #: Noise parametrisation forwarded to QTDAConfig (used by noisy-density).
+    noise_channel: Optional[str] = None
+    noise_strength: float = 0.0
     gearbox: GearboxDatasetConfig = field(default_factory=GearboxDatasetConfig)
     batch: BatchConfig = field(default_factory=BatchConfig)
 
@@ -189,7 +195,9 @@ def run_gearbox_table1(config: GearboxExperimentConfig | None = None) -> Table1R
         estimator_config = QTDAConfig(
             precision_qubits=precision,
             shots=cfg.shots,
-            backend="exact",
+            backend=cfg.backend,
+            noise_channel=cfg.noise_channel,
+            noise_strength=cfg.noise_strength,
             seed=derive_seed(cfg.seed, precision),
         )
         estimated, exact = _betti_features(
@@ -262,6 +270,9 @@ def run_timeseries_classification(
     seed: SeedLike = 7,
     use_quantum: bool = True,
     batch: Optional[BatchConfig] = None,
+    backend: str = "exact",
+    noise_channel: Optional[str] = None,
+    noise_strength: float = 0.0,
 ) -> TimeseriesClassificationResult:
     """Classify healthy vs faulty gearbox windows from Betti-number features.
 
@@ -279,7 +290,14 @@ def run_timeseries_classification(
     clouds = [embedder.transform(window) for window in windows]
     eps = epsilon if epsilon is not None else _default_epsilon(clouds, percentile=epsilon_percentile)
     estimator_config = (
-        QTDAConfig(precision_qubits=precision_qubits, shots=shots, backend="exact", seed=derive_seed(seed, 3))
+        QTDAConfig(
+            precision_qubits=precision_qubits,
+            shots=shots,
+            backend=backend,
+            noise_channel=noise_channel,
+            noise_strength=noise_strength,
+            seed=derive_seed(seed, 3),
+        )
         if use_quantum
         else None
     )

@@ -54,6 +54,10 @@ class ShotsPrecisionConfig:
     delta: float = 2.0 * np.pi * 0.9
     max_complex_dimension: int = 2
     seed: SeedLike = 1234
+    #: Any registered estimator backend (repro.core.backends).  The default
+    #: ``"exact"`` keeps the inline spectral fast path below; other names are
+    #: resolved through the registry per (complex, precision) cell.
+    backend: str = "exact"
 
     @classmethod
     def paper_scale(cls) -> "ShotsPrecisionConfig":
@@ -120,13 +124,33 @@ def run_shots_precision_experiment(config: ShotsPrecisionConfig | None = None) -
                         result.errors[(n, shots, precision)].append(float(exact))
                 continue
             laplacian = combinatorial_laplacian(complex_, k, sparse_format=True)
-            # Analytical padded spectrum: only the small |S_k| x |S_k| matrix
-            # is diagonalised (cached across repeated Laplacians).
-            spectrum = padded_spectrum(laplacian, delta=cfg.delta, cache=cache)
-            phases = spectrum.eigenphases()
-            dim = 2**spectrum.num_qubits
-            for precision in cfg.precision_grid:
-                distribution = qpe_outcome_distribution(phases, precision)
+            if cfg.backend == "exact":
+                # Analytical padded spectrum: only the small |S_k| x |S_k|
+                # matrix is diagonalised (cached across repeated Laplacians),
+                # and its eigenphases are shared across the precision grid.
+                spectrum = padded_spectrum(laplacian, delta=cfg.delta, cache=cache)
+                phases = spectrum.eigenphases()
+                dim = 2**spectrum.num_qubits
+                distributions = [
+                    (qpe_outcome_distribution(phases, precision), dim)
+                    for precision in cfg.precision_grid
+                ]
+            else:
+                # Any other registered backend: one registry call per
+                # precision setting yields the readout distribution.
+                from repro.core.backends import EstimationProblem, get_backend
+                from repro.core.config import QTDAConfig
+
+                backend = get_backend(cfg.backend)
+                problem = EstimationProblem(laplacian=laplacian, spectrum_cache=cache)
+                distributions = []
+                for precision in cfg.precision_grid:
+                    config = QTDAConfig(
+                        precision_qubits=precision, shots=None, delta=cfg.delta, backend=cfg.backend
+                    )
+                    outcome = backend.run(problem, config, rng)
+                    distributions.append((outcome.distribution, 2**outcome.num_system_qubits))
+            for precision, (distribution, dim) in zip(cfg.precision_grid, distributions):
                 for shots in cfg.shots_grid:
                     p_zero = _sample_zero_probability(distribution, shots, rng)
                     estimate = dim * p_zero

@@ -97,11 +97,15 @@ def run_worked_example(
     backend: str = "statevector",
     seed: Optional[int] = 1,
     include_drawing: bool = False,
+    noise_channel: Optional[str] = None,
+    noise_strength: float = 0.0,
 ) -> WorkedExampleResult:
     """Execute the Appendix A pipeline and return all intermediates.
 
     The defaults mirror the appendix exactly: δ = 6 (so H = Δ̃_1), three
-    precision qubits, 1000 shots, the explicit Fig. 6 circuit.
+    precision qubits, 1000 shots, the explicit Fig. 6 circuit.  ``backend``
+    may be any registered estimator backend; ``noise_channel`` /
+    ``noise_strength`` parametrise the ``noisy-density`` workload.
     """
     complex_ = appendix_complex()
     d1 = boundary_matrix(complex_, 1)
@@ -119,6 +123,8 @@ def run_worked_example(
             backend=backend,
             delta=6.0,
             seed=seed,
+            noise_channel=noise_channel,
+            noise_strength=noise_strength,
         )
     )
     estimate = estimator.estimate(complex_, 1)

@@ -59,6 +59,20 @@ def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
     return [k0, k1]
 
 
+#: Channel-name -> Kraus-factory map used by :meth:`NoiseModel.from_channel`
+#: (and, through ``QTDAConfig.noise_channel``, by the ``noisy-density``
+#: estimator backend).
+_CHANNEL_FACTORIES = {
+    "depolarizing": depolarizing_kraus,
+    "bit-flip": bit_flip_kraus,
+    "phase-flip": phase_flip_kraus,
+    "amplitude-damping": amplitude_damping_kraus,
+}
+
+#: Names accepted by :meth:`NoiseModel.from_channel` / ``QTDAConfig.noise_channel``.
+NOISE_CHANNELS = tuple(sorted(_CHANNEL_FACTORIES))
+
+
 def is_trace_preserving(kraus_ops: Sequence[np.ndarray], atol: float = 1e-9) -> bool:
     """Check the completeness relation ``Σ_k K_k† K_k = I``."""
     dim = kraus_ops[0].shape[0]
@@ -104,6 +118,17 @@ class NoiseModel:
     @classmethod
     def amplitude_damping(cls, gamma: float) -> "NoiseModel":
         return cls(amplitude_damping_kraus(gamma))
+
+    @classmethod
+    def from_channel(cls, channel: str, strength: float) -> "NoiseModel":
+        """Build a model from a channel name (see :data:`NOISE_CHANNELS`)."""
+        try:
+            factory = _CHANNEL_FACTORIES[channel]
+        except KeyError:
+            raise ValueError(
+                f"Unknown noise channel {channel!r}; available channels: {', '.join(NOISE_CHANNELS)}"
+            ) from None
+        return cls(factory(strength))
 
     def applies_to(self, gate: Gate) -> bool:
         return self.gate_filter is None or gate.name in self.gate_filter

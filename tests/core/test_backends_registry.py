@@ -1,0 +1,128 @@
+"""Tests for the pluggable backend registry (repro.core.backends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BackendResult,
+    EstimationProblem,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.config import QTDAConfig
+from repro.core.estimator import QTDABettiEstimator
+
+BUILTIN_BACKENDS = {"exact", "sparse-exact", "statevector", "trotter", "noisy-density"}
+
+
+class _ConstantBackend:
+    """Minimal protocol implementation used by the extension tests."""
+
+    name = "test-constant"
+    description = "returns a fixed distribution"
+    prefers_sparse = False
+
+    def run(self, problem, config, rng):
+        distribution = np.zeros(2**config.precision_qubits)
+        distribution[0] = 1.0
+        return BackendResult(
+            distribution=distribution,
+            num_system_qubits=max(1, int(np.ceil(np.log2(problem.dimension)))),
+            lambda_max=1.0,
+        )
+
+
+def test_builtin_backends_are_registered():
+    assert BUILTIN_BACKENDS <= set(available_backends())
+
+
+def test_available_backends_is_sorted():
+    names = available_backends()
+    assert list(names) == sorted(names)
+
+
+def test_unknown_backend_error_lists_available_names():
+    with pytest.raises(ValueError) as excinfo:
+        get_backend("qiskit")
+    message = str(excinfo.value)
+    assert "qiskit" in message
+    for name in BUILTIN_BACKENDS:
+        assert name in message
+
+
+def test_config_rejects_unknown_backend_with_available_list():
+    with pytest.raises(ValueError, match="sparse-exact"):
+        QTDAConfig(backend="definitely-not-a-backend")
+
+
+def test_reregistering_a_name_raises():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("exact", _ConstantBackend())
+
+
+def test_register_rejects_objects_without_run():
+    with pytest.raises(TypeError, match="run"):
+        register_backend("broken", object())
+
+
+def test_register_rejects_incomplete_protocol():
+    """Consumers read description/prefers_sparse without fallbacks, so a
+    backend missing them must fail at registration, not mid-estimate."""
+
+    class _NoSparseFlag:
+        description = "missing prefers_sparse"
+
+        def run(self, problem, config, rng):  # pragma: no cover - never called
+            raise NotImplementedError
+
+    with pytest.raises(TypeError, match="prefers_sparse"):
+        register_backend("broken", _NoSparseFlag())
+
+
+def test_register_rejects_empty_name():
+    with pytest.raises(ValueError):
+        register_backend("", _ConstantBackend())
+
+
+def test_unregister_unknown_name_raises():
+    with pytest.raises(ValueError, match="available backends"):
+        unregister_backend("never-registered")
+
+
+def test_custom_backend_round_trip(hollow_triangle):
+    """A registered third-party backend is usable from config + estimator."""
+    backend = _ConstantBackend()
+    register_backend(backend.name, backend)
+    try:
+        assert backend.name in available_backends()
+        estimator = QTDABettiEstimator(precision_qubits=3, shots=None, backend=backend.name)
+        estimate = estimator.estimate(hollow_triangle, 1)
+        # p(0) = 1 and the hollow triangle's Δ_1 is 3x3 -> q = 2.
+        assert estimate.p_zero == 1.0
+        assert estimate.betti_estimate == 4.0
+        assert estimate.backend == backend.name
+    finally:
+        unregister_backend(backend.name)
+    assert backend.name not in available_backends()
+
+
+def test_estimation_problem_views(appendix_k):
+    from scipy import sparse
+
+    from repro.tda.laplacian import combinatorial_laplacian
+
+    laplacian = combinatorial_laplacian(appendix_k, 1, sparse_format=True)
+    problem = EstimationProblem(laplacian=laplacian)
+    assert problem.is_sparse
+    assert problem.dimension == 6
+    hamiltonian = problem.dense_hamiltonian(QTDAConfig(delta=6.0))
+    assert hamiltonian.num_qubits == 3
+    assert not sparse.issparse(hamiltonian.matrix)
+
+
+def test_estimator_exposes_resolved_backend():
+    estimator = QTDABettiEstimator(backend="sparse-exact")
+    assert estimator.backend.name == "sparse-exact"
+    assert estimator.backend.prefers_sparse

@@ -55,3 +55,55 @@ def test_replace_creates_modified_copy():
     other = base.replace(precision_qubits=5)
     assert base.precision_qubits == 2
     assert other.precision_qubits == 5
+
+
+def test_backend_validated_against_registry():
+    from repro.core.backends import available_backends
+
+    for name in available_backends():
+        assert QTDAConfig(backend=name).backend == name
+
+
+def test_noise_field_validation():
+    with pytest.raises(ValueError):
+        QTDAConfig(noise_channel="cosmic-rays")
+    with pytest.raises(ValueError):
+        QTDAConfig(noise_strength=1.5)
+    with pytest.raises(ValueError):
+        QTDAConfig(noise_strength=-0.1)
+    config = QTDAConfig(noise_channel="bit-flip", noise_strength=0.25)
+    assert config.noise_channel == "bit-flip"
+    assert config.noise_strength == 0.25
+
+
+def test_positive_noise_strength_requires_a_channel_or_model():
+    """A strength with no channel would be silently ignored — reject it."""
+    with pytest.raises(ValueError, match="noise_channel"):
+        QTDAConfig(noise_strength=0.05)
+    QTDAConfig(noise_strength=0.05, noise_channel="depolarizing")
+    QTDAConfig(noise_strength=0.05, noise_model=NoiseModel.depolarizing(0.05))
+    QTDAConfig(noise_strength=0.0)  # noiseless stays valid without a channel
+
+
+def test_round_trip_through_dict_covers_noise_fields():
+    config = QTDAConfig(
+        precision_qubits=5,
+        shots=None,
+        delta=6.0,
+        backend="noisy-density",
+        noise_channel="amplitude-damping",
+        noise_strength=0.125,
+        seed=7,
+    )
+    data = config.as_dict()
+    assert data["noise_channel"] == "amplitude-damping"
+    assert data["noise_strength"] == 0.125
+    assert "noise_model" not in data
+    restored = QTDAConfig.from_dict(data)
+    assert restored == config
+
+
+def test_as_dict_rejects_explicit_noise_model_object():
+    config = QTDAConfig(noise_model=NoiseModel.depolarizing(0.01))
+    with pytest.raises(ValueError, match="noise_channel"):
+        config.as_dict()

@@ -1,0 +1,68 @@
+"""Property: all registered noiseless backends agree with classical homology.
+
+For random small complexes (fixed seeds, so the suite is deterministic),
+every noiseless registered backend's rounded estimate must equal the
+classical ``betti_number`` — the registry guarantees interchangeable
+*semantics*, not just a shared interface.  ``noisy-density`` is exercised
+separately (its whole point is to deviate under noise); unknown third-party
+backends registered at runtime are picked up automatically because the test
+iterates ``available_backends()``.
+"""
+
+import pytest
+
+from repro.core.backends import available_backends, get_backend
+from repro.core.estimator import QTDABettiEstimator
+from repro.tda.betti import betti_number
+from repro.tda.random_complexes import random_simplicial_complex
+
+#: Backends whose *purpose* is to deviate from the ideal algorithm.
+_NOISY_BACKENDS = {"noisy-density"}
+
+#: Fixed seeds keep the property deterministic while still sampling a range
+#: of shapes (trees, loops, filled triangles — f-vectors from (5,3) to (5,6,2));
+#: seeds 0–11 were all verified to pass, these four keep the suite snappy.
+_SEEDS = (2, 5, 8, 11)
+
+
+def _noiseless_backends():
+    return [name for name in available_backends() if name not in _NOISY_BACKENDS]
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_noiseless_backends_round_to_classical_betti(seed):
+    complex_ = random_simplicial_complex(5, max_dimension=2, seed=seed)
+    for k in (0, 1):
+        truth = betti_number(complex_, k)
+        for name in _noiseless_backends():
+            backend = get_backend(name)
+            # Circuit backends take the density route (no purification) to
+            # halve the register; spectral backends ignore the flag.
+            estimator = QTDABettiEstimator(
+                precision_qubits=4,
+                shots=None,
+                backend=name,
+                delta=6.0,
+                trotter_steps=6,
+                use_purification=False,
+            )
+            estimate = estimator.estimate(complex_, k, compute_exact=False)
+            assert estimate.betti_rounded == truth, (
+                f"backend {name!r} (prefers_sparse={backend.prefers_sparse}) rounded to "
+                f"{estimate.betti_rounded}, classical beta_{k} = {truth} (seed {seed})"
+            )
+
+
+@pytest.mark.parametrize("seed", _SEEDS[:3])
+def test_spectral_backends_agree_exactly_not_just_after_rounding(seed):
+    """``sparse-exact`` delegates to the dense path at these sizes, so its
+    raw estimates must be bit-identical to ``exact``, not merely round alike."""
+    complex_ = random_simplicial_complex(5, max_dimension=2, seed=seed)
+    for k in (0, 1):
+        exact = QTDABettiEstimator(precision_qubits=4, shots=None, backend="exact", delta=6.0)
+        sparse = QTDABettiEstimator(
+            precision_qubits=4, shots=None, backend="sparse-exact", delta=6.0
+        )
+        a = exact.estimate(complex_, k, compute_exact=False)
+        b = sparse.estimate(complex_, k, compute_exact=False)
+        assert a.betti_estimate == b.betti_estimate

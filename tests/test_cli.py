@@ -12,7 +12,7 @@ def test_parser_requires_a_command():
 
 def test_parser_knows_all_commands():
     parser = build_parser()
-    for command in ("fig3", "table1", "fig4", "appendix", "timeseries"):
+    for command in ("list-backends", "fig3", "table1", "fig4", "appendix", "timeseries"):
         args = parser.parse_args([command])
         assert args.command == command
 
@@ -55,3 +55,49 @@ def test_timeseries_command_reduced(capsys):
     captured = capsys.readouterr().out
     assert exit_code == 0
     assert "validation accuracy" in captured
+
+
+def test_list_backends_command(capsys):
+    from repro.core.backends import available_backends
+
+    exit_code = main(["list-backends"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    for name in available_backends():
+        assert name in captured
+
+
+def test_appendix_accepts_any_registered_backend(capsys):
+    exit_code = main(["appendix", "--shots", "100", "--backend", "sparse-exact"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "backend=sparse-exact" in captured
+
+
+def test_appendix_noisy_density_with_noise_flags(capsys):
+    exit_code = main(
+        [
+            "appendix",
+            "--shots", "100",
+            "--backend", "noisy-density",
+            "--noise-channel", "depolarizing",
+            "--noise-strength", "0.02",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "backend=noisy-density" in captured
+
+
+def test_parsers_accept_backend_and_noise_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["table1", "--backend", "sparse-exact", "--noise-channel", "bit-flip", "--noise-strength", "0.1"]
+    )
+    assert args.backend == "sparse-exact"
+    assert args.noise_channel == "bit-flip"
+    assert args.noise_strength == 0.1
+    args = parser.parse_args(["fig3", "--backend", "sparse-exact"])
+    assert args.backend == "sparse-exact"
+    args = parser.parse_args(["timeseries", "--backend", "noisy-density"])
+    assert args.backend == "noisy-density"
