@@ -5,13 +5,24 @@ ablations listed in DESIGN.md) on a reduced grid, prints the corresponding
 rows/series, and times the run with pytest-benchmark.  Set the environment
 variable ``REPRO_PAPER_SCALE=1`` to run the paper-sized grids instead (much
 slower; see EXPERIMENTS.md).
+
+Speedup-gating benchmarks additionally persist their measurements as
+machine-readable ``BENCH_<name>.json`` files at the repository root (via
+:func:`write_bench_json`), so the performance trajectory is tracked across
+PRs and CI can upload the artefacts.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+from pathlib import Path
 
 import pytest
+
+#: Repository root — BENCH_<name>.json files land here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def paper_scale_requested() -> bool:
@@ -22,3 +33,28 @@ def paper_scale_requested() -> bool:
 @pytest.fixture(scope="session")
 def paper_scale() -> bool:
     return paper_scale_requested()
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    ``payload`` is benchmark-specific (timings in seconds, speedups, scenario
+    sizes); a small provenance envelope (benchmark name, paper-scale flag,
+    python version) is added so the files are self-describing when collected
+    as CI artefacts or diffed across PRs.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    document = {
+        "benchmark": name,
+        "paper_scale": paper_scale_requested(),
+        "python": platform.python_version(),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Session fixture handing benchmarks the :func:`write_bench_json` writer."""
+    return write_bench_json

@@ -86,7 +86,7 @@ def _engine(backend: str = "serial") -> BatchFeatureEngine:
 
 
 @pytest.mark.benchmark(group="batch-engine")
-def test_bench_batch_engine_speedup_vs_seed_path(benchmark, paper_scale):
+def test_bench_batch_engine_speedup_vs_seed_path(benchmark, paper_scale, bench_json):
     clouds, epsilons = _workload(paper_scale)
 
     start = time.perf_counter()
@@ -109,6 +109,17 @@ def test_bench_batch_engine_speedup_vs_seed_path(benchmark, paper_scale):
     print(
         f"seed path {seed_seconds:.3f}s | engine {engine_seconds:.3f}s | "
         f"speedup {speedup:.1f}x on {len(clouds)} windows x {len(epsilons)} scales"
+    )
+    bench_json(
+        "batch_engine",
+        {
+            "num_windows": len(clouds),
+            "num_scales": len(epsilons),
+            "seed_path_seconds": seed_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+            "gate": 5.0,
+        },
     )
     # Identical science: the engine's per-sample outputs match the seed path.
     assert engine_features.shape == seed_features.shape

@@ -80,7 +80,7 @@ def test_bench_sparse_exact_matches_exact_on_paper_scale_complexes():
 
 
 @pytest.mark.benchmark(group="sparse-backend")
-def test_bench_sparse_exact_speedup_on_large_complex(benchmark, paper_scale):
+def test_bench_sparse_exact_speedup_on_large_complex(benchmark, paper_scale, bench_json):
     num_edges = 2000 if paper_scale else 1000
     laplacian = _large_sparse_laplacian(num_edges)
     exact, sparse = _estimator("exact"), _estimator("sparse-exact")
@@ -96,6 +96,17 @@ def test_bench_sparse_exact_speedup_on_large_complex(benchmark, paper_scale):
     print(
         f"dense {dense_seconds * 1000:.1f} ms | sparse {sparse_seconds * 1000:.1f} ms | "
         f"speedup {speedup:.1f}x on a {num_edges}-simplex Laplacian"
+    )
+    bench_json(
+        "sparse_backend",
+        {
+            "num_edges": num_edges,
+            "precision_qubits": PRECISION,
+            "dense_seconds": dense_seconds,
+            "sparse_seconds": sparse_seconds,
+            "speedup": speedup,
+            "gate": 3.0,
+        },
     )
     # Same science: the surrogate spectrum rounds to the same estimate and
     # stays within a few hundredths of the full-spectrum value.

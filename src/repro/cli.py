@@ -157,15 +157,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_list_backends(args) -> str:
-    from repro.core.backends import available_backends, get_backend
+    from repro.core.backends import (
+        available_backends,
+        backend_formats,
+        backend_supports_noise,
+        get_backend,
+    )
 
-    names = available_backends()
-    width = max(len(name) for name in names)
-    lines = ["Registered estimator backends:"]
-    for name in names:
+    rows = [("name", "formats", "noise", "description")]
+    for name in available_backends():
         backend = get_backend(name)
-        sparse_tag = "  [sparse input]" if getattr(backend, "prefers_sparse", False) else ""
-        lines.append(f"  {name:<{width}}  {backend.description}{sparse_tag}")
+        rows.append(
+            (
+                name,
+                ",".join(backend_formats(backend)),
+                "yes" if backend_supports_noise(backend) else "no",
+                backend.description,
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(3)]
+    lines = ["Registered estimator backends:"]
+    for name, formats, noise, description in rows:
+        lines.append(
+            f"  {name:<{widths[0]}}  {formats:<{widths[1]}}  {noise:<{widths[2]}}  {description}"
+        )
     return "\n".join(lines)
 
 

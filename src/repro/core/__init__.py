@@ -27,9 +27,21 @@ from repro.core.backends import (
     BettiBackend,
     EstimationProblem,
     available_backends,
+    backend_formats,
+    backend_supports_noise,
     get_backend,
+    preferred_format,
     register_backend,
+    temporary_backend,
     unregister_backend,
+)
+from repro.core.operators import (
+    OPERATOR_FORMATS,
+    DenseOperator,
+    LaplacianOperator,
+    MatrixFreeOperator,
+    SparseOperator,
+    as_operator,
 )
 from repro.core.config import QTDAConfig
 from repro.core.padding import pad_laplacian, zero_pad_laplacian, PaddedLaplacian
@@ -53,9 +65,19 @@ __all__ = [
     "BettiBackend",
     "EstimationProblem",
     "available_backends",
+    "backend_formats",
+    "backend_supports_noise",
     "get_backend",
+    "preferred_format",
     "register_backend",
+    "temporary_backend",
     "unregister_backend",
+    "OPERATOR_FORMATS",
+    "LaplacianOperator",
+    "DenseOperator",
+    "SparseOperator",
+    "MatrixFreeOperator",
+    "as_operator",
     "padded_spectrum",
     "PaddedSpectrum",
     "SpectrumCache",

@@ -10,17 +10,23 @@ name                      realisation
 ``exact``                 analytical QPE readout from the padded spectrum
 ``sparse-exact``          shift-invert partial spectrum on the sparse
                           Laplacian (dense fallback below a size threshold)
+``stochastic-trace``      Hutchinson/SLQ trace estimate via matvecs only
+                          (matrix-free, reports error bars)
 ``statevector``           explicit Fig. 6 circuit, exact controlled powers
 ``trotter``               Fig. 6 with Trotterised evolution (Fig. 7)
 ``noisy-density``         Fig. 6 on the density-matrix simulator with a
                           per-gate noise channel
 ========================  ====================================================
 
-Third-party backends implement :class:`BettiBackend` and call
-:func:`register_backend`; every consumer (config validation, estimator,
-pipeline, batch engine, CLI, experiment drivers) resolves names through this
-registry, so a registered backend is immediately usable everywhere.  See
-DESIGN.md §5.
+Backends receive :class:`EstimationProblem`\\ s carrying a
+:class:`repro.core.operators.LaplacianOperator` and declare which operator
+formats they accept through ``supported_formats`` (normalised by
+:func:`backend_formats`; producers consult :func:`preferred_format` to decide
+what to build).  Third-party backends implement :class:`BettiBackend` and
+call :func:`register_backend` (or :func:`temporary_backend` for scoped
+registration); every consumer (config validation, estimator, pipeline, batch
+engine, CLI, experiment drivers) resolves names through this registry, so a
+registered backend is immediately usable everywhere.  See DESIGN.md §5/§9.
 """
 
 from repro.core.backends.base import (
@@ -28,14 +34,19 @@ from repro.core.backends.base import (
     BettiBackend,
     EstimationProblem,
     available_backends,
+    backend_formats,
+    backend_supports_noise,
     get_backend,
+    preferred_format,
     register_backend,
+    temporary_backend,
     unregister_backend,
 )
 
 # Importing the modules registers the built-in backends.
 from repro.core.backends.exact import ExactBackend
 from repro.core.backends.sparse_exact import SparseExactBackend
+from repro.core.backends.stochastic_trace import StochasticTraceBackend
 from repro.core.backends.statevector import StatevectorBackend
 from repro.core.backends.trotter import TrotterBackend
 from repro.core.backends.noisy_density import NoisyDensityBackend
@@ -45,11 +56,16 @@ __all__ = [
     "BettiBackend",
     "EstimationProblem",
     "available_backends",
+    "backend_formats",
+    "backend_supports_noise",
     "get_backend",
+    "preferred_format",
     "register_backend",
+    "temporary_backend",
     "unregister_backend",
     "ExactBackend",
     "SparseExactBackend",
+    "StochasticTraceBackend",
     "StatevectorBackend",
     "TrotterBackend",
     "NoisyDensityBackend",

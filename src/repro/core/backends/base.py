@@ -19,13 +19,22 @@ without touching the estimator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 from scipy import sparse as _sparse
 
 from repro.core.hamiltonian import RescaledHamiltonian, SpectrumCache, build_hamiltonian
+from repro.core.operators import (
+    DENSE,
+    MATRIX_FREE,
+    OPERATOR_FORMATS,
+    SPARSE,
+    LaplacianOperator,
+    as_operator,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a config<->backends cycle
     from repro.core.config import QTDAConfig
@@ -33,24 +42,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a config<->backends 
 
 @dataclass
 class EstimationProblem:
-    """One Betti estimation task: a combinatorial Laplacian plus shared caches.
+    """One Betti estimation task: a Laplacian operator plus shared caches.
 
     Attributes
     ----------
     laplacian:
-        The ``|S_k| x |S_k|`` combinatorial Laplacian, dense or
-        ``scipy.sparse``.  Backends pull whichever view they need —
+        The ``|S_k| x |S_k|`` combinatorial Laplacian — a dense array, a
+        ``scipy.sparse`` matrix or a :class:`~repro.core.operators.
+        LaplacianOperator` (raw matrices are wrapped on first access, see
+        :attr:`operator`).  Backends pull whichever view they need —
         :meth:`dense_hamiltonian` materialises the padded, rescaled
-        ``2^q x 2^q`` matrix for circuit execution, while spectral backends
-        work from the matrix directly (the ``sparse-exact`` backend never
-        densifies above its fallback threshold).
+        ``2^q x 2^q`` matrix for circuit execution, spectral backends use
+        ``operator.to_sparse()`` and the stochastic backends only ever call
+        ``operator.matvec``.
     spectrum_cache:
         Optional shared :class:`SpectrumCache` used by the spectral backends;
         caching never changes results, only cost (DESIGN.md §6).
     """
 
-    laplacian: "np.ndarray | _sparse.spmatrix"
+    laplacian: "np.ndarray | _sparse.spmatrix | LaplacianOperator"
     spectrum_cache: Optional[SpectrumCache] = None
+    _operator: Optional[LaplacianOperator] = field(default=None, repr=False, compare=False)
+
+    @property
+    def operator(self) -> LaplacianOperator:
+        """The Laplacian as a :class:`LaplacianOperator` (wrapped lazily, once)."""
+        if self._operator is None:
+            self._operator = as_operator(self.laplacian)
+        return self._operator
 
     @property
     def dimension(self) -> int:
@@ -59,11 +78,16 @@ class EstimationProblem:
 
     @property
     def is_sparse(self) -> bool:
-        return _sparse.issparse(self.laplacian)
+        return self.operator.format == SPARSE
+
+    @property
+    def format(self) -> str:
+        """Native format of the carried operator (see :data:`OPERATOR_FORMATS`)."""
+        return self.operator.format
 
     def dense_hamiltonian(self, config: "QTDAConfig") -> RescaledHamiltonian:
         """The padded, rescaled dense Hamiltonian (circuit backends need the matrix)."""
-        return build_hamiltonian(self.laplacian, delta=config.delta, padding=config.padding)
+        return build_hamiltonian(self.operator, delta=config.delta, padding=config.padding)
 
 
 @dataclass(frozen=True)
@@ -80,31 +104,42 @@ class BackendResult:
     lambda_max:
         The Gershgorin bound ``λ̃_max`` used for padding/rescaling
         (spectral-scaling provenance, echoed into :class:`BettiEstimate`).
+    p_zero_std:
+        One standard error of the backend's ``p(0)`` estimate, for
+        *stochastic* backends (Hutchinson trace estimation); ``None`` for
+        deterministic backends.  The estimator scales it by ``2^q`` into
+        :attr:`BettiEstimate.betti_std`.
     """
 
     distribution: np.ndarray
     num_system_qubits: int
     lambda_max: float
+    p_zero_std: "float | None" = None
 
 
 @runtime_checkable
 class BettiBackend(Protocol):
     """Protocol every estimator backend implements.
 
-    ``run`` receives the estimation problem (the rescale-ready Laplacian plus
-    caches), the full :class:`QTDAConfig` and the estimator's RNG; it returns
-    the readout distribution.  Shot sampling is *not* the backend's job — the
-    estimator samples the returned distribution so that finite-shot behaviour
-    is identical across backends.
+    ``run`` receives the estimation problem (the rescale-ready Laplacian
+    operator plus caches), the full :class:`QTDAConfig` and the estimator's
+    RNG; it returns the readout distribution.  Shot sampling is *not* the
+    backend's job — the estimator samples the returned distribution so that
+    finite-shot behaviour is identical across backends.
+
+    Beyond the members below, a backend must declare the operator formats it
+    accepts: either ``supported_formats`` (a preference-ordered tuple drawn
+    from :data:`~repro.core.operators.OPERATOR_FORMATS`) or the legacy
+    boolean ``prefers_sparse`` — :func:`register_backend` enforces that one
+    of the two is present and :func:`backend_formats` normalises them.  An
+    optional ``supports_noise`` flag advertises whether the backend honours
+    ``QTDAConfig``'s noise fields (default: no).
     """
 
     #: Registry name (also the value of ``QTDAConfig.backend``).
     name: str
     #: One-line human description (shown by ``repro-experiments list-backends``).
     description: str
-    #: Whether :meth:`QTDABettiEstimator.estimate` should hand this backend a
-    #: sparse Laplacian (spectral backends that never densify set this).
-    prefers_sparse: bool
 
     def run(
         self,
@@ -113,6 +148,52 @@ class BettiBackend(Protocol):
         rng: np.random.Generator,
     ) -> BackendResult:  # pragma: no cover - protocol signature
         ...
+
+
+def backend_formats(backend: "BettiBackend") -> Tuple[str, ...]:
+    """Operator formats ``backend`` accepts, most-preferred first.
+
+    Backends may declare ``supported_formats`` explicitly (a tuple drawn from
+    :data:`~repro.core.operators.OPERATOR_FORMATS`, e.g. ``("matrix-free",
+    "sparse", "dense")`` for the stochastic-trace backend).  Backends that
+    only declare the legacy ``prefers_sparse`` flag are normalised to
+    ``("sparse", "dense")`` or ``("dense",)`` — exactly the formats the
+    pre-operator estimator would have handed them.
+    """
+    declared = getattr(backend, "supported_formats", None)
+    if declared:
+        formats = tuple(declared)
+        unknown = [f for f in formats if f not in OPERATOR_FORMATS]
+        if unknown:
+            raise ValueError(
+                f"backend {getattr(backend, 'name', backend)!r} declares unknown "
+                f"operator formats {unknown}; valid formats: {OPERATOR_FORMATS}"
+            )
+        return formats
+    if getattr(backend, "prefers_sparse", False):
+        return (SPARSE, DENSE)
+    return (DENSE,)
+
+
+def preferred_format(backend: "BettiBackend") -> str:
+    """The single format a producer should build for ``backend``.
+
+    Walks the backend's declared formats in preference order and returns the
+    first *buildable* one.  ``"matrix-free"`` is never built by producers (a
+    concrete Laplacian is always available as a matrix), so it collapses to
+    sparse — a CSR matrix is the cheapest concrete matvec carrier.
+    """
+    for fmt in backend_formats(backend):
+        if fmt == DENSE:
+            return DENSE
+        if fmt in (SPARSE, MATRIX_FREE):
+            return SPARSE
+    return DENSE
+
+
+def backend_supports_noise(backend: "BettiBackend") -> bool:
+    """Whether ``backend`` honours ``QTDAConfig.noise_channel``/``noise_model``."""
+    return bool(getattr(backend, "supports_noise", False))
 
 
 # ---------------------------------------------------------------------------
@@ -142,12 +223,18 @@ def register_backend(name: str, backend: BettiBackend) -> None:
         )
     if not callable(getattr(backend, "run", None)):
         raise TypeError(f"backend {name!r} does not implement BettiBackend.run")
-    for attribute in ("description", "prefers_sparse"):
-        if not hasattr(backend, attribute):
-            # Consumers read these without getattr fallbacks (the estimator
-            # consults prefers_sparse on every estimate), so a late
-            # AttributeError there would be far harder to diagnose.
-            raise TypeError(f"backend {name!r} is missing the {attribute!r} attribute")
+    if not hasattr(backend, "description"):
+        raise TypeError(f"backend {name!r} is missing the 'description' attribute")
+    if not hasattr(backend, "prefers_sparse") and not getattr(backend, "supported_formats", None):
+        # Producers negotiate formats on every estimate (backend_formats /
+        # preferred_format); a backend declaring neither the new
+        # supported_formats tuple nor the legacy prefers_sparse flag would
+        # fail far from here, mid-estimate.
+        raise TypeError(
+            f"backend {name!r} must declare supported_formats (or the legacy "
+            "prefers_sparse flag)"
+        )
+    backend_formats(backend)  # validates any declared format names eagerly
     _REGISTRY[name] = backend
 
 
@@ -159,6 +246,23 @@ def unregister_backend(name: str) -> BettiBackend:
         raise ValueError(
             f"Unknown backend {name!r}; available backends: {', '.join(available_backends())}"
         ) from None
+
+
+@contextmanager
+def temporary_backend(name: str, backend: BettiBackend) -> Iterator[BettiBackend]:
+    """Register ``backend`` under ``name`` for the duration of a ``with`` block.
+
+    The backend is unregistered on exit even when the body raises, so test
+    suites (and exploratory scripts) can never leak registry state into later
+    code.  The registration is only removed if it still points at *this*
+    backend — a body that legitimately replaced it keeps its replacement.
+    """
+    register_backend(name, backend)
+    try:
+        yield backend
+    finally:
+        if _REGISTRY.get(name) is backend:
+            unregister_backend(name)
 
 
 def available_backends() -> tuple:

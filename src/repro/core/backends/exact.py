@@ -24,10 +24,12 @@ class ExactBackend:
     name = "exact"
     description = "analytical QPE readout from the padded spectrum (dense |S_k| eigendecomposition)"
     prefers_sparse = False
+    supported_formats = ("dense", "sparse", "matrix-free")
+    supports_noise = False
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
         spectrum = padded_spectrum(
-            problem.laplacian,
+            problem.operator,
             delta=config.delta,
             padding=config.padding,
             cache=problem.spectrum_cache,

@@ -33,6 +33,8 @@ class NoisyDensityBackend:
     name = "noisy-density"
     description = "Fig. 6 on the density-matrix simulator with a per-gate Kraus channel (noise_channel/noise_strength)"
     prefers_sparse = False
+    supported_formats = ("dense",)
+    supports_noise = True
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
         noise = config.resolved_noise_model()

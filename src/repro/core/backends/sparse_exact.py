@@ -37,7 +37,6 @@ the ≥3× speedup on a ~1000-simplex complex.
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse as _sparse
 from scipy.sparse import linalg as _sparse_linalg
 
 from repro.core.backends.base import BackendResult, EstimationProblem, register_backend
@@ -71,6 +70,8 @@ class SparseExactBackend:
     name = "sparse-exact"
     description = "shift-invert partial spectrum on the sparse |S_k| Laplacian (dense fallback below threshold)"
     prefers_sparse = True
+    supported_formats = ("sparse", "dense")
+    supports_noise = False
 
     def __init__(
         self,
@@ -101,18 +102,18 @@ class SparseExactBackend:
 
     # -- spectral machinery ----------------------------------------------------
     def _spectrum(self, problem: EstimationProblem, config) -> PaddedSpectrum:
-        lap = problem.laplacian
-        n = int(lap.shape[0])
-        if not _sparse.issparse(lap) or n <= self.dense_threshold:
+        operator = problem.operator
+        n = operator.dim
+        if operator.format != "sparse" or n <= self.dense_threshold:
             return padded_spectrum(
-                lap, delta=config.delta, padding=config.padding, cache=problem.spectrum_cache
+                operator, delta=config.delta, padding=config.padding, cache=problem.spectrum_cache
             )
-        partial = self._partial_eigenvalues(lap.tocsr(), config.zero_eigenvalue_atol)
+        partial = self._partial_eigenvalues(operator, config.zero_eigenvalue_atol)
         if partial is None:
             # Lanczos did not converge, or the window grew to the full matrix:
             # fall back to the dense path rather than return a worse answer.
             return padded_spectrum(
-                lap, delta=config.delta, padding=config.padding, cache=problem.spectrum_cache
+                operator, delta=config.delta, padding=config.padding, cache=problem.spectrum_cache
             )
         eigenvalues, lam = partial
         num_qubits = max(1, int(np.ceil(np.log2(n))))
@@ -127,19 +128,21 @@ class SparseExactBackend:
             num_qubits=num_qubits,
         )
 
-    def _partial_eigenvalues(self, lap: "_sparse.csr_matrix", atol: float):
+    def _partial_eigenvalues(self, operator, atol: float):
         """``(surrogate spectrum, λ̃_max)`` of the unpadded sparse Laplacian.
 
-        Returns ``None`` when the sparse route cannot answer reliably (the
-        caller then takes the dense fallback).
+        ``operator`` is the problem's sparse :class:`LaplacianOperator`; the
+        Gershgorin bound and the moment reductions come from it (one shared
+        implementation, DESIGN.md §9).  Returns ``None`` when the sparse
+        route cannot answer reliably (the caller then takes the dense
+        fallback).
         """
+        lap = operator.to_sparse()
         n = lap.shape[0]
         asymmetry = abs(lap - lap.T)
         if asymmetry.nnz and asymmetry.max() > 1e-10:
             raise ValueError("laplacian must be symmetric")
-        diag = np.asarray(lap.diagonal(), dtype=float)
-        row_abs = np.asarray(np.abs(lap).sum(axis=1)).ravel()
-        lam = max(float(np.max(diag + row_abs - np.abs(diag))), 0.0)
+        lam = operator.gershgorin_bound()
 
         m = min(self.num_eigenvalues, n - 2)
         while True:
@@ -168,8 +171,8 @@ class SparseExactBackend:
         # Uniform surrogate for the bulk, matching the exact residual moments
         # tr Δ and tr Δ² — see the module docstring.
         rest = n - m
-        trace1 = float(diag.sum())
-        trace2 = float(np.square(lap.data).sum())  # ‖Δ‖_F² = tr Δ² (symmetric)
+        trace1 = operator.trace()
+        trace2 = operator.frobenius_norm_squared()  # ‖Δ‖_F² = tr Δ² (symmetric)
         mean = (trace1 - float(computed.sum())) / rest
         variance = max((trace2 - float(np.square(computed).sum())) / rest - mean**2, 0.0)
         half_width = float(np.sqrt(3.0 * variance))  # uniform dist: var = w²/3

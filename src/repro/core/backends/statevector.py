@@ -81,6 +81,8 @@ class StatevectorBackend:
     name = "statevector"
     description = "explicit Fig. 6 circuit with exact controlled powers of U (purified or density-matrix)"
     prefers_sparse = False
+    supported_formats = ("dense",)
+    supports_noise = True
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
         return circuit_backend_result(problem, config, "exact", config.resolved_noise_model())

@@ -20,6 +20,8 @@ class TrotterBackend:
     name = "trotter"
     description = "Fig. 6 circuit with U synthesised from the Pauli decomposition (Fig. 7 product formula)"
     prefers_sparse = False
+    supported_formats = ("dense",)
+    supports_noise = True
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
         return circuit_backend_result(problem, config, "trotter", config.resolved_noise_model())

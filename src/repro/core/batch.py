@@ -23,7 +23,11 @@ seed, regardless of worker count or chunking.
 Estimator backends are orthogonal to these *execution* backends: the engine
 builds a :class:`QTDABettiEstimator` per sample from ``config.estimator``, so
 any backend registered in :mod:`repro.core.backends` (``exact``,
-``sparse-exact``, ``noisy-density``, ...) passes through unchanged.
+``sparse-exact``, ``stochastic-trace``, ``noisy-density``, ...) passes
+through unchanged.  The engine additionally *negotiates the operator format*
+with the configured backend (DESIGN.md §9): sparse-capable backends receive
+flag-array Laplacians built directly as CSR matrices, so large-window sweeps
+get the sparse fast path end to end instead of a dense detour.
 """
 
 from __future__ import annotations
@@ -41,7 +45,10 @@ from repro.core.hamiltonian import SpectrumCache, laplacian_spectrum_info
 from repro.core.pipeline import PipelineConfig, apply_pipeline_overrides
 from repro.tda.betti import betti_number
 from repro.tda.distances import pairwise_distances
-from repro.tda.laplacian import combinatorial_laplacian, laplacian_from_flag_arrays
+from repro.tda.laplacian import (
+    combinatorial_laplacian_operator,
+    laplacian_operator_from_flag_arrays,
+)
 from repro.tda.rips import RipsComplex, flag_complex_arrays
 from repro.tda.takens import TakensEmbedding
 from repro.utils.rng import derive_seed
@@ -71,12 +78,19 @@ class BatchConfig:
     spectrum_cache_size:
         LRU capacity of the per-engine (serial/threads) or per-worker
         (processes) spectrum cache; ``0`` disables caching.
+    operator_format:
+        Format of the Laplacians handed to the estimator backend: ``None``
+        (default) negotiates it from the configured estimator backend's
+        ``supported_formats`` (so ``sparse-exact`` / ``stochastic-trace``
+        sweeps get sparse operators end to end), or force ``"dense"`` /
+        ``"sparse"`` explicitly (the dense-handoff benchmark baseline).
     """
 
     backend: str = "serial"
     max_workers: Optional[int] = None
     chunk_size: Optional[int] = None
     spectrum_cache_size: int = 1024
+    operator_format: Optional[str] = None
 
     def __post_init__(self):
         if self.backend not in BATCH_BACKENDS:
@@ -88,6 +102,10 @@ class BatchConfig:
         self.spectrum_cache_size = check_integer(
             self.spectrum_cache_size, "spectrum_cache_size", minimum=0
         )
+        if self.operator_format not in (None, "dense", "sparse"):
+            raise ValueError(
+                f"operator_format must be None, 'dense' or 'sparse', got {self.operator_format!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -111,16 +129,22 @@ def _sample_features(
     config: PipelineConfig,
     cache: Optional[SpectrumCache],
     want_exact: bool,
+    laplacian_format: str = "dense",
 ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Feature rows of one sample: ``(estimated (E, F), exact (E, F) or None)``.
 
     ``E`` indexes the grouping scales of the task, ``F`` the homology
-    dimensions.  Pure given ``(task, config)`` — the execution backends rely
-    on that for bit-identical results.
+    dimensions.  ``laplacian_format`` is the negotiated operator format the
+    estimator backend receives (see :meth:`BatchFeatureEngine._laplacian_format`):
+    with ``"sparse"`` the flag-array Laplacians are built as CSR matrices and
+    never densified on the engine side, so sparse backends get their fast
+    path end to end.  Pure given ``(task, config, laplacian_format)`` — the
+    execution backends rely on that for bit-identical results.
     """
     dims = config.homology_dimensions
     atol = config.estimator.zero_eigenvalue_atol
     fast = config.max_complex_dimension <= 2
+    sparse_handoff = laplacian_format == "sparse"
     estimator: Optional[QTDABettiEstimator] = None
     if config.use_quantum:
         estimator = QTDABettiEstimator(
@@ -133,7 +157,9 @@ def _sample_features(
         if fast:
             arrays = flag_complex_arrays(task.distances, epsilon, config.max_complex_dimension)
             num_simplices = arrays.num_simplices
-            laplacian_of = lambda k: laplacian_from_flag_arrays(arrays, k)  # noqa: E731
+            laplacian_of = lambda k: laplacian_operator_from_flag_arrays(  # noqa: E731
+                arrays, k, sparse_format=sparse_handoff
+            )
             complex_ = None
         else:
             # Generic clique route for dimensions above 2; successive ε share
@@ -145,7 +171,9 @@ def _sample_features(
             )
             complex_ = rips.complex()
             num_simplices = complex_.num_simplices
-            laplacian_of = lambda k: combinatorial_laplacian(complex_, k)  # noqa: E731
+            laplacian_of = lambda k: combinatorial_laplacian_operator(  # noqa: E731
+                complex_, k, sparse_format=sparse_handoff
+            )
         for f_idx, k in enumerate(dims):
             if num_simplices(k) == 0:
                 estimated[e_idx, f_idx] = 0.0
@@ -186,9 +214,12 @@ def _process_cache(size: int) -> Optional[SpectrumCache]:
 
 def _run_chunk(payload) -> List[Tuple[int, Tuple[np.ndarray, Optional[np.ndarray]]]]:
     """Top-level (picklable) chunk runner for the ``processes`` backend."""
-    config, cache_size, tasks, want_exact = payload
+    config, cache_size, tasks, want_exact, laplacian_format = payload
     cache = _process_cache(cache_size)
-    return [(task.index, _sample_features(task, config, cache, want_exact)) for task in tasks]
+    return [
+        (task.index, _sample_features(task, config, cache, want_exact, laplacian_format))
+        for task in tasks
+    ]
 
 
 class BatchFeatureEngine:
@@ -321,13 +352,32 @@ class BatchFeatureEngine:
             for i, d in enumerate(distances)
         ]
 
+    def _laplacian_format(self) -> str:
+        """Negotiated operator format for estimator handoffs (DESIGN.md §9).
+
+        An explicit ``BatchConfig.operator_format`` wins; otherwise the
+        configured estimator backend's format preference decides, so e.g.
+        ``backend="sparse-exact"`` sweeps build flag-array Laplacians as CSR
+        matrices and the estimator never sees a dense matrix it would have to
+        re-sparsify.  Classical-only runs (``use_quantum=False``) stay dense —
+        their eigenvalue counts densify anyway.
+        """
+        if self.batch.operator_format is not None:
+            return self.batch.operator_format
+        if not self.config.use_quantum:
+            return "dense"
+        from repro.core.backends import get_backend, preferred_format
+
+        return preferred_format(get_backend(self.config.estimator.backend))
+
     def _execute(
         self, tasks: List[_SampleTask], want_exact: bool
     ) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
         if not tasks:
             return []
+        fmt = self._laplacian_format()
         if self.batch.backend == "serial":
-            return [_sample_features(t, self.config, self._cache, want_exact) for t in tasks]
+            return [_sample_features(t, self.config, self._cache, want_exact, fmt) for t in tasks]
         workers = self.batch.max_workers or (os.cpu_count() or 1)
         workers = max(1, min(workers, len(tasks)))
         chunk = self.batch.chunk_size or max(1, math.ceil(len(tasks) / (4 * workers)))
@@ -336,7 +386,7 @@ class BatchFeatureEngine:
         if self.batch.backend == "threads":
             def run(chunk_tasks):
                 return [
-                    (t.index, _sample_features(t, self.config, self._cache, want_exact))
+                    (t.index, _sample_features(t, self.config, self._cache, want_exact, fmt))
                     for t in chunk_tasks
                 ]
 
@@ -346,7 +396,7 @@ class BatchFeatureEngine:
                         results[index] = value
         else:  # processes
             payloads = [
-                (self.config, self.batch.spectrum_cache_size, chunk_tasks, want_exact)
+                (self.config, self.batch.spectrum_cache_size, chunk_tasks, want_exact, fmt)
                 for chunk_tasks in chunks
             ]
             with ProcessPoolExecutor(max_workers=workers) as pool:

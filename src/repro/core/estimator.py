@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.backends import EstimationProblem, get_backend
+from repro.core.backends import EstimationProblem, get_backend, preferred_format
 from repro.core.config import QTDAConfig
 from repro.core.hamiltonian import SpectrumCache
 from repro.quantum.measurement import sample_counts
@@ -55,6 +55,12 @@ class BettiEstimate:
         infinite-shot runs).
     lambda_max, delta:
         Spectral-scaling provenance.
+    betti_std:
+        One standard error of ``β̃_k`` as reported by a *stochastic* backend
+        (``2^q`` times the backend's ``p(0)`` standard error; the
+        ``stochastic-trace`` backend's Hutchinson sampling error).  ``None``
+        for deterministic backends.  Shot noise is *not* included — it is
+        identical across backends and already visible through ``counts``.
     """
 
     betti_estimate: float
@@ -68,6 +74,7 @@ class BettiEstimate:
     counts: Dict[str, int] = field(default_factory=dict)
     lambda_max: float = 0.0
     delta: float = 0.0
+    betti_std: Optional[float] = None
 
     @property
     def absolute_error(self) -> Optional[float]:
@@ -99,6 +106,7 @@ class BettiEstimate:
             "counts": dict(self.counts),
             "lambda_max": self.lambda_max,
             "delta": self.delta,
+            "betti_std": self.betti_std,
         }
 
 
@@ -165,19 +173,21 @@ class QTDABettiEstimator:
                 delta=self.config.delta,
             )
         laplacian = combinatorial_laplacian(
-            complex_, k, sparse_format=self.backend.prefers_sparse
+            complex_, k, sparse_format=preferred_format(self.backend) == "sparse"
         )
         return self.estimate_from_laplacian(laplacian, exact_betti=exact)
 
     def estimate_from_laplacian(self, laplacian: np.ndarray, exact_betti: Optional[int] = None) -> BettiEstimate:
         """Estimate the kernel dimension of an explicit combinatorial Laplacian.
 
-        Accepts dense or ``scipy.sparse`` matrices.  The configured backend
-        is resolved through the registry and handed an
-        :class:`~repro.core.backends.EstimationProblem` (the Laplacian plus
-        the shared spectrum cache, when one is attached); shot sampling of
-        the returned distribution happens here so it is identical across
-        backends.
+        Accepts dense matrices, ``scipy.sparse`` matrices and
+        :class:`~repro.core.operators.LaplacianOperator` objects (including
+        matrix-free ones).  The configured backend is resolved through the
+        registry and handed an
+        :class:`~repro.core.backends.EstimationProblem` (the Laplacian
+        operator plus the shared spectrum cache, when one is attached); shot
+        sampling of the returned distribution happens here so it is identical
+        across backends.
         """
         if exact_betti is None:
             exact_betti_val: Optional[int] = None
@@ -188,6 +198,7 @@ class QTDABettiEstimator:
         p_zero, counts = self._readout(result.distribution)
         dim = 2**result.num_system_qubits
         estimate = dim * p_zero
+        betti_std = None if result.p_zero_std is None else float(dim * result.p_zero_std)
         return BettiEstimate(
             betti_estimate=float(estimate),
             betti_rounded=int(round(estimate)),
@@ -200,6 +211,7 @@ class QTDABettiEstimator:
             counts=counts,
             lambda_max=result.lambda_max,
             delta=self.config.delta,
+            betti_std=betti_std,
         )
 
     def estimate_betti_numbers(

@@ -23,6 +23,7 @@ import numpy as np
 from scipy import sparse as _sparse
 from scipy.linalg import expm
 
+from repro.core.operators import LaplacianOperator, as_operator
 from repro.core.padding import PaddedLaplacian, pad_laplacian
 from repro.paulis.decompose import pauli_decompose
 from repro.paulis.gershgorin import gershgorin_bound
@@ -93,9 +94,9 @@ def build_hamiltonian(
     Parameters
     ----------
     laplacian:
-        The ``|S_k| x |S_k|`` combinatorial Laplacian ``Δ_k`` (dense or
-        ``scipy.sparse``; sparse input is densified — the padded Hamiltonian
-        is dense anyway).
+        The ``|S_k| x |S_k|`` combinatorial Laplacian ``Δ_k`` (dense,
+        ``scipy.sparse`` or a :class:`~repro.core.operators.LaplacianOperator`;
+        non-dense input is densified — the padded Hamiltonian is dense anyway).
     delta:
         Spectral scaling constant ``δ`` (defaults to ``0.9 · 2π ≈ 5.65``,
         close to the worked example's ``δ = 6``).  The margin below 2π
@@ -134,10 +135,8 @@ def qtda_unitary(laplacian: np.ndarray, delta: Optional[float] = None, padding: 
 # ---------------------------------------------------------------------------
 
 def _as_dense_laplacian(laplacian) -> np.ndarray:
-    """Densify a (possibly sparse) Laplacian into a contiguous float array."""
-    if _sparse.issparse(laplacian):
-        laplacian = laplacian.toarray()
-    return np.ascontiguousarray(np.asarray(laplacian, dtype=float))
+    """Densify a Laplacian (array, sparse or operator) into a contiguous float array."""
+    return as_operator(laplacian).to_dense()
 
 
 def laplacian_spectrum_info(laplacian) -> Tuple[np.ndarray, float]:
@@ -145,7 +144,10 @@ def laplacian_spectrum_info(laplacian) -> Tuple[np.ndarray, float]:
 
     This is the expensive half of an exact-backend estimate; everything
     downstream (padding, rescaling, QPE phases) follows analytically from it
-    — see :func:`padded_spectrum` and DESIGN.md §6.
+    — see :func:`padded_spectrum` and DESIGN.md §6.  Accepts dense arrays,
+    ``scipy.sparse`` matrices and :class:`~repro.core.operators.
+    LaplacianOperator` objects (the eigendecomposition itself is dense, so
+    non-dense inputs are materialised here).
     """
     # Same validation the dense build_hamiltonian path applies: eigvalsh
     # would silently read one triangle of an asymmetric matrix.
@@ -156,7 +158,7 @@ def laplacian_spectrum_info(laplacian) -> Tuple[np.ndarray, float]:
 
 
 class SpectrumCache:
-    """Thread-safe LRU cache of Laplacian spectra, keyed by matrix content.
+    """Thread-safe LRU cache of Laplacian spectra, keyed by operator fingerprint.
 
     The estimator's ``exact`` backend needs only the eigenvalues of the small
     (unpadded) Laplacian; experiment drivers revisit the same Laplacians many
@@ -165,6 +167,12 @@ class SpectrumCache:
     removes the dominant per-estimate cost.  Cached values are exactly what
     :func:`laplacian_spectrum_info` would recompute, so cache hits are
     bit-identical to cache misses.
+
+    Keys are :meth:`~repro.core.operators.LaplacianOperator.fingerprint`
+    content hashes, so sparse (and tagged matrix-free) operators are keyed
+    from their native storage — a cached sparse lookup never materialises a
+    dense matrix.  Operators without a fingerprint (untagged matrix-free
+    closures) bypass the cache instead of densifying just to compute a key.
     """
 
     def __init__(self, maxsize: int = 1024):
@@ -177,23 +185,23 @@ class SpectrumCache:
     def __len__(self) -> int:
         return len(self._store)
 
-    def _key(self, lap: np.ndarray) -> bytes:
-        digest = hashlib.sha1(lap.tobytes()).digest()
-        return lap.shape[0].to_bytes(8, "little") + digest
-
     def spectrum(self, laplacian) -> Tuple[np.ndarray, float]:
         """(eigenvalues, Gershgorin ``λ̃_max``) of the unpadded Laplacian, cached."""
-        lap = _as_dense_laplacian(laplacian)
+        operator = as_operator(laplacian)
         if self.maxsize <= 0:
-            return laplacian_spectrum_info(lap)
-        key = self._key(lap)
+            return laplacian_spectrum_info(operator)
+        key = operator.fingerprint()
+        if key is None:
+            # Unfingerprintable (untagged matrix-free) operator: computing a
+            # content key would require densifying, defeating the cache.
+            return laplacian_spectrum_info(operator)
         with self._lock:
             cached = self._store.get(key)
             if cached is not None:
                 self._store.move_to_end(key)
                 self.hits += 1
                 return cached
-        value = laplacian_spectrum_info(lap)
+        value = laplacian_spectrum_info(operator)
         with self._lock:
             self.misses += 1
             self._store[key] = value
@@ -262,10 +270,11 @@ def padded_spectrum(
 ) -> PaddedSpectrum:
     """Spectral counterpart of :func:`build_hamiltonian`.
 
-    Diagonalises the small (possibly sparse) ``|S_k| x |S_k|`` Laplacian —
-    through ``cache`` when one is supplied — and derives the padded, rescaled
-    Hamiltonian's spectrum analytically instead of materialising the
-    ``2^q x 2^q`` matrix.
+    Diagonalises the small ``|S_k| x |S_k|`` Laplacian (given as a dense
+    array, ``scipy.sparse`` matrix or :class:`~repro.core.operators.
+    LaplacianOperator`) — through ``cache`` when one is supplied — and
+    derives the padded, rescaled Hamiltonian's spectrum analytically instead
+    of materialising the ``2^q x 2^q`` matrix.
     """
     if delta is None:
         delta = 2.0 * np.pi * 0.9
@@ -274,16 +283,14 @@ def padded_spectrum(
         raise ValueError(f"delta must lie in (0, 2π), got {delta}")
     if padding not in ("identity", "zero"):
         raise ValueError(f"Unknown padding mode {padding!r}")
-    lap = _as_dense_laplacian(laplacian)
-    if lap.ndim != 2 or lap.shape[0] != lap.shape[1]:
-        raise ValueError("laplacian must be a square matrix")
-    dim = lap.shape[0]
+    operator = as_operator(laplacian)
+    dim = operator.dim
     if dim == 0:
         raise ValueError("Cannot pad an empty (0x0) Laplacian; the complex has no k-simplices")
     if cache is not None:
-        eigenvalues, lam = cache.spectrum(lap)
+        eigenvalues, lam = cache.spectrum(operator)
     else:
-        eigenvalues, lam = laplacian_spectrum_info(lap)
+        eigenvalues, lam = laplacian_spectrum_info(operator)
     num_qubits = max(1, int(np.ceil(np.log2(dim))))
     scale = delta / lam if lam > 0 else 1.0
     return PaddedSpectrum(

@@ -1,0 +1,276 @@
+"""The Laplacian operator layer — one seam between matrices and backends.
+
+Every layer of the estimator used to funnel combinatorial Laplacians around
+as raw ``ndarray`` / ``scipy.sparse`` objects, which forced format decisions
+(densify? re-sparsify? hash how?) onto each consumer separately.  This module
+centralises them: a :class:`LaplacianOperator` wraps a dense array, a CSR
+matrix or a matrix-free ``matvec`` closure behind one interface —
+
+* ``shape`` / ``dim`` — the ``|S_k| x |S_k|`` geometry;
+* ``matvec(x)`` — the only primitive an iterative backend needs;
+* ``to_dense()`` / ``to_sparse()`` — explicit, on-demand format conversion
+  (a matrix-free operator materialises by applying ``matvec`` to identity
+  columns, so conversion is always *possible*, just not always cheap);
+* ``gershgorin_bound()`` — the Eq. 7 ``λ̃_max`` in whatever way is cheap for
+  the format (row reductions, never a diagonalisation);
+* ``trace()`` / ``frobenius_norm_squared()`` — the moment reductions the
+  surrogate-spectrum and stochastic-trace backends need;
+* ``fingerprint()`` — a content hash so :class:`~repro.core.hamiltonian.
+  SpectrumCache` can key sparse and matrix-free operators without ever
+  densifying them (``None`` marks an operator as uncacheable).
+
+Consumers negotiate formats through :data:`OPERATOR_FORMATS` and
+:func:`as_operator`; see DESIGN.md §9.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy import sparse as _sparse
+
+from repro.paulis.gershgorin import gershgorin_bound as _dense_gershgorin
+
+#: Canonical operator format names, in the order backends usually prefer
+#: them: ``"matrix-free"`` (matvec only), ``"sparse"`` (CSR), ``"dense"``.
+OPERATOR_FORMATS = ("matrix-free", "sparse", "dense")
+
+#: Formats every operator can be converted *to* (conversion cost varies).
+DENSE, SPARSE, MATRIX_FREE = "dense", "sparse", "matrix-free"
+
+
+def _square_shape(shape) -> Tuple[int, int]:
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ValueError(f"operator must be square, got shape {shape}")
+    return shape
+
+
+class LaplacianOperator:
+    """Abstract symmetric PSD linear operator over ``R^{|S_k|}``.
+
+    Subclasses fix the native storage ``format`` and implement the
+    conversion/reduction primitives; everything else (shape bookkeeping,
+    ``__matmul__`` sugar, default materialised reductions) lives here.
+    """
+
+    #: One of :data:`OPERATOR_FORMATS`; the operator's *native* storage.
+    format: str = "abstract"
+
+    def __init__(self, shape: Tuple[int, int]):
+        self._shape = _square_shape(shape)
+
+    # -- geometry ---------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def dim(self) -> int:
+        """``|S_k|`` — the unpadded Laplacian dimension."""
+        return self._shape[0]
+
+    # -- primitives (subclass responsibility) ------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_dense(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_sparse(self) -> "_sparse.csr_matrix":
+        return _sparse.csr_matrix(self.to_dense())
+
+    def fingerprint(self) -> Optional[bytes]:
+        """Content hash for cache keying; ``None`` means uncacheable."""
+        return None
+
+    # -- derived reductions -------------------------------------------------------
+    def gershgorin_bound(self) -> float:
+        """Upper bound on ``λ_max`` (Eq. 7's ``λ̃_max``), format-appropriate."""
+        return _dense_gershgorin(self.to_dense())
+
+    def trace(self) -> float:
+        return float(np.trace(self.to_dense()))
+
+    def frobenius_norm_squared(self) -> float:
+        """``‖Δ‖_F² = tr Δ²`` for symmetric operators — the second moment."""
+        dense = self.to_dense()
+        return float(np.square(dense).sum())
+
+    # -- sugar --------------------------------------------------------------------
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.dim}x{self.dim} format={self.format!r}>"
+
+
+class DenseOperator(LaplacianOperator):
+    """A dense ``ndarray``-backed Laplacian operator."""
+
+    format = DENSE
+
+    def __init__(self, matrix: np.ndarray):
+        arr = np.ascontiguousarray(np.asarray(matrix, dtype=float))
+        super().__init__(arr.shape)
+        self._matrix = arr
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._matrix @ np.asarray(x, dtype=float)
+
+    def to_dense(self) -> np.ndarray:
+        return self._matrix
+
+    def to_sparse(self) -> "_sparse.csr_matrix":
+        return _sparse.csr_matrix(self._matrix)
+
+    def fingerprint(self) -> bytes:
+        digest = hashlib.sha1(self._matrix.tobytes()).digest()
+        return b"dense" + self.dim.to_bytes(8, "little") + digest
+
+    def gershgorin_bound(self) -> float:
+        return _dense_gershgorin(self._matrix)
+
+    def trace(self) -> float:
+        return float(np.trace(self._matrix))
+
+    def frobenius_norm_squared(self) -> float:
+        return float(np.square(self._matrix).sum())
+
+
+class SparseOperator(LaplacianOperator):
+    """A CSR-backed Laplacian operator — reductions never densify."""
+
+    format = SPARSE
+
+    def __init__(self, matrix: "_sparse.spmatrix"):
+        if not _sparse.issparse(matrix):
+            raise TypeError("SparseOperator expects a scipy.sparse matrix")
+        csr = matrix.tocsr().astype(float, copy=False)
+        super().__init__(csr.shape)
+        self._matrix = csr
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._matrix @ np.asarray(x, dtype=float)
+
+    def to_dense(self) -> np.ndarray:
+        return np.ascontiguousarray(np.asarray(self._matrix.todense(), dtype=float))
+
+    def to_sparse(self) -> "_sparse.csr_matrix":
+        return self._matrix
+
+    def fingerprint(self) -> bytes:
+        # Canonicalise so that equal matrices with different internal layouts
+        # (unsorted indices, explicit duplicates/zeros) hash identically.
+        canonical = self._matrix.copy()
+        canonical.sum_duplicates()
+        canonical.eliminate_zeros()
+        canonical.sort_indices()
+        h = hashlib.sha1()
+        h.update(np.ascontiguousarray(canonical.data, dtype=float).tobytes())
+        h.update(np.ascontiguousarray(canonical.indices, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(canonical.indptr, dtype=np.int64).tobytes())
+        return b"sparse" + self.dim.to_bytes(8, "little") + h.digest()
+
+    def gershgorin_bound(self) -> float:
+        if self.dim == 0:
+            return 0.0
+        diag = np.asarray(self._matrix.diagonal(), dtype=float)
+        row_abs = np.asarray(np.abs(self._matrix).sum(axis=1)).ravel()
+        return max(float(np.max(diag + row_abs - np.abs(diag))), 0.0)
+
+    def trace(self) -> float:
+        return float(np.asarray(self._matrix.diagonal(), dtype=float).sum())
+
+    def frobenius_norm_squared(self) -> float:
+        return float(np.square(self._matrix.data).sum())
+
+
+class MatrixFreeOperator(LaplacianOperator):
+    """A Laplacian given only through its action ``x ↦ Δ_k x``.
+
+    Parameters
+    ----------
+    matvec:
+        The action of the operator on a length-``n`` vector.
+    shape:
+        ``(n, n)``.
+    fingerprint:
+        Optional content tag (bytes) for cache keying.  Matrix-free operators
+        have no inspectable entries, so the *caller* must vouch for identity;
+        without a tag the operator is treated as uncacheable.
+    gershgorin:
+        Optional precomputed ``λ̃_max``; when omitted the bound is computed by
+        materialising (``dim`` matvecs) on first use.
+    trace, frobenius_norm_squared:
+        Optional precomputed moments, same rationale.
+    """
+
+    format = MATRIX_FREE
+
+    def __init__(
+        self,
+        matvec: Callable[[np.ndarray], np.ndarray],
+        shape: Tuple[int, int],
+        fingerprint: Optional[bytes] = None,
+        gershgorin: Optional[float] = None,
+        trace: Optional[float] = None,
+        frobenius_norm_squared: Optional[float] = None,
+    ):
+        super().__init__(shape)
+        self._matvec = matvec
+        self._fingerprint = fingerprint
+        self._gershgorin = gershgorin
+        self._trace = trace
+        self._frobenius2 = frobenius_norm_squared
+        self._dense: Optional[np.ndarray] = None
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self._matvec(np.asarray(x, dtype=float)), dtype=float)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise by applying ``matvec`` to the identity columns (cached)."""
+        if self._dense is None:
+            n = self.dim
+            columns = np.empty((n, n), dtype=float)
+            eye = np.eye(n)
+            for j in range(n):
+                columns[:, j] = self.matvec(eye[:, j])
+            self._dense = np.ascontiguousarray(columns)
+        return self._dense
+
+    def fingerprint(self) -> Optional[bytes]:
+        if self._fingerprint is None:
+            return None
+        return b"matfree" + self.dim.to_bytes(8, "little") + self._fingerprint
+
+    def gershgorin_bound(self) -> float:
+        if self._gershgorin is None:
+            self._gershgorin = _dense_gershgorin(self.to_dense())
+        return float(self._gershgorin)
+
+    def trace(self) -> float:
+        if self._trace is None:
+            self._trace = float(np.trace(self.to_dense()))
+        return float(self._trace)
+
+    def frobenius_norm_squared(self) -> float:
+        if self._frobenius2 is None:
+            self._frobenius2 = float(np.square(self.to_dense()).sum())
+        return float(self._frobenius2)
+
+
+def as_operator(laplacian) -> LaplacianOperator:
+    """Coerce a matrix-ish object into a :class:`LaplacianOperator`.
+
+    Accepts an existing operator (returned unchanged), a ``scipy.sparse``
+    matrix (wrapped as :class:`SparseOperator`) or anything array-like
+    (wrapped as :class:`DenseOperator`).
+    """
+    if isinstance(laplacian, LaplacianOperator):
+        return laplacian
+    if _sparse.issparse(laplacian):
+        return SparseOperator(laplacian)
+    return DenseOperator(laplacian)

@@ -21,7 +21,12 @@ from repro.tda.simplex import Simplex
 from repro.tda.complexes import SimplicialComplex
 from repro.tda.rips import RipsComplex, rips_complex
 from repro.tda.boundary import boundary_matrix, boundary_operators
-from repro.tda.laplacian import combinatorial_laplacian, laplacian_spectrum
+from repro.tda.laplacian import (
+    combinatorial_laplacian,
+    combinatorial_laplacian_operator,
+    laplacian_operator_from_flag_arrays,
+    laplacian_spectrum,
+)
 from repro.tda.betti import betti_number, betti_numbers, euler_characteristic
 from repro.tda.homology import betti_numbers_gf2, boundary_rank_gf2
 from repro.tda.takens import TakensEmbedding, takens_embedding
@@ -40,6 +45,8 @@ __all__ = [
     "boundary_matrix",
     "boundary_operators",
     "combinatorial_laplacian",
+    "combinatorial_laplacian_operator",
+    "laplacian_operator_from_flag_arrays",
     "laplacian_spectrum",
     "betti_number",
     "betti_numbers",

@@ -105,6 +105,27 @@ def _flag_d2(triangles: np.ndarray, edges: np.ndarray, num_points: int) -> spars
     return sparse.csr_matrix((data, (rows, cols)), shape=(len(edges), t))
 
 
+def combinatorial_laplacian_operator(complex_: SimplicialComplex, k: int, sparse_format: bool = True):
+    """``Δ_k`` wrapped as a :class:`repro.core.operators.LaplacianOperator`.
+
+    The operator-returning variant of :func:`combinatorial_laplacian` for
+    consumers that negotiate formats with estimator backends (sparse CSR by
+    default — the boundary products are built sparse anyway, so the sparse
+    operator is the zero-copy view).
+    """
+    # Imported lazily: repro.tda must stay importable without repro.core.
+    from repro.core.operators import as_operator
+
+    return as_operator(combinatorial_laplacian(complex_, k, sparse_format=sparse_format))
+
+
+def laplacian_operator_from_flag_arrays(arrays, k: int, sparse_format: bool = True):
+    """Operator-returning variant of :func:`laplacian_from_flag_arrays`."""
+    from repro.core.operators import as_operator
+
+    return as_operator(laplacian_from_flag_arrays(arrays, k, sparse_format=sparse_format))
+
+
 def laplacian_spectrum(complex_: SimplicialComplex, k: int) -> np.ndarray:
     """Sorted eigenvalues of ``Δ_k`` (empty array when there are no ``k``-simplices)."""
     lap = combinatorial_laplacian(complex_, k)

@@ -102,6 +102,56 @@ def test_sparse_exact_matches_exact_on_worked_example():
         assert b.lambda_max == a.lambda_max
 
 
+def _operator_view(laplacian, view: str):
+    from scipy import sparse
+
+    from repro.core.operators import MatrixFreeOperator, as_operator
+
+    if view == "dense-operator":
+        return as_operator(laplacian)
+    if view == "sparse-operator":
+        return as_operator(sparse.csr_matrix(laplacian))
+    if view == "matrix-free":
+        return MatrixFreeOperator(lambda x: laplacian @ x, laplacian.shape)
+    raise AssertionError(view)
+
+
+@pytest.mark.parametrize("view", ["dense-operator", "sparse-operator", "matrix-free"])
+@pytest.mark.parametrize("backend", ["exact", "sparse-exact", "statevector", "trotter"])
+def test_operator_layer_is_bit_identical_to_raw_matrices(backend, view):
+    """Acceptance gate: wrapping the Laplacian in any LaplacianOperator view
+    changes nothing — every existing backend produces the same BettiEstimate
+    bit for bit."""
+    from repro.tda.laplacian import combinatorial_laplacian
+
+    kwargs = {"use_purification": False} if backend != "exact" else {}
+    for make, k in (_CASES["appendix"], _CASES["square_tail"]):
+        laplacian = combinatorial_laplacian(make(), k)
+        raw = QTDABettiEstimator(
+            precision_qubits=3, shots=None, backend=backend, delta=6.0, seed=11, **kwargs
+        ).estimate_from_laplacian(laplacian)
+        wrapped = QTDABettiEstimator(
+            precision_qubits=3, shots=None, backend=backend, delta=6.0, seed=11, **kwargs
+        ).estimate_from_laplacian(_operator_view(laplacian, view))
+        assert wrapped.betti_estimate == raw.betti_estimate
+        assert wrapped.p_zero == raw.p_zero
+        assert wrapped.num_system_qubits == raw.num_system_qubits
+        assert wrapped.lambda_max == raw.lambda_max
+
+
+def test_pinned_estimates_unchanged_by_operator_negotiation():
+    """The estimator now negotiates formats through preferred_format; the
+    pinned pre-registry numbers must still come out bit-identically (the
+    `exact` default remains a dense handoff)."""
+    make, k = _CASES["appendix"]
+    estimate = QTDABettiEstimator(
+        precision_qubits=3, shots=None, backend="exact", delta=6.0, seed=11
+    ).estimate(make(), k)
+    expected_estimate, expected_p_zero, *_ = _PINNED[("exact", None, "appendix")]
+    assert estimate.betti_estimate == expected_estimate
+    assert estimate.p_zero == expected_p_zero
+
+
 def test_noisy_density_zero_strength_matches_statevector():
     """Acceptance gate: noisy-density at strength 0 equals the statevector
     density route (same circuit, same simulator, identity channel)."""

@@ -7,14 +7,25 @@ from repro.core.backends import (
     BackendResult,
     EstimationProblem,
     available_backends,
+    backend_formats,
+    backend_supports_noise,
     get_backend,
+    preferred_format,
     register_backend,
+    temporary_backend,
     unregister_backend,
 )
 from repro.core.config import QTDAConfig
 from repro.core.estimator import QTDABettiEstimator
 
-BUILTIN_BACKENDS = {"exact", "sparse-exact", "statevector", "trotter", "noisy-density"}
+BUILTIN_BACKENDS = {
+    "exact",
+    "sparse-exact",
+    "stochastic-trace",
+    "statevector",
+    "trotter",
+    "noisy-density",
+}
 
 
 class _ConstantBackend:
@@ -68,17 +79,52 @@ def test_register_rejects_objects_without_run():
 
 
 def test_register_rejects_incomplete_protocol():
-    """Consumers read description/prefers_sparse without fallbacks, so a
-    backend missing them must fail at registration, not mid-estimate."""
+    """A backend declaring neither supported_formats nor the legacy
+    prefers_sparse flag must fail at registration, not mid-estimate."""
 
-    class _NoSparseFlag:
-        description = "missing prefers_sparse"
+    class _NoFormatDeclaration:
+        description = "missing any format declaration"
 
         def run(self, problem, config, rng):  # pragma: no cover - never called
             raise NotImplementedError
 
     with pytest.raises(TypeError, match="prefers_sparse"):
-        register_backend("broken", _NoSparseFlag())
+        register_backend("broken", _NoFormatDeclaration())
+
+
+def test_register_accepts_supported_formats_without_legacy_flag(hollow_triangle):
+    """A backend written purely against the new format API registers fine."""
+
+    class _FormatsOnly:
+        name = "test-formats-only"
+        description = "declares supported_formats, no prefers_sparse"
+        supported_formats = ("dense",)
+
+        def run(self, problem, config, rng):
+            distribution = np.zeros(2**config.precision_qubits)
+            distribution[0] = 1.0
+            return BackendResult(
+                distribution=distribution,
+                num_system_qubits=max(1, int(np.ceil(np.log2(problem.dimension)))),
+                lambda_max=1.0,
+            )
+
+    backend = _FormatsOnly()
+    with temporary_backend(backend.name, backend):
+        assert preferred_format(backend) == "dense"
+        estimate = QTDABettiEstimator(
+            precision_qubits=3, shots=None, backend=backend.name
+        ).estimate(hollow_triangle, 1)
+        assert estimate.p_zero == 1.0
+
+
+def test_register_validates_declared_format_names_eagerly():
+    class _BadDeclaration(_ConstantBackend):
+        supported_formats = ("dense", "holographic")
+
+    with pytest.raises(ValueError, match="holographic"):
+        register_backend("broken-formats", _BadDeclaration())
+    assert "broken-formats" not in available_backends()
 
 
 def test_register_rejects_empty_name():
@@ -94,8 +140,7 @@ def test_unregister_unknown_name_raises():
 def test_custom_backend_round_trip(hollow_triangle):
     """A registered third-party backend is usable from config + estimator."""
     backend = _ConstantBackend()
-    register_backend(backend.name, backend)
-    try:
+    with temporary_backend(backend.name, backend):
         assert backend.name in available_backends()
         estimator = QTDABettiEstimator(precision_qubits=3, shots=None, backend=backend.name)
         estimate = estimator.estimate(hollow_triangle, 1)
@@ -103,20 +148,94 @@ def test_custom_backend_round_trip(hollow_triangle):
         assert estimate.p_zero == 1.0
         assert estimate.betti_estimate == 4.0
         assert estimate.backend == backend.name
-    finally:
-        unregister_backend(backend.name)
     assert backend.name not in available_backends()
+
+
+def test_temporary_backend_unregisters_on_exception():
+    """The scoped registration cannot leak registry state past a failure."""
+    backend = _ConstantBackend()
+    with pytest.raises(RuntimeError, match="boom"):
+        with temporary_backend(backend.name, backend):
+            assert backend.name in available_backends()
+            raise RuntimeError("boom")
+    assert backend.name not in available_backends()
+
+
+def test_temporary_backend_keeps_a_deliberate_replacement():
+    """A body that swaps in its own backend under the same name keeps it."""
+    first, second = _ConstantBackend(), _ConstantBackend()
+    with temporary_backend(first.name, first):
+        unregister_backend(first.name)
+        register_backend(first.name, second)
+    # first is gone; the deliberate replacement survived the context exit.
+    assert get_backend(first.name) is second
+    unregister_backend(first.name)
+
+
+def test_temporary_backend_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="already registered"):
+        with temporary_backend("exact", _ConstantBackend()):
+            pass  # pragma: no cover - never entered
+
+
+# -- format negotiation ----------------------------------------------------------
+
+def test_backend_formats_normalises_legacy_prefers_sparse():
+    """A pre-operator backend declaring only prefers_sparse still negotiates."""
+
+    class _LegacySparse(_ConstantBackend):
+        prefers_sparse = True
+
+    class _LegacyDense(_ConstantBackend):
+        prefers_sparse = False
+
+    assert backend_formats(_LegacySparse()) == ("sparse", "dense")
+    assert backend_formats(_LegacyDense()) == ("dense",)
+    assert preferred_format(_LegacySparse()) == "sparse"
+    assert preferred_format(_LegacyDense()) == "dense"
+
+
+def test_backend_formats_of_builtins():
+    assert backend_formats(get_backend("exact"))[0] == "dense"
+    assert preferred_format(get_backend("exact")) == "dense"
+    assert preferred_format(get_backend("sparse-exact")) == "sparse"
+    assert preferred_format(get_backend("stochastic-trace")) == "sparse"
+    assert backend_formats(get_backend("stochastic-trace"))[0] == "matrix-free"
+    assert preferred_format(get_backend("statevector")) == "dense"
+
+
+def test_backend_formats_rejects_unknown_names():
+    class _BadFormats(_ConstantBackend):
+        supported_formats = ("dense", "quantised")
+
+    with pytest.raises(ValueError, match="quantised"):
+        backend_formats(_BadFormats())
+
+
+def test_backend_supports_noise_flags():
+    assert backend_supports_noise(get_backend("noisy-density"))
+    assert backend_supports_noise(get_backend("statevector"))
+    assert backend_supports_noise(get_backend("trotter"))
+    assert not backend_supports_noise(get_backend("exact"))
+    assert not backend_supports_noise(get_backend("sparse-exact"))
+    assert not backend_supports_noise(get_backend("stochastic-trace"))
+    # Pre-operator backends without the attribute default to "no noise".
+    assert not backend_supports_noise(_ConstantBackend())
 
 
 def test_estimation_problem_views(appendix_k):
     from scipy import sparse
 
+    from repro.core.operators import SparseOperator
     from repro.tda.laplacian import combinatorial_laplacian
 
     laplacian = combinatorial_laplacian(appendix_k, 1, sparse_format=True)
     problem = EstimationProblem(laplacian=laplacian)
     assert problem.is_sparse
+    assert problem.format == "sparse"
     assert problem.dimension == 6
+    assert isinstance(problem.operator, SparseOperator)
+    assert problem.operator is problem.operator  # wrapped once, then reused
     hamiltonian = problem.dense_hamiltonian(QTDAConfig(delta=6.0))
     assert hamiltonian.num_qubits == 3
     assert not sparse.issparse(hamiltonian.matrix)

@@ -177,6 +177,48 @@ def test_spectrum_cache_hits_are_bit_identical():
     assert np.array_equal(first, second)
 
 
+def test_spectrum_cache_sparse_hits_never_densify(monkeypatch):
+    """Satellite regression: a cached sparse lookup must not materialise a
+    dense matrix — the key comes from the CSR arrays (operator fingerprint),
+    not from dense bytes."""
+    from repro.core.operators import SparseOperator
+
+    laplacian = combinatorial_laplacian(
+        rips_complex(circle_cloud(10), 0.7, 2), 1, sparse_format=True
+    )
+    cache = SpectrumCache(maxsize=4)
+    first = cache.spectrum(laplacian)  # miss — the eigendecomposition densifies
+    assert cache.misses == 1
+
+    def forbidden_to_dense(self):
+        raise AssertionError("cached sparse lookup densified the Laplacian")
+
+    monkeypatch.setattr(SparseOperator, "to_dense", forbidden_to_dense)
+    second = cache.spectrum(laplacian)            # same object
+    third = cache.spectrum(laplacian.copy())      # same content, fresh arrays
+    assert cache.hits == 2
+    assert np.array_equal(first[0], second[0]) and first[1] == second[1]
+    assert np.array_equal(first[0], third[0]) and first[1] == third[1]
+
+
+def test_spectrum_cache_bypasses_unfingerprintable_operators():
+    """Untagged matrix-free operators compute uncached rather than densify-to-key."""
+    from repro.core.operators import MatrixFreeOperator
+
+    laplacian = combinatorial_laplacian(rips_complex(circle_cloud(8), 0.8, 2), 1)
+    operator = MatrixFreeOperator(lambda x: laplacian @ x, laplacian.shape)
+    cache = SpectrumCache(maxsize=4)
+    a = cache.spectrum(operator)
+    b = cache.spectrum(operator)
+    assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+    assert np.array_equal(a[0], b[0])
+    # A *tagged* matrix-free operator is cacheable.
+    tagged = MatrixFreeOperator(lambda x: laplacian @ x, laplacian.shape, fingerprint=b"tag")
+    cache.spectrum(tagged)
+    cache.spectrum(tagged)
+    assert cache.hits == 1 and cache.misses == 1
+
+
 def test_spectrum_cache_lru_eviction():
     cache = SpectrumCache(maxsize=2)
     matrices = [np.diag([float(i), float(i + 1)]) for i in range(3)]
@@ -200,6 +242,58 @@ def test_cache_reuse_across_precision_sweep(clouds):
     assert cache.hits >= 2 * cache.misses  # two of three sweeps fully served from cache
 
 
+# -- operator-format negotiation (DESIGN.md §9) -----------------------------------
+
+def test_engine_negotiates_format_from_estimator_backend():
+    dense_engine = BatchFeatureEngine(PipelineConfig(use_quantum=True))
+    assert dense_engine._laplacian_format() == "dense"
+    for backend in ("sparse-exact", "stochastic-trace"):
+        engine = BatchFeatureEngine(
+            PipelineConfig(use_quantum=True, estimator=QTDAConfig(backend=backend))
+        )
+        assert engine._laplacian_format() == "sparse"
+    classical = BatchFeatureEngine(
+        PipelineConfig(use_quantum=False, estimator=QTDAConfig(backend="sparse-exact"))
+    )
+    assert classical._laplacian_format() == "dense"
+    forced = BatchFeatureEngine(
+        PipelineConfig(use_quantum=True, estimator=QTDAConfig(backend="sparse-exact")),
+        batch=BatchConfig(operator_format="dense"),
+    )
+    assert forced._laplacian_format() == "dense"
+
+
+@pytest.mark.parametrize("backend", ["exact", "sparse-exact"])
+def test_sparse_and_dense_handoff_are_bit_identical(clouds, backend):
+    """Forcing either operator format changes cost only, never features."""
+    config = PipelineConfig(
+        epsilon=0.7,
+        use_quantum=True,
+        estimator=QTDAConfig(precision_qubits=4, shots=None, backend=backend),
+    )
+    dense = BatchFeatureEngine(config, batch=BatchConfig(operator_format="dense"))
+    sparse_ = BatchFeatureEngine(config, batch=BatchConfig(operator_format="sparse"))
+    negotiated = BatchFeatureEngine(config)
+    features = negotiated.transform_point_clouds(clouds)
+    assert np.array_equal(features, dense.transform_point_clouds(clouds))
+    assert np.array_equal(features, sparse_.transform_point_clouds(clouds))
+
+
+def test_sparse_handoff_on_generic_clique_route(clouds):
+    """Above dimension 2 the clique path also honours the negotiated format."""
+    config = PipelineConfig(
+        epsilon=0.7,
+        use_quantum=True,
+        homology_dimensions=(0, 1, 2),
+        estimator=QTDAConfig(precision_qubits=3, shots=None, backend="sparse-exact"),
+    )
+    features = BatchFeatureEngine(config).transform_point_clouds(clouds[:2])
+    dense = BatchFeatureEngine(
+        config, batch=BatchConfig(operator_format="dense")
+    ).transform_point_clouds(clouds[:2])
+    assert np.array_equal(features, dense)
+
+
 # -- configuration ---------------------------------------------------------------
 
 def test_batch_config_validation():
@@ -209,7 +303,10 @@ def test_batch_config_validation():
         BatchConfig(max_workers=0)
     with pytest.raises(ValueError):
         BatchConfig(chunk_size=0)
+    with pytest.raises(ValueError):
+        BatchConfig(operator_format="csr")
     assert BatchConfig(spectrum_cache_size=0).spectrum_cache_size == 0
+    assert BatchConfig(operator_format="sparse").operator_format == "sparse"
 
 
 def test_cache_disabled_still_correct(clouds, quantum_config):

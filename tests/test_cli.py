@@ -67,6 +67,30 @@ def test_list_backends_command(capsys):
         assert name in captured
 
 
+def test_list_backends_table_shows_capabilities(capsys):
+    """The listing is a table: formats and noise support per backend."""
+    main(["list-backends"])
+    out = capsys.readouterr().out
+    lines = out.splitlines()
+    header = lines[1]
+    for column in ("name", "formats", "noise", "description"):
+        assert column in header
+    rows = {line.split()[0]: line for line in lines[2:] if line.strip()}
+    assert "sparse,dense" in rows["sparse-exact"] and "  no " in rows["sparse-exact"]
+    assert "matrix-free,sparse,dense" in rows["stochastic-trace"]
+    assert "  yes " in rows["noisy-density"]
+    assert "  yes " in rows["statevector"]
+    # Column positions line up with the header (it really is a table).
+    assert rows["exact"].index("dense") == header.index("formats")
+
+
+def test_stochastic_trace_backend_reachable_from_cli(capsys):
+    exit_code = main(["appendix", "--shots", "200", "--backend", "stochastic-trace"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "backend=stochastic-trace" in captured
+
+
 def test_appendix_accepts_any_registered_backend(capsys):
     exit_code = main(["appendix", "--shots", "100", "--backend", "sparse-exact"])
     captured = capsys.readouterr().out
