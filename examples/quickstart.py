@@ -6,8 +6,13 @@ Walks the whole pipeline on a small cloud shaped like a noisy circle:
 2. form the combinatorial Laplacian and look at its exact kernel (the
    classical Betti number);
 3. run the QPE-based estimator (exact backend, finite shots) and compare;
-4. print the Fig. 6 circuit's resource counts and an ASCII drawing of the
+4. run the same estimate through the service front door (`repro.api`) and
+   show the provenance that rides along;
+5. print the Fig. 6 circuit's resource counts and an ASCII drawing of the
    Fig. 2 mixed-state preparation.
+
+See examples/service_api.py for the full service tour (futures, batched
+`map`, streaming ε-sweeps, the JSON wire format).
 
 Run with:  python examples/quickstart.py
 """
@@ -47,7 +52,29 @@ def main() -> None:
             f"exact {result.exact_betti})"
         )
 
-    # 4. What the circuit looks like for beta_1.
+    # 4. The same estimation through the service API: one request in, one
+    #    provenance-stamped envelope out.  Each request runs a fresh seeded
+    #    estimator, so its draw matches a fresh estimator's first estimate
+    #    (step 3 reused one estimator across k=0 and k=1, advancing its RNG).
+    from repro.api import EstimationRequest, QTDAService
+
+    with QTDAService() as service:
+        envelope = service.run(
+            EstimationRequest(
+                points=points,
+                epsilon=epsilon,
+                max_dimension=2,
+                k=1,
+                config={"precision_qubits": 6, "shots": 4000, "seed": 11},
+            )
+        )
+    print(
+        f"\nVia QTDAService: beta~_1 = {envelope.payload['betti_estimate']:.3f} "
+        f"[backend={envelope.provenance.backend}, format={envelope.provenance.operator_format}, "
+        f"wall={envelope.provenance.wall_time_s * 1e3:.1f} ms]"
+    )
+
+    # 5. What the circuit looks like for beta_1.
     laplacian = combinatorial_laplacian(complex_, 1)
     hamiltonian = build_hamiltonian(laplacian)
     circuit, spec = qtda_circuit(hamiltonian, precision_qubits=4, use_purification=True)

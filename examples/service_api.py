@@ -1,0 +1,91 @@
+"""Service API tour: requests in, provenance-stamped result envelopes out.
+
+Demonstrates the `repro.api` front door (DESIGN.md §10):
+
+1. one `EstimationRequest` through `QTDAService.run` — sync path;
+2. a batch of requests through `service.map` — fanned across the pool,
+   identical requests served from the result cache;
+3. an ε-sweep through `service.stream_sweep` — per-scale results arrive
+   incrementally instead of materialising the whole tensor;
+4. the versioned JSON wire format (`EstimationResult.to_json`), validated
+   against the documented schema.
+
+Run with:  python examples/service_api.py
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.api import (
+    EstimationRequest,
+    EstimationResult,
+    QTDAService,
+    SweepRequest,
+)
+from repro.core.config import QTDAConfig
+from repro.core.pipeline import PipelineConfig
+from repro.datasets.point_clouds import circle_cloud
+
+
+def main() -> None:
+    with QTDAService(max_workers=4) as service:
+        # 1. One estimate: a noisy circle has one loop.
+        request = EstimationRequest(
+            points=circle_cloud(num_points=14, radius=1.0, noise=0.05, seed=3),
+            epsilon=0.75,
+            max_dimension=2,
+            k=1,
+            config={"precision_qubits": 5, "shots": 2000, "seed": 11},
+        )
+        result = service.run(request)
+        print("-- run() --------------------------------------------------")
+        print(
+            f"beta~_1 = {result.payload['betti_estimate']:.3f} "
+            f"(rounded {result.payload['betti_rounded']}, exact {result.payload['exact_betti']})"
+        )
+        p = result.provenance
+        print(
+            f"provenance: backend={p.backend} format={p.operator_format} seed={p.seed} "
+            f"wall={p.wall_time_s * 1e3:.1f} ms cache={p.cache_hits}h/{p.cache_misses}m"
+        )
+
+        # 2. A batch: the same request twice plus a different k — the repeat
+        #    is served from the result cache.
+        batch = service.map([request, request.replace(k=0), request])
+        print("\n-- map() --------------------------------------------------")
+        for r in batch:
+            print(
+                f"k={r.request.k}: beta~ = {r.payload['betti_estimate']:.3f} "
+                f"(result_cache_hit={r.provenance.result_cache_hit})"
+            )
+
+        # 3. Streaming sweep: features for every cloud arrive one ε at a time.
+        clouds = [circle_cloud(10, seed=i) for i in range(4)]
+        sweep = SweepRequest(
+            point_clouds=clouds,
+            epsilons=(0.4, 0.6, 0.8, 1.0),
+            pipeline=PipelineConfig(
+                estimator=QTDAConfig(precision_qubits=4, shots=500, seed=7)
+            ),
+        )
+        print("\n-- stream_sweep() -----------------------------------------")
+        for partial in service.stream_sweep(sweep):
+            features = partial.payload["features"]
+            print(
+                f"eps = {partial.payload['epsilon']:.2f}: mean features "
+                f"{np.round(features.mean(axis=0), 3)} ({partial.provenance.wall_time_s * 1e3:.1f} ms)"
+            )
+
+        # 4. The wire format: versioned JSON that validates against the schema.
+        print("\n-- wire format --------------------------------------------")
+        document = result.to_json(indent=2)
+        EstimationResult.validate_dict(json.loads(document))
+        print(f"envelope validates; {len(document)} bytes of schema v{result.schema_version} JSON")
+        print(f"service stats: {service.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,19 +11,39 @@ algorithm:
   persistence, Takens embedding.
 * :mod:`repro.core` — the QPE-based Betti-number estimator (the paper's
   contribution) and the point-cloud-to-features pipeline.
+* :mod:`repro.api` — the service-grade front door: typed requests
+  (``EstimationRequest``, ``PipelineRequest``, ``SweepRequest``,
+  ``ExperimentRequest``), the ``EstimationResult`` envelope with provenance,
+  and the concurrent ``QTDAService`` executor (DESIGN.md §10).
 * :mod:`repro.ml` — minimal classical ML (logistic regression, kNN, scaling,
   splitting, metrics) used for the Section 5 classification experiments.
 * :mod:`repro.datasets` — synthetic gearbox vibration data and reference
   point clouds.
 * :mod:`repro.experiments` — drivers that regenerate each table and figure.
 
-Quick start::
+Quick start — one request in, one result envelope out::
 
-    from repro import QTDABettiEstimator
-    from repro.tda import RipsComplex
     import numpy as np
+    from repro import EstimationRequest, QTDAService
+    from repro.tda import RipsComplex
 
     points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [2.0, 1.0], [2.5, 0.2]])
+    request = EstimationRequest(
+        points=points, epsilon=1.5, k=1,
+        config={"precision_qubits": 4, "shots": 1000, "seed": 7},
+    )
+    with QTDAService() as service:
+        result = service.run(request)
+    print(result.payload["betti_estimate"], result.payload["betti_rounded"])
+    print(result.provenance.backend, result.provenance.wall_time_s)
+
+The same service fans batches across a worker pool (``service.map``), runs
+requests asynchronously (``service.submit``) and streams ε-sweeps
+incrementally (``service.stream_sweep``).  The pre-service entry points
+remain available and bit-identical::
+
+    from repro import QTDABettiEstimator
+
     complex_ = RipsComplex.from_points(points, epsilon=1.5, max_dimension=2).complex()
     estimator = QTDABettiEstimator(precision_qubits=4, shots=1000, seed=7)
     result = estimator.estimate(complex_, k=1)
@@ -32,17 +52,48 @@ Quick start::
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+#: Names this module re-exports lazily, keyed by the submodule serving them.
+#: ``__all__`` and ``__getattr__`` are both derived from this table, so the
+#: advertised surface and the served surface cannot drift apart (regression-
+#: tested by ``tests/test_package.py``).
+_LAZY_EXPORTS = {
+    "repro.core": (
+        "QTDABettiEstimator",
+        "BettiEstimate",
+        "QTDAPipeline",
+        "PipelineConfig",
+        "QTDAConfig",
+        "BatchConfig",
+        "BatchFeatureEngine",
+    ),
+    "repro.api": (
+        "EstimationRequest",
+        "PipelineRequest",
+        "SweepRequest",
+        "ExperimentRequest",
+        "EstimationResult",
+        "Provenance",
+        "QTDAService",
+        "request_from_dict",
+    ),
+    "repro.tda": (
+        "RipsComplex",
+        "SimplicialComplex",
+    ),
+}
+
+__all__ = ["__version__"] + [name for names in _LAZY_EXPORTS.values() for name in names]
 
 
-def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+def __getattr__(name):
     """Lazily re-export the headline classes to keep import time low."""
-    if name in {"QTDABettiEstimator", "BettiEstimate", "QTDAPipeline", "PipelineConfig"}:
-        from repro import core
+    for module_name, names in _LAZY_EXPORTS.items():
+        if name in names:
+            import importlib
 
-        return getattr(core, name)
-    if name in {"RipsComplex", "SimplicialComplex"}:
-        from repro import tda
-
-        return getattr(tda, name)
+            return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,44 @@
+"""``repro.api`` — re-export of the service-grade front door.
+
+The implementation lives in :mod:`repro.core.api` (it is part of the core
+algorithm package and reuses its estimator/engine internals); this module is
+the stable import location the quick-start and external callers use::
+
+    from repro.api import EstimationRequest, QTDAService
+
+See DESIGN.md §10 for the request/response schema and service semantics.
+"""
+
+from repro.core.api import (
+    EXPERIMENT_NAMES,
+    REQUEST_KINDS,
+    SCHEMA_VERSION,
+    EstimationRequest,
+    EstimationResult,
+    ExperimentRequest,
+    PipelineRequest,
+    Provenance,
+    QTDAService,
+    Request,
+    SweepRequest,
+    canonical_json,
+    describe_backends,
+    request_from_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "REQUEST_KINDS",
+    "EXPERIMENT_NAMES",
+    "EstimationRequest",
+    "PipelineRequest",
+    "SweepRequest",
+    "ExperimentRequest",
+    "Request",
+    "request_from_dict",
+    "Provenance",
+    "EstimationResult",
+    "QTDAService",
+    "describe_backends",
+    "canonical_json",
+]

@@ -17,6 +17,15 @@ Every subcommand prints the same report the corresponding benchmark prints;
 The estimation subcommands accept ``--backend`` (any name from the
 :mod:`repro.core.backends` registry) and, for the noisy workload,
 ``--noise-channel`` / ``--noise-strength``.
+
+The experiment subcommands are executed through the service API
+(:mod:`repro.core.api`): each run is an :class:`~repro.core.api.
+ExperimentRequest` handed to a :class:`~repro.core.api.QTDAService`, and
+``--json`` (on ``fig3``/``table1``/``appendix``/``timeseries``) switches the
+output from the human-readable report to the versioned
+:class:`~repro.core.api.EstimationResult` envelope — machine-readable JSON
+with the experiment payload plus provenance, in the style of the
+``BENCH_*.json`` artefacts.
 """
 
 from __future__ import annotations
@@ -67,6 +76,14 @@ def _add_batch_options(parser) -> None:
     parser.add_argument("--chunk-size", type=int, default=None, help="samples per submitted worker task")
 
 
+def _add_json_option(parser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned EstimationResult envelope as JSON instead of the text report",
+    )
+
+
 def _batch_config(args):
     from repro.core.batch import BatchConfig
 
@@ -77,6 +94,21 @@ def _batch_config(args):
     )
 
 
+def _run_experiment(name: str, params: dict, as_json: bool) -> str:
+    """Execute one experiment through the service API.
+
+    Returns the rendered text report (identical to the pre-service output)
+    or, with ``as_json``, the full result envelope as indented JSON.
+    """
+    from repro.core.api import ExperimentRequest, QTDAService
+
+    with QTDAService() as service:
+        result = service.run(ExperimentRequest(experiment=name, params=params))
+    if as_json:
+        return result.to_json(indent=2)
+    return result.payload["report"]
+
+
 def _add_fig3(subparsers) -> None:
     parser = subparsers.add_parser("fig3", help="Fig. 3: error vs shots and precision qubits")
     parser.add_argument("--complexes", type=int, default=10, help="random complexes per size")
@@ -85,6 +117,7 @@ def _add_fig3(subparsers) -> None:
     parser.add_argument("--precision", type=int, nargs="+", default=[1, 2, 3, 4, 5, 6], help="precision-qubit grid")
     parser.add_argument("--seed", type=int, default=1234)
     _add_backend_option(parser)
+    _add_json_option(parser)
 
 
 def _add_table1(subparsers) -> None:
@@ -97,6 +130,7 @@ def _add_table1(subparsers) -> None:
     _add_backend_option(parser)
     _add_noise_options(parser)
     _add_batch_options(parser)
+    _add_json_option(parser)
 
 
 def _add_fig4(subparsers) -> None:
@@ -117,6 +151,7 @@ def _add_appendix(subparsers) -> None:
     _add_noise_options(parser)
     parser.add_argument("--draw", action="store_true", help="include an ASCII drawing of the Fig. 6 circuit")
     parser.add_argument("--seed", type=int, default=1)
+    _add_json_option(parser)
 
 
 def _add_timeseries(subparsers) -> None:
@@ -131,6 +166,7 @@ def _add_timeseries(subparsers) -> None:
     _add_backend_option(parser)
     _add_noise_options(parser)
     _add_batch_options(parser)
+    _add_json_option(parser)
 
 
 def _add_list_backends(subparsers) -> None:
@@ -157,22 +193,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_list_backends(args) -> str:
-    from repro.core.backends import (
-        available_backends,
-        backend_formats,
-        backend_supports_noise,
-        get_backend,
-    )
+    from repro.core.backends import available_backends, backend_capabilities, get_backend
 
     rows = [("name", "formats", "noise", "description")]
     for name in available_backends():
-        backend = get_backend(name)
+        caps = backend_capabilities(get_backend(name))
         rows.append(
             (
-                name,
-                ",".join(backend_formats(backend)),
-                "yes" if backend_supports_noise(backend) else "no",
-                backend.description,
+                str(caps["name"]),
+                ",".join(caps["formats"]),
+                "yes" if caps["supports_noise"] else "no",
+                str(caps["description"]),
             )
         )
     widths = [max(len(row[col]) for row in rows) for col in range(3)]
@@ -185,115 +216,83 @@ def _run_list_backends(args) -> str:
 
 
 def _run_fig3(args) -> str:
-    from repro.experiments.shots_precision import (
-        ShotsPrecisionConfig,
-        error_trend_summary,
-        render_shots_precision_results,
-        run_shots_precision_experiment,
-    )
-
     if args.paper_scale:
-        config = ShotsPrecisionConfig.paper_scale()
-        config.backend = args.backend
+        params = {"paper_scale": True, "backend": args.backend}
     else:
-        config = ShotsPrecisionConfig(
-            complex_sizes=tuple(args.sizes),
-            num_complexes=args.complexes,
-            shots_grid=tuple(args.shots),
-            precision_grid=tuple(args.precision),
-            seed=args.seed,
-            backend=args.backend,
-        )
-    result = run_shots_precision_experiment(config)
-    return render_shots_precision_results(result) + f"\n\nTrend summary: {error_trend_summary(result)}"
+        params = {
+            "complex_sizes": tuple(args.sizes),
+            "num_complexes": args.complexes,
+            "shots_grid": tuple(args.shots),
+            "precision_grid": tuple(args.precision),
+            "seed": args.seed,
+            "backend": args.backend,
+        }
+    return _run_experiment("fig3", params, args.json)
 
 
 def _run_table1(args) -> str:
-    from repro.experiments.gearbox_table1 import GearboxExperimentConfig, render_table1, run_gearbox_table1
-
-    batch = _batch_config(args)
-    config = (
-        GearboxExperimentConfig(
-            batch=batch,
-            backend=args.backend,
-            noise_channel=args.noise_channel,
-            noise_strength=args.noise_strength,
-        )
-        if args.paper_scale
-        else GearboxExperimentConfig(
+    params = {
+        "batch": _batch_config(args).as_dict(),
+        "backend": args.backend,
+        "noise_channel": args.noise_channel,
+        "noise_strength": args.noise_strength,
+    }
+    if args.paper_scale:
+        params["paper_scale"] = True
+    else:
+        params.update(
             num_rows=args.rows,
             num_healthy=args.healthy,
             precision_grid=tuple(args.precision),
             shots=args.shots,
             seed=args.seed,
-            batch=batch,
-            backend=args.backend,
-            noise_channel=args.noise_channel,
-            noise_strength=args.noise_strength,
         )
-    )
-    return render_table1(run_gearbox_table1(config))
+    return _run_experiment("table1", params, args.json)
 
 
 def _run_fig4(args) -> str:
-    from repro.experiments.grouping_scale import (
-        GroupingScaleConfig,
-        render_grouping_scale_results,
-        run_grouping_scale_experiment,
-    )
-
-    batch = _batch_config(args)
+    params = {"batch": _batch_config(args).as_dict()}
     if args.paper_scale:
-        config = GroupingScaleConfig.paper_scale()
-        config.batch = batch
+        params["paper_scale"] = True
     else:
-        config = GroupingScaleConfig(
+        params.update(
             num_rows=args.rows,
             num_healthy=args.healthy,
             num_scales=args.scales,
             repetitions=args.repetitions,
             seed=args.seed,
-            batch=batch,
         )
-    return render_grouping_scale_results(run_grouping_scale_experiment(config))
+    return _run_experiment("fig4", params, as_json=False)
 
 
 def _run_appendix(args) -> str:
-    from repro.experiments.worked_example import render_worked_example, run_worked_example
-
-    result = run_worked_example(
-        shots=args.shots,
-        precision_qubits=args.precision,
-        backend=args.backend,
-        seed=args.seed,
-        include_drawing=args.draw,
-        noise_channel=args.noise_channel,
-        noise_strength=args.noise_strength,
-    )
-    return render_worked_example(result)
+    params = {
+        "shots": args.shots,
+        "precision_qubits": args.precision,
+        "backend": args.backend,
+        "seed": args.seed,
+        "include_drawing": args.draw,
+        "noise_channel": args.noise_channel,
+        "noise_strength": args.noise_strength,
+    }
+    return _run_experiment("appendix", params, args.json)
 
 
 def _run_timeseries(args) -> str:
-    from repro.experiments.gearbox_table1 import run_timeseries_classification
-
-    result = run_timeseries_classification(
-        num_samples_per_class=args.windows,
-        window_length=args.window_length,
-        precision_qubits=args.precision,
-        shots=args.shots,
-        takens_stride=args.stride,
-        seed=args.seed,
-        use_quantum=not args.classical,
-        batch=_batch_config(args),
-        backend=args.backend,
-        noise_channel=args.noise_channel,
-        noise_strength=args.noise_strength,
-    )
-    return (
-        f"Section 5 time-series classification ({result.num_windows} windows, eps = {result.epsilon:.3f})\n"
-        f"training accuracy   = {result.training_accuracy:.3f}\n"
-        f"validation accuracy = {result.validation_accuracy:.3f}"
-    )
+    params = {
+        "num_samples_per_class": args.windows,
+        "window_length": args.window_length,
+        "precision_qubits": args.precision,
+        "shots": args.shots,
+        "takens_stride": args.stride,
+        "seed": args.seed,
+        "use_quantum": not args.classical,
+        "batch": _batch_config(args).as_dict(),
+        "backend": args.backend,
+        "noise_channel": args.noise_channel,
+        "noise_strength": args.noise_strength,
+    }
+    return _run_experiment("timeseries", params, args.json)
 
 
 _COMMANDS = {

@@ -20,6 +20,10 @@ The pipeline implemented here follows Section 3 of the paper step by step:
    ``p(0)`` and return ``β̃_k = 2^q · p(0)`` (Eqs. 10–11).
 7. :mod:`repro.core.pipeline` — go from raw point clouds / time series to
    Betti-number feature vectors for machine learning (Section 5).
+8. :mod:`repro.core.api` — the service-grade front door: typed
+   request/response layer (``EstimationRequest`` → ``EstimationResult``)
+   and the concurrent :class:`~repro.core.api.QTDAService` over all of the
+   above (DESIGN.md §10).
 """
 
 from repro.core.backends import (
@@ -58,6 +62,16 @@ from repro.core.qtda_circuit import qtda_circuit, QTDACircuitSpec
 from repro.core.estimator import BettiEstimate, QTDABettiEstimator
 from repro.core.pipeline import PipelineConfig, QTDAPipeline, betti_feature_vector
 from repro.core.batch import BatchConfig, BatchFeatureEngine
+from repro.core.api import (
+    EstimationRequest,
+    EstimationResult,
+    ExperimentRequest,
+    PipelineRequest,
+    Provenance,
+    QTDAService,
+    SweepRequest,
+    request_from_dict,
+)
 
 __all__ = [
     "QTDAConfig",
@@ -98,4 +112,12 @@ __all__ = [
     "PipelineConfig",
     "QTDAPipeline",
     "betti_feature_vector",
+    "EstimationRequest",
+    "PipelineRequest",
+    "SweepRequest",
+    "ExperimentRequest",
+    "EstimationResult",
+    "Provenance",
+    "QTDAService",
+    "request_from_dict",
 ]

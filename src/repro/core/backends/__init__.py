@@ -34,6 +34,7 @@ from repro.core.backends.base import (
     BettiBackend,
     EstimationProblem,
     available_backends,
+    backend_capabilities,
     backend_formats,
     backend_supports_noise,
     get_backend,
@@ -56,6 +57,7 @@ __all__ = [
     "BettiBackend",
     "EstimationProblem",
     "available_backends",
+    "backend_capabilities",
     "backend_formats",
     "backend_supports_noise",
     "get_backend",

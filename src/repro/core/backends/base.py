@@ -196,6 +196,22 @@ def backend_supports_noise(backend: "BettiBackend") -> bool:
     return bool(getattr(backend, "supports_noise", False))
 
 
+def backend_capabilities(backend: "BettiBackend") -> Dict[str, object]:
+    """Plain-data capability record of one backend.
+
+    The single source of the per-backend provenance the service API stamps
+    into every :class:`repro.core.api.EstimationResult` and of the rows the
+    CLI's ``list-backends`` table prints — both stay in sync by construction.
+    """
+    return {
+        "name": backend.name,
+        "description": backend.description,
+        "formats": list(backend_formats(backend)),
+        "preferred_format": preferred_format(backend),
+        "supports_noise": backend_supports_noise(backend),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------

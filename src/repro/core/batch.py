@@ -36,7 +36,7 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +107,17 @@ class BatchConfig:
                 f"operator_format must be None, 'dense' or 'sparse', got {self.operator_format!r}"
             )
 
+    def as_dict(self) -> dict:
+        """Plain-dictionary view, round-trippable through :meth:`from_dict`."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchConfig":
+        """Inverse of :meth:`as_dict` (re-runs all field validation)."""
+        return cls(**dict(data))
+
 
 @dataclass(frozen=True)
 class _SampleTask:
@@ -122,6 +133,92 @@ def _small_eigenvalues(laplacian: np.ndarray, cache: Optional[SpectrumCache]) ->
     if cache is not None:
         return cache.spectrum(laplacian)[0]
     return laplacian_spectrum_info(laplacian)[0]
+
+
+class _SampleSweeper:
+    """Stateful per-sample feature computer: one distance matrix, many ε.
+
+    Holds exactly the state the per-sample ε loop threads through its
+    iterations — the sample's estimator (whose RNG advances across calls, so
+    finite-shot draws are identical whether the grouping scales arrive in one
+    batch or one at a time) and the reusable Rips complex of the generic
+    route.  Because the state lives here instead of in loop locals, the
+    engine can evaluate a sweep *sample-major* (:func:`_sample_features`, the
+    worker-pool unit) or *ε-major* (:meth:`BatchFeatureEngine.iter_sweep`,
+    the streaming path) and produce bit-identical features either way.
+    """
+
+    def __init__(
+        self,
+        task: _SampleTask,
+        config: PipelineConfig,
+        cache: Optional[SpectrumCache],
+        want_exact: bool,
+        laplacian_format: str = "dense",
+    ):
+        self.task = task
+        self.config = config
+        self.cache = cache
+        self.compute_exact = want_exact or not config.use_quantum
+        self.fast = config.max_complex_dimension <= 2
+        self.sparse_handoff = laplacian_format == "sparse"
+        self.estimator: Optional[QTDABettiEstimator] = None
+        if config.use_quantum:
+            self.estimator = QTDABettiEstimator(
+                config.estimator.replace(seed=task.seed), spectrum_cache=cache
+            )
+        self._rips: Optional[RipsComplex] = None
+
+    def features_at(self, epsilon: float) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Feature rows ``(estimated (F,), exact (F,) or None)`` at one ε."""
+        config = self.config
+        dims = config.homology_dimensions
+        atol = config.estimator.zero_eigenvalue_atol
+        if self.fast:
+            arrays = flag_complex_arrays(self.task.distances, epsilon, config.max_complex_dimension)
+            num_simplices = arrays.num_simplices
+            laplacian_of = lambda k: laplacian_operator_from_flag_arrays(  # noqa: E731
+                arrays, k, sparse_format=self.sparse_handoff
+            )
+            complex_ = None
+        else:
+            # Generic clique route for dimensions above 2; successive ε share
+            # the distance matrix via with_epsilon.
+            self._rips = (
+                RipsComplex.from_distance_matrix(
+                    self.task.distances, epsilon, config.max_complex_dimension
+                )
+                if self._rips is None
+                else self._rips.with_epsilon(epsilon)
+            )
+            complex_ = self._rips.complex()
+            num_simplices = complex_.num_simplices
+            laplacian_of = lambda k: combinatorial_laplacian_operator(  # noqa: E731
+                complex_, k, sparse_format=self.sparse_handoff
+            )
+        estimated = np.empty(len(dims))
+        exact = np.empty(len(dims)) if self.compute_exact else None
+        for f_idx, k in enumerate(dims):
+            if num_simplices(k) == 0:
+                estimated[f_idx] = 0.0
+                if exact is not None:
+                    exact[f_idx] = 0.0
+                continue
+            laplacian = laplacian_of(k)
+            exact_value: Optional[float] = None
+            if exact is not None:
+                if self.fast:
+                    eigenvalues = _small_eigenvalues(laplacian, self.cache)
+                    exact_value = float(np.count_nonzero(np.abs(eigenvalues) <= atol))
+                else:
+                    exact_value = float(betti_number(complex_, k))
+                exact[f_idx] = exact_value
+            if self.estimator is not None:
+                estimate = self.estimator.estimate_from_laplacian(laplacian)
+                estimated[f_idx] = float(estimate.betti_estimate)
+            else:
+                estimated[f_idx] = exact_value if exact_value is not None else 0.0
+        return estimated, exact
 
 
 def _sample_features(
@@ -141,59 +238,15 @@ def _sample_features(
     path end to end.  Pure given ``(task, config, laplacian_format)`` — the
     execution backends rely on that for bit-identical results.
     """
+    sweeper = _SampleSweeper(task, config, cache, want_exact, laplacian_format)
     dims = config.homology_dimensions
-    atol = config.estimator.zero_eigenvalue_atol
-    fast = config.max_complex_dimension <= 2
-    sparse_handoff = laplacian_format == "sparse"
-    estimator: Optional[QTDABettiEstimator] = None
-    if config.use_quantum:
-        estimator = QTDABettiEstimator(
-            config.estimator.replace(seed=task.seed), spectrum_cache=cache
-        )
     estimated = np.empty((len(task.epsilons), len(dims)))
-    exact = np.empty_like(estimated) if (want_exact or not config.use_quantum) else None
-    rips: Optional[RipsComplex] = None
+    exact = np.empty_like(estimated) if sweeper.compute_exact else None
     for e_idx, epsilon in enumerate(task.epsilons):
-        if fast:
-            arrays = flag_complex_arrays(task.distances, epsilon, config.max_complex_dimension)
-            num_simplices = arrays.num_simplices
-            laplacian_of = lambda k: laplacian_operator_from_flag_arrays(  # noqa: E731
-                arrays, k, sparse_format=sparse_handoff
-            )
-            complex_ = None
-        else:
-            # Generic clique route for dimensions above 2; successive ε share
-            # the distance matrix via with_epsilon.
-            rips = (
-                RipsComplex.from_distance_matrix(task.distances, epsilon, config.max_complex_dimension)
-                if rips is None
-                else rips.with_epsilon(epsilon)
-            )
-            complex_ = rips.complex()
-            num_simplices = complex_.num_simplices
-            laplacian_of = lambda k: combinatorial_laplacian_operator(  # noqa: E731
-                complex_, k, sparse_format=sparse_handoff
-            )
-        for f_idx, k in enumerate(dims):
-            if num_simplices(k) == 0:
-                estimated[e_idx, f_idx] = 0.0
-                if exact is not None:
-                    exact[e_idx, f_idx] = 0.0
-                continue
-            laplacian = laplacian_of(k)
-            exact_value: Optional[float] = None
-            if exact is not None:
-                if fast:
-                    eigenvalues = _small_eigenvalues(laplacian, cache)
-                    exact_value = float(np.count_nonzero(np.abs(eigenvalues) <= atol))
-                else:
-                    exact_value = float(betti_number(complex_, k))
-                exact[e_idx, f_idx] = exact_value
-            if estimator is not None:
-                estimate = estimator.estimate_from_laplacian(laplacian)
-                estimated[e_idx, f_idx] = float(estimate.betti_estimate)
-            else:
-                estimated[e_idx, f_idx] = exact_value if exact_value is not None else 0.0
+        estimated_row, exact_row = sweeper.features_at(epsilon)
+        estimated[e_idx] = estimated_row
+        if exact is not None:
+            exact[e_idx] = exact_row
     return estimated, exact
 
 
@@ -317,6 +370,48 @@ class BatchFeatureEngine:
             return np.zeros((len(scales), 0, len(self.config.homology_dimensions)))
         return np.stack([estimated for estimated, _ in results], axis=1)
 
+    def iter_sweep(
+        self, clouds: Sequence[np.ndarray], epsilons: Iterable[float]
+    ) -> Iterator[Tuple[float, np.ndarray]]:
+        """Incremental ε-sweep: yield ``(ε, features (num_clouds, F))`` per scale.
+
+        Streaming counterpart of :meth:`sweep`, bit-identical to it for the
+        same configuration: the per-sample state the sweep threads through
+        its ε loop (estimator RNG, reusable Rips complexes) lives in
+        :class:`_SampleSweeper` objects that persist across yields, so
+        evaluating ε-major instead of sample-major changes only *when*
+        results become available, never their values.  Consumers that stop
+        early pay only for the scales they consumed.
+
+        The ``threads`` and ``processes`` batch backends both fan the
+        per-ε sample loop across a thread pool here (per-sweeper RNG state
+        cannot migrate between processes mid-sweep); each sweeper is touched
+        by exactly one task per scale, so the features stay bit-identical to
+        the serial order.
+        """
+        scales = tuple(float(e) for e in epsilons)
+        distances = [pairwise_distances(np.asarray(c, dtype=float)) for c in clouds]
+        tasks = self._tasks(distances, scales)
+        num_features = len(self.config.homology_dimensions)
+        if not tasks:
+            for eps in scales:
+                yield eps, np.zeros((0, num_features))
+            return
+        fmt = self._laplacian_format()
+        sweepers = [
+            _SampleSweeper(task, self.config, self._cache, False, fmt) for task in tasks
+        ]
+        if self.batch.backend == "serial":
+            for eps in scales:
+                yield eps, np.vstack([s.features_at(eps)[0] for s in sweepers])
+            return
+        workers = self.batch.max_workers or (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(sweepers)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for eps in scales:
+                rows = list(pool.map(lambda s: s.features_at(eps)[0], sweepers))
+                yield eps, np.vstack(rows)
+
     def features_and_exact(
         self, clouds: Sequence[np.ndarray], epsilon: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -351,6 +446,10 @@ class BatchFeatureEngine:
             )
             for i, d in enumerate(distances)
         ]
+
+    def negotiated_operator_format(self) -> str:
+        """Public view of the negotiated handoff format (service provenance)."""
+        return self._laplacian_format()
 
     def _laplacian_format(self) -> str:
         """Negotiated operator format for estimator handoffs (DESIGN.md §9).

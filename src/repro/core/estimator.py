@@ -144,6 +144,15 @@ class QTDABettiEstimator:
         """The resolved :class:`repro.core.backends.BettiBackend` instance."""
         return get_backend(self.config.backend)
 
+    @property
+    def operator_format(self) -> str:
+        """Operator format negotiated with the configured backend.
+
+        The format :meth:`estimate` builds its Laplacians in (DESIGN.md §9);
+        the service API stamps it into result provenance.
+        """
+        return preferred_format(self.backend)
+
     def estimate(self, complex_: SimplicialComplex, k: int, compute_exact: bool = True) -> BettiEstimate:
         """Estimate ``β_k`` of a simplicial complex.
 
@@ -173,7 +182,7 @@ class QTDABettiEstimator:
                 delta=self.config.delta,
             )
         laplacian = combinatorial_laplacian(
-            complex_, k, sparse_format=preferred_format(self.backend) == "sparse"
+            complex_, k, sparse_format=self.operator_format == "sparse"
         )
         return self.estimate_from_laplacian(laplacian, exact_betti=exact)
 

@@ -79,6 +79,31 @@ class PipelineConfig:
                 "max_complex_dimension must be at least max(homology_dimensions) + 1"
             )
 
+    def as_dict(self) -> dict:
+        """Plain-dictionary view, round-trippable through :meth:`from_dict`.
+
+        The nested estimator config serialises through
+        :meth:`repro.core.config.QTDAConfig.as_dict` (and therefore rejects
+        explicit ``noise_model`` objects — use the declarative
+        ``noise_channel``/``noise_strength`` fields).
+        """
+        from dataclasses import fields as dc_fields
+
+        data = {f.name: getattr(self, f.name) for f in dc_fields(self) if f.name != "estimator"}
+        data["estimator"] = self.estimator.as_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        """Inverse of :meth:`as_dict` (re-runs all field validation)."""
+        data = dict(data)
+        estimator = data.pop("estimator", None)
+        if estimator is not None and not isinstance(estimator, QTDAConfig):
+            estimator = QTDAConfig.from_dict(dict(estimator))
+        if estimator is not None:
+            data["estimator"] = estimator
+        return cls(**data)
+
 
 def apply_pipeline_overrides(base: PipelineConfig, overrides: dict) -> PipelineConfig:
     """``dataclasses.replace`` with one wrinkle: ``max_complex_dimension`` is
@@ -112,7 +137,7 @@ class QTDAPipeline:
             delay=base.takens_delay,
             stride=base.takens_stride,
         )
-        self._engine = None  # lazily built serial BatchFeatureEngine
+        self._engine = None  # lazily built QTDAService (see _service)
 
     # -- single-sample features -------------------------------------------------
     def features_from_point_cloud(self, points: np.ndarray, epsilon: Optional[float] = None) -> np.ndarray:
@@ -144,32 +169,61 @@ class QTDAPipeline:
         return self.features_from_point_cloud(cloud, epsilon=epsilon)
 
     # -- batch features -----------------------------------------------------------
-    def _batch_engine(self):
-        """The serial :class:`repro.core.batch.BatchFeatureEngine` behind the batch methods.
+    def _service(self):
+        """The lazily built :class:`repro.core.api.QTDAService` behind the batch methods.
 
-        Built lazily (the import is deferred to avoid a module cycle) and
-        kept for the pipeline's lifetime so its spectrum cache persists
-        across calls.
+        Built on first use (the import is deferred to avoid a module cycle)
+        and kept for the pipeline's lifetime so the service's spectrum and
+        result caches persist across calls — the same lifetime the
+        pre-service batch engine had.
         """
         if self._engine is None:
-            from repro.core.batch import BatchFeatureEngine
+            from repro.core.api import QTDAService
 
-            self._engine = BatchFeatureEngine(self.config)
+            # result_cache_size=0: the pre-service engine recomputed every
+            # call, and caching here would pin full input datasets (requests
+            # carry the clouds) for the pipeline's lifetime.  The spectrum
+            # cache — which stores only small eigendecompositions — is the
+            # reuse layer that matters, exactly as before.  The typed
+            # boundary costs one O(dataset) tuple round trip per call; hot
+            # loops that cannot afford it should use BatchFeatureEngine
+            # directly.
+            self._engine = QTDAService(result_cache_size=0)
         return self._engine
 
     def transform_point_clouds(self, clouds: Sequence[np.ndarray], epsilon: Optional[float] = None) -> np.ndarray:
         """Feature matrix (one row per cloud).
 
-        Delegates to the batch engine's serial backend; sample ``i`` runs with
-        the derived seed ``derive_seed(estimator.seed, i)``, so the result is
+        Thin shim over the service API: builds a
+        :class:`repro.core.api.PipelineRequest` and returns the result
+        payload's feature matrix, bit-identical to the pre-service engine
+        path (pinned by regression tests).  Sample ``i`` runs with the
+        derived seed ``derive_seed(estimator.seed, i)``, so the result is
         reproducible per sample and identical to what the parallel engine
         backends produce for the same configuration.
         """
-        return self._batch_engine().transform_point_clouds(clouds, epsilon=epsilon)
+        from repro.core.api import PipelineRequest
+
+        request = PipelineRequest(
+            point_clouds=tuple(np.asarray(c, dtype=float) for c in clouds),
+            epsilon=epsilon,
+            pipeline=self.config,
+        )
+        return self._service().run(request).payload["features"]
 
     def transform_time_series(self, batch: np.ndarray, epsilon: Optional[float] = None) -> np.ndarray:
-        """Feature matrix for a batch of time series (one series per row)."""
-        return self._batch_engine().transform_time_series(batch, epsilon=epsilon)
+        """Feature matrix for a batch of time series (one series per row).
+
+        Shim over the service API, like :meth:`transform_point_clouds`.
+        """
+        from repro.core.api import PipelineRequest
+
+        request = PipelineRequest(
+            time_series=np.asarray(batch, dtype=float),
+            epsilon=epsilon,
+            pipeline=self.config,
+        )
+        return self._service().run(request).payload["features"]
 
     @property
     def feature_names(self) -> Tuple[str, ...]:

@@ -94,6 +94,35 @@ class Table1Result:
     epsilon: float
     config: GearboxExperimentConfig
 
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable view (the service API's experiment payload)."""
+        cfg = self.config
+        return {
+            "rows": [
+                {
+                    "precision_qubits": row.precision_qubits,
+                    "training_accuracy": row.training_accuracy,
+                    "validation_accuracy": row.validation_accuracy,
+                    "mean_absolute_error": row.mean_absolute_error,
+                }
+                for row in self.rows
+            ],
+            "reference_training_accuracy": self.reference_training_accuracy,
+            "reference_validation_accuracy": self.reference_validation_accuracy,
+            "epsilon": self.epsilon,
+            "config": {
+                "num_rows": cfg.num_rows,
+                "num_healthy": cfg.num_healthy,
+                "precision_grid": list(cfg.precision_grid),
+                "shots": cfg.shots,
+                "train_fraction": cfg.train_fraction,
+                "seed": cfg.seed,
+                "backend": cfg.backend,
+                "noise_channel": cfg.noise_channel,
+                "noise_strength": cfg.noise_strength,
+            },
+        }
+
 
 def _default_epsilon(clouds: Sequence[np.ndarray], percentile: float = 50.0) -> float:
     """Pick a grouping scale from the data: a percentile of pairwise distances.
@@ -254,6 +283,16 @@ class TimeseriesClassificationResult:
     num_windows: int
     epsilon: float
     feature_names: Tuple[str, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable view (the service API's experiment payload)."""
+        return {
+            "training_accuracy": self.training_accuracy,
+            "validation_accuracy": self.validation_accuracy,
+            "num_windows": self.num_windows,
+            "epsilon": self.epsilon,
+            "feature_names": list(self.feature_names),
+        }
 
 
 def run_timeseries_classification(

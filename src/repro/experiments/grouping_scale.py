@@ -65,6 +65,24 @@ class GroupingScaleResult:
         """The ε with the highest mean training accuracy."""
         return float(self.scales[int(np.argmax(self.mean_training_accuracy))])
 
+    def as_dict(self) -> dict:
+        """Machine-readable view (the service API's experiment payload)."""
+        cfg = self.config
+        return {
+            "scales": [float(s) for s in self.scales],
+            "mean_training_accuracy": [float(a) for a in self.mean_training_accuracy],
+            "std_training_accuracy": [float(s) for s in self.std_training_accuracy],
+            "best_scale": self.best_scale(),
+            "config": {
+                "num_rows": cfg.num_rows,
+                "num_healthy": cfg.num_healthy,
+                "num_scales": cfg.num_scales,
+                "repetitions": cfg.repetitions,
+                "train_fraction": cfg.train_fraction,
+                "seed": cfg.seed,
+            },
+        }
+
 
 def _scale_grid(clouds: Sequence[np.ndarray], cfg: GroupingScaleConfig) -> np.ndarray:
     if cfg.scale_range is not None:

@@ -87,6 +87,32 @@ class ShotsPrecisionResult:
     def mean_error(self, n: int, shots: int, precision: int) -> float:
         return float(np.mean(self.errors[(n, shots, precision)]))
 
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable view (the service API's experiment payload).
+
+        The tuple-keyed error groups are flattened to ``"n=..,shots=..,t=.."``
+        string keys so the payload is JSON-serialisable as-is.
+        """
+        cfg = self.config
+        return {
+            "config": {
+                "complex_sizes": list(cfg.complex_sizes),
+                "num_complexes": cfg.num_complexes,
+                "shots_grid": list(cfg.shots_grid),
+                "precision_grid": list(cfg.precision_grid),
+                "homology_dimension": cfg.homology_dimension,
+                "delta": cfg.delta,
+                "max_complex_dimension": cfg.max_complex_dimension,
+                "seed": cfg.seed,
+                "backend": cfg.backend,
+            },
+            "errors": {
+                f"n={n},shots={shots},t={precision}": [float(e) for e in values]
+                for (n, shots, precision), values in self.errors.items()
+            },
+            "trend_summary": error_trend_summary(self),
+        }
+
 
 def _sample_zero_probability(distribution: np.ndarray, shots: int, rng: np.random.Generator) -> float:
     """Empirical probability of the all-zero readout from ``shots`` samples.

@@ -85,6 +85,28 @@ class WorkedExampleResult:
     circuit_resources: Dict[str, object]
     circuit_drawing: Optional[str] = None
 
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable view (the service API's experiment payload).
+
+        Carries the appendix's headline numerics (Laplacian, λ̃_max, Pauli
+        coefficients, the estimate) rather than every intermediate object —
+        the boundary matrices are summarised by their shapes.
+        """
+        return {
+            "f_vector": list(self.complex_.f_vector()),
+            "boundary_1_shape": list(self.boundary_1.shape),
+            "boundary_2_shape": list(self.boundary_2.shape),
+            "laplacian": np.asarray(self.laplacian, dtype=float).tolist(),
+            "lambda_max": float(self.padded.lambda_max),
+            "padded_dimension": int(self.padded.padded_dimension),
+            "num_qubits": int(self.padded.num_qubits),
+            "pauli_coefficients": dict(self.pauli_coefficients),
+            "exact_betti": int(self.exact_betti),
+            "estimate": self.estimate.as_dict(),
+            "circuit_resources": dict(self.circuit_resources),
+            "circuit_drawing": self.circuit_drawing,
+        }
+
 
 def appendix_complex() -> SimplicialComplex:
     """The complex K_ε of Eq. 13."""

@@ -1,0 +1,536 @@
+"""Tests for the service-grade front door (repro.core.api / repro.api).
+
+Covers the request layer (validation, immutability, hashability, wire-format
+round trips), the result envelope (schema validation, JSON emission) and —
+most importantly — the acceptance criterion that every legacy entry point is
+expressible as a request and produces bit-identical numerics through the
+service.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    EstimationRequest,
+    EstimationResult,
+    ExperimentRequest,
+    PipelineRequest,
+    QTDAService,
+    SweepRequest,
+    request_from_dict,
+)
+from repro.core.batch import BatchConfig, BatchFeatureEngine
+from repro.core.config import QTDAConfig
+from repro.core.estimator import QTDABettiEstimator
+from repro.core.pipeline import PipelineConfig, QTDAPipeline
+from repro.datasets.point_clouds import circle_cloud
+from repro.experiments.worked_example import APPENDIX_SIMPLICES
+from repro.tda.complexes import SimplicialComplex
+
+TRIANGLE = ((0,), (1,), (2,), (0, 1), (0, 2), (1, 2))
+
+
+@pytest.fixture
+def clouds():
+    return [circle_cloud(10, seed=i) for i in range(3)]
+
+
+@pytest.fixture
+def quantum_pipeline():
+    return PipelineConfig(
+        epsilon=0.8, estimator=QTDAConfig(precision_qubits=3, shots=100, seed=3)
+    )
+
+
+# -- request layer --------------------------------------------------------------
+
+
+class TestRequestValidation:
+    def test_exactly_one_geometry_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            EstimationRequest(k=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            EstimationRequest(k=1, simplices=TRIANGLE, points=((0.0, 0.0),), epsilon=1.0)
+
+    def test_points_require_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            EstimationRequest(k=1, points=((0.0, 0.0), (1.0, 0.0)))
+
+    def test_simplices_reject_cloud_only_fields(self):
+        with pytest.raises(ValueError, match="point-cloud"):
+            EstimationRequest(k=1, simplices=TRIANGLE, epsilon=1.0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            EstimationRequest(k=-1, simplices=TRIANGLE)
+
+    def test_config_mapping_coerced(self):
+        request = EstimationRequest(simplices=TRIANGLE, config={"shots": 5, "seed": 1})
+        assert isinstance(request.config, QTDAConfig)
+        assert request.config.shots == 5
+
+    def test_geometry_normalised_to_tuples(self):
+        request = EstimationRequest(
+            k=1, points=np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]]), epsilon=1.5
+        )
+        assert isinstance(request.points, tuple)
+        assert all(isinstance(row, tuple) for row in request.points)
+
+    def test_sweep_requires_epsilons(self):
+        with pytest.raises(ValueError, match="epsilons"):
+            SweepRequest(point_clouds=[circle_cloud(6, seed=0)], epsilons=())
+
+    def test_pipeline_include_exact_needs_clouds(self):
+        series = np.vstack([np.sin(np.linspace(0, 7, 40))] * 2)
+        with pytest.raises(ValueError, match="include_exact"):
+            PipelineRequest(time_series=series, include_exact=True)
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(ValueError, match="experiment"):
+            ExperimentRequest(experiment="fig99")
+
+    def test_requests_are_frozen(self):
+        request = EstimationRequest(simplices=TRIANGLE)
+        with pytest.raises(AttributeError):
+            request.k = 2
+
+
+class TestRequestHashingAndRoundTrip:
+    def test_hashable_and_equal(self):
+        a = EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 7})
+        b = EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 7})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_fingerprint_distinguishes_requests(self):
+        a = EstimationRequest(simplices=TRIANGLE, k=0)
+        b = EstimationRequest(simplices=TRIANGLE, k=1)
+        assert a.fingerprint() != b.fingerprint()
+
+    @pytest.mark.parametrize("build", [
+        lambda: EstimationRequest(simplices=APPENDIX_SIMPLICES, k=1, config={"shots": 10, "seed": 2}),
+        lambda: EstimationRequest(points=circle_cloud(8, seed=1), epsilon=0.9, k=1),
+        lambda: PipelineRequest(
+            point_clouds=[circle_cloud(6, seed=0)],
+            epsilon=0.7,
+            pipeline=PipelineConfig(estimator=QTDAConfig(seed=4)),
+        ),
+        lambda: SweepRequest(
+            point_clouds=[circle_cloud(6, seed=0)],
+            epsilons=(0.4, 0.8),
+            pipeline=PipelineConfig(use_quantum=False),
+        ),
+        lambda: ExperimentRequest(
+            experiment="timeseries",
+            params={"num_samples_per_class": 2, "batch": BatchConfig().as_dict()},
+        ),
+    ])
+    def test_wire_format_round_trip(self, build):
+        """as_dict -> JSON -> from_dict preserves equality and fingerprint."""
+        request = build()
+        data = json.loads(json.dumps(request.as_dict()))
+        assert data["schema_version"] == SCHEMA_VERSION
+        rebuilt = request_from_dict(data)
+        assert rebuilt == request
+        assert rebuilt.fingerprint() == request.fingerprint()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            request_from_dict({"kind": "nope"})
+
+    def test_future_schema_version_rejected(self):
+        data = EstimationRequest(simplices=TRIANGLE).as_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            request_from_dict(data)
+
+
+# -- bit-identity with the legacy entry points ----------------------------------
+
+
+class TestLegacyEquivalence:
+    def test_estimator_entry_point(self):
+        """QTDABettiEstimator.estimate == service.run(EstimationRequest)."""
+        config = QTDAConfig(precision_qubits=4, shots=500, seed=7)
+        legacy = QTDABettiEstimator(config).estimate(SimplicialComplex(APPENDIX_SIMPLICES), 1)
+        with QTDAService() as service:
+            result = service.run(
+                EstimationRequest(simplices=APPENDIX_SIMPLICES, k=1, config=config)
+            )
+        assert result.payload == legacy.as_dict()
+
+    def test_pipeline_entry_point(self, clouds, quantum_pipeline):
+        """QTDAPipeline.transform_point_clouds == service.run(PipelineRequest)."""
+        legacy = BatchFeatureEngine(quantum_pipeline).transform_point_clouds(clouds)
+        shim = QTDAPipeline(quantum_pipeline).transform_point_clouds(clouds)
+        with QTDAService() as service:
+            result = service.run(
+                PipelineRequest(point_clouds=clouds, pipeline=quantum_pipeline)
+            )
+        assert np.array_equal(result.payload["features"], legacy)
+        assert np.array_equal(shim, legacy)
+
+    def test_pipeline_time_series_entry_point(self, quantum_pipeline):
+        series = np.vstack([np.sin(np.linspace(0, 4 * np.pi, 60)) + 0.1 * i for i in range(3)])
+        legacy = BatchFeatureEngine(quantum_pipeline).transform_time_series(series)
+        shim = QTDAPipeline(quantum_pipeline).transform_time_series(series)
+        with QTDAService() as service:
+            result = service.run(
+                PipelineRequest(time_series=series, pipeline=quantum_pipeline)
+            )
+        assert np.array_equal(result.payload["features"], legacy)
+        assert np.array_equal(shim, legacy)
+
+    def test_batch_sweep_entry_point(self, clouds, quantum_pipeline):
+        """BatchFeatureEngine.sweep == service.run(SweepRequest)."""
+        epsilons = (0.5, 0.8, 1.1)
+        legacy = BatchFeatureEngine(quantum_pipeline).sweep(clouds, epsilons)
+        with QTDAService() as service:
+            result = service.run(
+                SweepRequest(point_clouds=clouds, epsilons=epsilons, pipeline=quantum_pipeline)
+            )
+        assert np.array_equal(result.payload["features"], legacy)
+
+    def test_features_and_exact_entry_point(self, clouds, quantum_pipeline):
+        estimated, exact = BatchFeatureEngine(quantum_pipeline).features_and_exact(clouds)
+        with QTDAService() as service:
+            result = service.run(
+                PipelineRequest(point_clouds=clouds, include_exact=True, pipeline=quantum_pipeline)
+            )
+        assert np.array_equal(result.payload["features"], estimated)
+        assert np.array_equal(result.payload["exact"], exact)
+
+    def test_experiment_driver_entry_point(self):
+        """run_timeseries_classification == service.run(ExperimentRequest)."""
+        from repro.experiments.gearbox_table1 import run_timeseries_classification
+
+        params = {
+            "num_samples_per_class": 3,
+            "window_length": 200,
+            "takens_stride": 24,
+            "use_quantum": False,
+            "seed": 7,
+        }
+        legacy = run_timeseries_classification(**params)
+        with QTDAService() as service:
+            result = service.run(ExperimentRequest(experiment="timeseries", params=params))
+        assert result.payload["training_accuracy"] == legacy.training_accuracy
+        assert result.payload["validation_accuracy"] == legacy.validation_accuracy
+        assert result.payload["epsilon"] == legacy.epsilon
+        assert "report" in result.payload
+
+
+# -- streaming sweeps -----------------------------------------------------------
+
+
+class TestStreamSweep:
+    def test_stream_matches_materialised_sweep(self, clouds, quantum_pipeline):
+        epsilons = (0.5, 0.8, 1.1)
+        request = SweepRequest(point_clouds=clouds, epsilons=epsilons, pipeline=quantum_pipeline)
+        with QTDAService() as service:
+            full = service.run(request)
+            streamed = list(service.stream_sweep(request))
+        assert [r.payload["epsilon"] for r in streamed] == list(epsilons)
+        stacked = np.stack([r.payload["features"] for r in streamed])
+        assert np.array_equal(stacked, full.payload["features"])
+
+    def test_stream_is_incremental(self, clouds, quantum_pipeline):
+        """Results arrive one scale at a time; early exit skips later work."""
+        request = SweepRequest(
+            point_clouds=clouds, epsilons=(0.5, 0.8, 1.1), pipeline=quantum_pipeline
+        )
+        with QTDAService() as service:
+            stream = service.stream_sweep(request)
+            first = next(stream)
+            assert first.payload["epsilon_index"] == 0
+            assert first.payload["num_epsilons"] == 3
+            assert first.payload["features"].shape == (len(clouds), 2)
+            stream.close()  # abandoning mid-sweep must not raise
+
+    def test_stream_provenance_populated(self, clouds, quantum_pipeline):
+        request = SweepRequest(point_clouds=clouds, epsilons=(0.5, 0.9), pipeline=quantum_pipeline)
+        with QTDAService() as service:
+            for result in service.stream_sweep(request):
+                provenance = result.provenance
+                assert provenance.backend == "exact"
+                assert provenance.operator_format in ("dense", "sparse")
+                assert provenance.request_fingerprint == request.fingerprint()
+                assert provenance.wall_time_s >= 0.0
+                assert provenance.seed == 3
+
+    def test_stream_rejects_non_sweep_requests(self):
+        with QTDAService() as service:
+            with pytest.raises(TypeError, match="SweepRequest"):
+                next(service.stream_sweep(EstimationRequest(simplices=TRIANGLE)))
+
+
+# -- the result envelope --------------------------------------------------------
+
+
+class TestResultEnvelope:
+    def test_provenance_fields(self):
+        config = QTDAConfig(precision_qubits=3, shots=None, seed=11, backend="stochastic-trace")
+        with QTDAService() as service:
+            result = service.run(EstimationRequest(simplices=APPENDIX_SIMPLICES, k=1, config=config))
+        provenance = result.provenance
+        assert provenance.backend == "stochastic-trace"
+        assert provenance.operator_format == "sparse"
+        assert provenance.seed == 11
+        assert provenance.betti_std is not None and provenance.betti_std > 0
+        assert provenance.wall_time_s > 0
+        assert not provenance.result_cache_hit
+
+    def test_json_emission_validates(self):
+        with QTDAService() as service:
+            result = service.run(EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 5}))
+        data = json.loads(result.to_json())
+        EstimationResult.validate_dict(data)  # must not raise
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda d: d.pop("schema_version"), "schema_version"),
+        (lambda d: d.update(kind="nope"), "kind"),
+        (lambda d: d.update(payload=[1, 2]), "payload"),
+        (lambda d: d["provenance"].pop("backend"), "missing"),
+        (lambda d: d["provenance"].update(request_fingerprint="0" * 64), "fingerprint"),
+    ])
+    def test_schema_violations_rejected(self, mutate, match):
+        with QTDAService() as service:
+            result = service.run(EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 5}))
+        data = json.loads(result.to_json())
+        mutate(data)
+        with pytest.raises(ValueError, match=match):
+            EstimationResult.validate_dict(data)
+
+    def test_spectrum_cache_deltas_surface(self):
+        request = EstimationRequest(simplices=APPENDIX_SIMPLICES, k=1, config={"seed": 1})
+        with QTDAService(result_cache_size=0) as service:
+            first = service.run(request)
+            second = service.run(request)
+        assert first.provenance.cache_misses >= 1
+        assert second.provenance.cache_hits >= 1
+        assert second.provenance.cache_misses == 0
+
+
+# -- service behaviour ----------------------------------------------------------
+
+
+class TestServiceBehaviour:
+    def test_result_cache_serves_identical_requests(self):
+        request = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 50, "seed": 9})
+        with QTDAService() as service:
+            first = service.run(request)
+            second = service.run(request)
+            assert not first.provenance.result_cache_hit
+            assert second.provenance.result_cache_hit
+            assert second.payload == first.payload
+            assert service.stats["result_cache_hits"] == 1
+
+    def test_unseeded_requests_bypass_result_cache(self):
+        request = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 50, "seed": None})
+        with QTDAService() as service:
+            service.run(request)
+            second = service.run(request)
+        assert not second.provenance.result_cache_hit
+
+    def test_classical_pipeline_is_cacheable_without_seed(self, clouds):
+        request = PipelineRequest(
+            point_clouds=clouds, pipeline=PipelineConfig(epsilon=0.8, use_quantum=False)
+        )
+        with QTDAService() as service:
+            service.run(request)
+            assert service.run(request).provenance.result_cache_hit
+
+    def test_map_preserves_request_order(self, clouds, quantum_pipeline):
+        requests = [
+            EstimationRequest(simplices=TRIANGLE, k=0, config={"seed": 1}),
+            PipelineRequest(point_clouds=clouds, pipeline=quantum_pipeline),
+            EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 1}),
+        ]
+        with QTDAService(max_workers=3) as service:
+            results = service.map(requests)
+        assert [r.request for r in results] == requests
+        assert results[0].payload["betti_rounded"] == 1  # β_0 of the hollow triangle
+        assert results[2].payload["betti_rounded"] == 1  # β_1
+
+    def test_submit_returns_future(self):
+        request = EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 2})
+        with QTDAService() as service:
+            future = service.submit(request)
+            result = future.result(timeout=30)
+        assert result.payload["betti_rounded"] == 1
+
+    def test_closed_service_rejects_submissions(self):
+        service = QTDAService()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(EstimationRequest(simplices=TRIANGLE))
+
+    def test_run_rejects_non_requests(self):
+        with QTDAService() as service:
+            with pytest.raises(TypeError):
+                service.run({"kind": "estimate"})
+
+    def test_run_dict_wire_entry_point(self):
+        request = EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 3})
+        with QTDAService() as service:
+            result = service.run_dict(json.loads(json.dumps(request.as_dict())))
+        assert result.payload["betti_rounded"] == 1
+
+
+class TestCacheIsolation:
+    def test_cached_payload_arrays_are_not_aliased(self, clouds):
+        """Mutating a returned feature matrix must not corrupt later cache hits."""
+        pipeline = PipelineConfig(epsilon=0.8, use_quantum=False)
+        request = PipelineRequest(point_clouds=clouds, pipeline=pipeline)
+        with QTDAService() as service:
+            first = service.run(request)
+            pristine = first.payload["features"].copy()
+            first.payload["features"] *= 100.0  # caller-side in-place scaling
+            second = service.run(request)
+        assert second.provenance.result_cache_hit
+        assert np.array_equal(second.payload["features"], pristine)
+        assert second.payload["features"] is not first.payload["features"]
+
+    def test_pipeline_shim_returns_fresh_arrays(self, clouds, quantum_pipeline):
+        pipeline = QTDAPipeline(quantum_pipeline)
+        first = pipeline.transform_point_clouds(clouds)
+        pristine = first.copy()
+        first *= 100.0
+        second = pipeline.transform_point_clouds(clouds)
+        assert np.array_equal(second, pristine)
+
+
+class TestExperimentParamValidation:
+    def test_fig3_paper_scale_rejects_unknown_params(self):
+        with QTDAService() as service:
+            with pytest.raises(TypeError, match="backend"):
+                service.run(
+                    ExperimentRequest(
+                        experiment="fig3", params={"paper_scale": True, "shot_grid": (10,)}
+                    )
+                )
+
+    def test_classical_timeseries_provenance_backend(self):
+        params = {
+            "num_samples_per_class": 2,
+            "window_length": 200,
+            "takens_stride": 24,
+            "use_quantum": False,
+        }
+        with QTDAService() as service:
+            result = service.run(ExperimentRequest(experiment="timeseries", params=params))
+        assert result.provenance.backend == "classical-exact"
+
+
+class TestUnserialisableConfigs:
+    def test_shim_works_with_explicit_noise_model(self, clouds):
+        """Legacy call sites with a noise_model object keep working (shim policy):
+        such requests execute fine, they are just uncacheable/unserialisable."""
+        from repro.quantum.noise import NoiseModel
+
+        config = PipelineConfig(
+            epsilon=0.8,
+            estimator=QTDAConfig(
+                precision_qubits=2,
+                shots=50,
+                backend="noisy-density",
+                noise_model=NoiseModel.from_channel("depolarizing", 0.01),
+                seed=1,
+            ),
+        )
+        legacy = BatchFeatureEngine(config).transform_point_clouds(clouds[:1])
+        shim = QTDAPipeline(config).transform_point_clouds(clouds[:1])
+        assert np.array_equal(shim, legacy)
+
+    def test_service_runs_unserialisable_request_uncached(self, clouds):
+        from repro.quantum.noise import NoiseModel
+
+        config = PipelineConfig(
+            epsilon=0.8,
+            estimator=QTDAConfig(
+                precision_qubits=2,
+                shots=50,
+                backend="noisy-density",
+                noise_model=NoiseModel.from_channel("depolarizing", 0.01),
+                seed=1,
+            ),
+        )
+        request = PipelineRequest(point_clouds=clouds[:1], pipeline=config)
+        with QTDAService() as service:
+            first = service.run(request)
+            second = service.run(request)
+        assert first.provenance.request_fingerprint == ""
+        assert not second.provenance.result_cache_hit
+        assert np.array_equal(first.payload["features"], second.payload["features"])
+
+    def test_experiment_batch_none_uses_defaults(self):
+        params = {
+            "num_rows": 16,
+            "num_healthy": 6,
+            "precision_grid": (2,),
+            "batch": None,
+            "seed": 5,
+        }
+        with QTDAService() as service:
+            result = service.run(ExperimentRequest(experiment="table1", params=params))
+        assert result.payload["rows"][0]["precision_qubits"] == 2
+
+
+def test_unserialisable_request_is_still_hashable():
+    """hash() must not raise for noise_model-bearing requests (set/dict use)."""
+    from repro.quantum.noise import NoiseModel
+
+    config = QTDAConfig(
+        backend="noisy-density",
+        noise_model=NoiseModel.from_channel("depolarizing", 0.01),
+    )
+    request = EstimationRequest(simplices=TRIANGLE, config=config)
+    assert isinstance(hash(request), int)
+    assert request in {request}
+    with pytest.raises(ValueError):
+        request.fingerprint()
+
+
+def test_fingerprint_is_memoised():
+    request = EstimationRequest(simplices=TRIANGLE, config={"seed": 1})
+    assert request.fingerprint() is request.fingerprint()
+
+
+def test_appendix_json_carries_requested_drawing():
+    params = {"shots": 50, "include_drawing": True, "seed": 1, "backend": "exact"}
+    with QTDAService() as service:
+        result = service.run(ExperimentRequest(experiment="appendix", params=params))
+    assert isinstance(result.payload["circuit_drawing"], str)
+    assert result.payload["circuit_drawing"].strip()
+
+
+def test_unversioned_request_dict_rejected():
+    """Documents without schema_version are rejected, never assumed current."""
+    data = EstimationRequest(simplices=TRIANGLE).as_dict()
+    del data["schema_version"]
+    with pytest.raises(ValueError, match="schema_version"):
+        request_from_dict(data)
+
+
+def test_request_isolated_from_caller_config_mutation():
+    """Mutating the caller's config after building a request must not change
+    the request (or its memoised fingerprint / cache identity)."""
+    config = QTDAConfig(shots=100, seed=1)
+    request = EstimationRequest(simplices=TRIANGLE, config=config)
+    before = request.fingerprint()
+    config.shots = 10000
+    assert request.config.shots == 100
+    assert request.fingerprint() == before
+    fresh = EstimationRequest(simplices=TRIANGLE, config=config)
+    assert fresh.fingerprint() != before
+
+
+def test_stream_sweep_validates_eagerly():
+    """The type check fires at the call site, not at first iteration."""
+    with QTDAService() as service:
+        with pytest.raises(TypeError, match="SweepRequest"):
+            service.stream_sweep(EstimationRequest(simplices=TRIANGLE))

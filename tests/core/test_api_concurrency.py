@@ -1,0 +1,104 @@
+"""Concurrency tests for QTDAService (ISSUE 4 satellite).
+
+Three properties must hold under parallel submission:
+
+1. parallel ``submit()``s share one :class:`SpectrumCache` safely (no
+   corruption, answers bit-identical to serial execution);
+2. identical requests are served from the result cache rather than
+   recomputed;
+3. per-request seeds make results reproducible regardless of completion
+   order.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import EstimationRequest, PipelineRequest, QTDAService
+from repro.core.config import QTDAConfig
+from repro.core.pipeline import PipelineConfig
+from repro.datasets.point_clouds import circle_cloud
+from repro.experiments.worked_example import APPENDIX_SIMPLICES
+
+
+def _estimate_request(seed: int, shots: int = 200) -> EstimationRequest:
+    return EstimationRequest(
+        simplices=APPENDIX_SIMPLICES,
+        k=1,
+        config=QTDAConfig(precision_qubits=4, shots=shots, seed=seed),
+    )
+
+
+def test_parallel_submits_share_spectrum_cache():
+    """Many concurrent requests over the same Laplacian: one shared cache,
+    bit-identical answers, and far fewer eigendecompositions than requests."""
+    requests = [_estimate_request(seed) for seed in range(16)]
+    with QTDAService(max_workers=8, result_cache_size=0) as service:
+        serial_payloads = [QTDAService(result_cache_size=0).run(r).payload for r in requests]
+        results = service.map(requests)
+        stats = service.stats
+    assert [r.payload for r in results] == serial_payloads
+    # All 16 requests share one Laplacian; concurrent first touches may each
+    # miss, but the shared cache must hold exactly the one spectrum.
+    assert stats["spectrum_cache"]["entries"] == 1
+    assert stats["spectrum_cache"]["hits"] >= len(requests) - stats["spectrum_cache"]["misses"]
+
+
+def test_identical_requests_served_from_result_cache():
+    request = _estimate_request(seed=5)
+    with QTDAService(max_workers=4) as service:
+        results = service.map([request] * 8)
+        stats = service.stats
+    payloads = [r.payload for r in results]
+    assert all(p == payloads[0] for p in payloads)
+    # At least the requests that arrived after the first completion must be
+    # cache hits; all of them carry identical payloads either way.
+    assert stats["result_cache_entries"] == 1
+    assert stats["result_cache_hits"] >= 1
+    assert any(r.provenance.result_cache_hit for r in results)
+
+
+def test_seeds_reproducible_regardless_of_completion_order():
+    """Shuffled parallel submission reproduces serial per-request results."""
+    seeds = list(range(12))
+    serial = {}
+    for seed in seeds:
+        serial[seed] = QTDAService().run(_estimate_request(seed)).payload
+
+    rng = random.Random(3)
+    for _ in range(3):
+        shuffled = seeds[:]
+        rng.shuffle(shuffled)
+        requests = [_estimate_request(seed) for seed in shuffled]
+        with QTDAService(max_workers=6, result_cache_size=0) as service:
+            results = service.map(requests)
+        for seed, result in zip(shuffled, results):
+            assert result.payload == serial[seed], f"seed {seed} diverged under concurrency"
+            assert result.provenance.seed == seed
+
+
+def test_parallel_pipeline_requests_are_deterministic():
+    clouds = [circle_cloud(9, seed=i) for i in range(4)]
+    pipeline = PipelineConfig(epsilon=0.8, estimator=QTDAConfig(precision_qubits=3, shots=100, seed=21))
+    request = PipelineRequest(point_clouds=clouds, pipeline=pipeline)
+    reference = QTDAService().run(request).payload["features"]
+    with QTDAService(max_workers=4, result_cache_size=0) as service:
+        results = service.map([request] * 6)
+    for result in results:
+        assert np.array_equal(result.payload["features"], reference)
+
+
+def test_concurrent_submit_during_streaming():
+    """submit() and stream_sweep() may interleave on one service instance."""
+    clouds = [circle_cloud(8, seed=i) for i in range(3)]
+    pipeline = PipelineConfig(estimator=QTDAConfig(precision_qubits=3, shots=50, seed=2))
+    from repro.api import SweepRequest
+
+    sweep = SweepRequest(point_clouds=clouds, epsilons=(0.5, 0.8), pipeline=pipeline)
+    with QTDAService(max_workers=2) as service:
+        futures = [service.submit(_estimate_request(seed)) for seed in range(4)]
+        streamed = list(service.stream_sweep(sweep))
+        for future in futures:
+            assert future.result(timeout=60).payload["betti_rounded"] == 1
+    assert len(streamed) == 2

@@ -315,3 +315,60 @@ def test_cache_disabled_still_correct(clouds, quantum_config):
         quantum_config, batch=BatchConfig(spectrum_cache_size=0)
     ).transform_point_clouds(clouds)
     assert np.array_equal(cached, uncached)
+
+
+# -- incremental sweeps (iter_sweep) ---------------------------------------------
+
+def test_iter_sweep_bit_identical_to_sweep(clouds, quantum_config):
+    """The streaming ε-major path reproduces the sample-major sweep exactly."""
+    epsilons = (0.4, 0.7, 1.0)
+    materialised = BatchFeatureEngine(quantum_config).sweep(clouds, epsilons)
+    streamed = list(BatchFeatureEngine(quantum_config).iter_sweep(clouds, epsilons))
+    assert [eps for eps, _ in streamed] == list(epsilons)
+    assert np.array_equal(np.stack([block for _, block in streamed]), materialised)
+
+
+def test_iter_sweep_bit_identical_with_stochastic_backend(clouds):
+    """Per-sample estimator RNG state persists across yields (finite-shot +
+    probe-heavy backend is the hardest case for ε-major reordering)."""
+    config = PipelineConfig(
+        epsilon=0.7,
+        use_quantum=True,
+        estimator=QTDAConfig(precision_qubits=3, shots=50, seed=11, backend="stochastic-trace"),
+    )
+    epsilons = (0.5, 0.9)
+    materialised = BatchFeatureEngine(config).sweep(clouds, epsilons)
+    streamed = np.stack([block for _, block in BatchFeatureEngine(config).iter_sweep(clouds, epsilons)])
+    assert np.array_equal(streamed, materialised)
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_iter_sweep_parallel_backends_match_serial(clouds, quantum_config, backend):
+    epsilons = (0.4, 0.8)
+    serial = np.stack([b for _, b in BatchFeatureEngine(quantum_config).iter_sweep(clouds, epsilons)])
+    engine = BatchFeatureEngine(quantum_config, batch=BatchConfig(backend=backend, max_workers=2))
+    parallel = np.stack([b for _, b in engine.iter_sweep(clouds, epsilons)])
+    assert np.array_equal(serial, parallel)
+
+
+def test_iter_sweep_empty_clouds(quantum_config):
+    blocks = list(BatchFeatureEngine(quantum_config).iter_sweep([], (0.5, 0.9)))
+    assert [eps for eps, _ in blocks] == [0.5, 0.9]
+    assert all(block.shape == (0, 2) for _, block in blocks)
+
+
+def test_iter_sweep_early_exit_is_cheap(clouds, quantum_config):
+    """Consuming only the first scale must not compute the rest."""
+    calls = []
+
+    class CountingCache(SpectrumCache):
+        def spectrum(self, laplacian):
+            calls.append(1)
+            return super().spectrum(laplacian)
+
+    engine = BatchFeatureEngine(quantum_config, spectrum_cache=CountingCache())
+    iterator = engine.iter_sweep(clouds, (0.4, 0.7, 1.0))
+    next(iterator)
+    first_scale_calls = len(calls)
+    iterator.close()
+    assert len(calls) == first_scale_calls  # nothing ran past the first yield

@@ -125,3 +125,83 @@ def test_parsers_accept_backend_and_noise_flags():
     assert args.backend == "sparse-exact"
     args = parser.parse_args(["timeseries", "--backend", "noisy-density"])
     assert args.backend == "noisy-density"
+
+
+def test_json_flag_present_on_experiment_commands():
+    parser = build_parser()
+    for command in ("fig3", "table1", "appendix", "timeseries"):
+        args = parser.parse_args([command, "--json"])
+        assert args.json is True
+        args = parser.parse_args([command])
+        assert args.json is False
+
+
+def test_appendix_json_emits_valid_envelope(capsys):
+    import json
+
+    from repro.api import EstimationResult
+
+    exit_code = main(["appendix", "--shots", "200", "--backend", "exact", "--json"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    data = json.loads(captured)
+    EstimationResult.validate_dict(data)
+    assert data["kind"] == "experiment"
+    assert data["request"]["experiment"] == "appendix"
+    assert data["payload"]["exact_betti"] == 1
+    assert data["payload"]["estimate"]["backend"] == "exact"
+    assert data["provenance"]["backend"] == "exact"
+
+
+def test_timeseries_json_emits_valid_envelope(capsys):
+    import json
+
+    from repro.api import EstimationResult
+
+    exit_code = main(
+        ["timeseries", "--windows", "3", "--window-length", "200", "--stride", "24", "--classical", "--json"]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    data = json.loads(captured)
+    EstimationResult.validate_dict(data)
+    assert 0.0 <= data["payload"]["validation_accuracy"] <= 1.0
+
+
+def test_fig3_json_emits_valid_envelope(capsys):
+    import json
+
+    from repro.api import EstimationResult
+
+    exit_code = main(
+        ["fig3", "--complexes", "2", "--sizes", "5", "--shots", "100", "--precision", "1", "--json"]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    data = json.loads(captured)
+    EstimationResult.validate_dict(data)
+    assert "n=5,shots=100,t=1" in data["payload"]["errors"]
+
+
+def test_table1_json_emits_valid_envelope(capsys):
+    import json
+
+    from repro.api import EstimationResult
+
+    exit_code = main(["table1", "--rows", "16", "--healthy", "6", "--precision", "2", "--json"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    data = json.loads(captured)
+    EstimationResult.validate_dict(data)
+    assert data["payload"]["rows"][0]["precision_qubits"] == 2
+
+
+def test_json_and_text_reports_agree(capsys):
+    """The text report is exactly the payload's 'report' field."""
+    import json
+
+    main(["appendix", "--shots", "150", "--backend", "exact"])
+    text = capsys.readouterr().out
+    main(["appendix", "--shots", "150", "--backend", "exact", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert data["payload"]["report"] + "\n" == text

@@ -16,8 +16,46 @@ def test_lazy_exports():
     assert repro.QTDABettiEstimator is not None
     assert repro.RipsComplex is not None
     assert repro.QTDAPipeline is not None
+    assert repro.QTDAService is not None
+    assert repro.EstimationRequest is not None
     with pytest.raises(AttributeError):
         _ = repro.does_not_exist
+
+
+def test_all_round_trips_every_exported_symbol():
+    """__all__, dir() and __getattr__ agree on the whole lazy surface.
+
+    The historic bug: ``__all__`` listed only ``__version__`` while
+    ``__getattr__`` served more names.  Every advertised name must resolve,
+    appear in ``dir(repro)``, and the api front-door names must be included.
+    """
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, f"__all__ lists unresolvable name {name!r}"
+    listed = set(dir(repro))
+    missing = set(repro.__all__) - listed
+    assert not missing, f"dir(repro) is missing exported names: {sorted(missing)}"
+    for name in (
+        "EstimationRequest",
+        "PipelineRequest",
+        "SweepRequest",
+        "ExperimentRequest",
+        "EstimationResult",
+        "Provenance",
+        "QTDAService",
+        "request_from_dict",
+    ):
+        assert name in repro.__all__, f"repro.api name {name!r} not advertised in __all__"
+
+
+def test_api_module_importable():
+    """The repro.api alias module re-exports the core implementation."""
+    import repro.api
+    import repro.core.api
+
+    assert repro.api.QTDAService is repro.core.api.QTDAService
+    assert set(repro.api.__all__) == set(repro.core.api.__all__)
 
 
 def test_all_subpackages_importable():
@@ -58,10 +96,28 @@ def test_public_api_docstrings():
 
 
 def test_readme_quickstart_snippet_runs():
-    """The snippet shown in the package docstring / README works as written."""
+    """The service quick-start shown in the package docstring works as written."""
     import numpy as np
 
-    from repro import QTDABettiEstimator
+    from repro import EstimationRequest, QTDAService
+
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [2.0, 1.0], [2.5, 0.2]])
+    request = EstimationRequest(
+        points=points, epsilon=1.5, k=1,
+        config={"precision_qubits": 4, "shots": 1000, "seed": 7},
+    )
+    with QTDAService() as service:
+        result = service.run(request)
+    assert result.payload["betti_rounded"] >= 0
+    assert 0.0 <= result.payload["p_zero"] <= 1.0
+    assert result.provenance.backend == "exact"
+
+
+def test_legacy_quickstart_snippet_still_runs():
+    """The pre-service snippet keeps working bit-identically (shim policy)."""
+    import numpy as np
+
+    from repro import EstimationRequest, QTDABettiEstimator, QTDAService
     from repro.tda import RipsComplex
 
     points = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0], [2.0, 1.0], [2.5, 0.2]])
@@ -70,3 +126,11 @@ def test_readme_quickstart_snippet_runs():
     result = estimator.estimate(complex_, k=1)
     assert result.betti_rounded >= 0
     assert 0.0 <= result.p_zero <= 1.0
+    with QTDAService() as service:
+        via_service = service.run(
+            EstimationRequest(
+                points=points, epsilon=1.5, k=1, max_dimension=2,
+                config={"precision_qubits": 4, "shots": 1000, "seed": 7},
+            )
+        )
+    assert via_service.payload == result.as_dict()
