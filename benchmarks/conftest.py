@@ -17,12 +17,46 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
 #: Repository root — BENCH_<name>.json files land here.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _commit_sha() -> str:
+    """HEAD commit (``-dirty`` when uncommitted changes exist), or ``"unknown"``.
+
+    Stamped here by the harness (not by CI workflow scripts) so every
+    BENCH_*.json carries its provenance no matter where it was produced —
+    laptop, CI, or a paper-scale run.  The dirty marker matters: numbers
+    produced by uncommitted code must not be attributed to the clean SHA.
+    """
+    def _git(*args: str) -> str:
+        return subprocess.run(
+            ["git", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+
+    try:
+        sha = _git("rev-parse", "HEAD")
+        if not sha:
+            return "unknown"
+        # The BENCH_*.json artefacts are themselves tracked and rewritten by
+        # every benchmark run; they must not count as dirtiness or a clean
+        # checkout would stamp '-dirty' the moment its first benchmark ran.
+        if _git("status", "--porcelain", "--", ":!BENCH_*.json"):
+            sha += "-dirty"
+        return sha
+    except Exception:
+        return "unknown"
 
 
 def paper_scale_requested() -> bool:
@@ -40,14 +74,16 @@ def write_bench_json(name: str, payload: dict) -> Path:
 
     ``payload`` is benchmark-specific (timings in seconds, speedups, scenario
     sizes); a small provenance envelope (benchmark name, paper-scale flag,
-    python version) is added so the files are self-describing when collected
-    as CI artefacts or diffed across PRs.
+    python version, commit SHA, ISO-8601 UTC timestamp) is added so the files
+    are self-describing when collected as CI artefacts or diffed across PRs.
     """
     path = REPO_ROOT / f"BENCH_{name}.json"
     document = {
         "benchmark": name,
         "paper_scale": paper_scale_requested(),
         "python": platform.python_version(),
+        "commit": _commit_sha(),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         **payload,
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

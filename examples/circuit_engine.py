@@ -1,0 +1,93 @@
+"""Where each circuit-execution route wins: ensemble vs purified vs density.
+
+The faithful Fig. 6 backends can simulate the maximally mixed input three
+ways (``QTDAConfig.circuit_engine``, DESIGN.md §11):
+
+* ``ensemble``  — batched statevector: the 2^q basis states evolve as one
+  ``(2^(t+q), 2^q)`` array with fused gates;
+* ``purified``  — Fig. 2 purification: one statevector on t + 2q qubits;
+* ``density``   — density-matrix evolution of ``|0><0| ⊗ I/2^q`` on t + q
+  qubits (the only route that can carry noise channels).
+
+This script sweeps the system-register size q on synthetic Laplacians and
+times all three, printing per-gate state sizes alongside the wall times so
+the asymptotics are visible: the density route squares the state
+(``4^(t+q)`` entries per gate, 2^t times more than the others), while the
+ensemble route matches the purified route's raw count (``2^(t+q) · 2^q``)
+but runs a fused, shorter circuit, needs no auxiliary register, and chunks
+the batch to a memory budget instead of holding one monolithic
+``2^(t+2q)``-amplitude vector.
+
+Run with:  python examples/circuit_engine.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.backends import EstimationProblem
+from repro.core.backends.statevector import circuit_backend_result
+from repro.core.config import QTDAConfig
+
+PRECISION = 4
+ROUTES = ("ensemble", "purified", "density")
+
+
+def synthetic_laplacian(dim: int, seed: int = 0) -> np.ndarray:
+    """Symmetric PSD matrix of rank ``dim - 2`` (a 2-dimensional kernel).
+
+    Twin of ``_workload_laplacian`` in benchmarks/test_bench_circuit_engine.py
+    (which gates the speedup this example illustrates) — keep in sync.
+    """
+    rng = np.random.default_rng(seed)
+    basis = rng.standard_normal((dim, dim - 2))
+    lap = basis @ basis.T
+    return (lap + lap.T) / 2.0
+
+
+def time_route(problem: EstimationProblem, route: str) -> tuple[float, np.ndarray]:
+    config = QTDAConfig(
+        precision_qubits=PRECISION, shots=None, backend="statevector", circuit_engine=route
+    )
+    start = time.perf_counter()
+    result = circuit_backend_result(problem, config, "exact", None)
+    return time.perf_counter() - start, result.distribution
+
+
+def main() -> None:
+    print(f"Fig. 6 circuit, exact synthesis, t = {PRECISION} precision qubits")
+    print(f"{'q':>3} {'dim':>5} | " + " | ".join(f"{route:>10}" for route in ROUTES) + " | max |Δp|")
+    print("-" * 66)
+    for q in (3, 4, 5, 6):
+        dim = 3 * 2 ** (q - 2)  # padded to 2^q without being a power of two
+        problem = EstimationProblem(laplacian=synthetic_laplacian(dim, seed=q))
+        seconds = {}
+        distributions = {}
+        for route in ROUTES:
+            seconds[route], distributions[route] = time_route(problem, route)
+        spread = max(
+            float(np.max(np.abs(distributions[a] - distributions["density"])))
+            for a in ("ensemble", "purified")
+        )
+        cells = " | ".join(f"{seconds[route]:>9.3f}s" for route in ROUTES)
+        print(f"{q:>3} {dim:>5} | {cells} | {spread:.1e}")
+    print()
+    print("State entries touched per gate (complex numbers):")
+    print(f"{'q':>3} | {'ensemble/purified 2^(t+2q)':>27} | {'density 4^(t+q)':>16}")
+    for q in (3, 4, 5, 6, 8, 10):
+        t = PRECISION
+        print(f"{q:>3} | {2**(t + 2 * q):>27,} | {4**(t+q):>16,}")
+    print()
+    print("The ensemble route touches 2^t times fewer entries than density.  Against")
+    print("purified the raw per-gate count ties (2^(t+q)·2^q = 2^(t+2q)), but the")
+    print("ensemble wins structurally: gate fusion shortens the circuit, there is no")
+    print("2q-qubit monolithic vector (the batch chunks to a memory budget), no Bell-")
+    print("pair preparation, and the batch axis feeds one GEMM instead of a longer")
+    print("contraction.  density alone supports noise channels —")
+    print("QTDAConfig(circuit_engine=...) picks the route.")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,9 @@ Walks the whole pipeline on a small cloud shaped like a noisy circle:
    Fig. 2 mixed-state preparation.
 
 See examples/service_api.py for the full service tour (futures, batched
-`map`, streaming ε-sweeps, the JSON wire format).
+`map`, streaming ε-sweeps, the JSON wire format) and
+examples/circuit_engine.py for the circuit-execution routes
+(`QTDAConfig.circuit_engine`: batched ensemble vs purified vs density).
 
 Run with:  python examples/quickstart.py
 """
@@ -43,6 +45,13 @@ def main() -> None:
     print(f"Classical Betti numbers: beta_0 = {exact[0]}, beta_1 = {exact[1]}")
 
     # 3. Quantum estimate (QPE on the combinatorial Laplacian).
+    #    The default `exact` backend evaluates the analytical QPE readout.
+    #    The faithful circuit backends (backend="statevector"/"trotter")
+    #    additionally take a `circuit_engine` knob: the default "auto" runs
+    #    noise-free circuits on the batched ensemble statevector engine
+    #    (DESIGN.md §11) — set "purified" or "density" to force the legacy
+    #    Fig. 2 / density-matrix routes, e.g.
+    #    QTDABettiEstimator(backend="statevector", circuit_engine="density").
     estimator = QTDABettiEstimator(precision_qubits=6, shots=4000, seed=11)
     for k in (0, 1):
         result = estimator.estimate(complex_, k)

@@ -80,6 +80,11 @@ _LAZY_EXPORTS = {
         "RipsComplex",
         "SimplicialComplex",
     ),
+    "repro.quantum": (
+        "EnsembleExecutor",
+        "QuantumCircuit",
+        "StatevectorSimulator",
+    ),
 }
 
 __all__ = ["__version__"] + [name for names in _LAZY_EXPORTS.values() for name in names]

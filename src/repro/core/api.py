@@ -56,7 +56,10 @@ from repro.utils.validation import check_integer
 #: Version of the request/result wire format.  Bump on any incompatible
 #: change to the dictionaries emitted by ``as_dict`` (consumers validate it
 #: through :meth:`EstimationResult.validate_dict`).
-SCHEMA_VERSION = 1
+#: History: 2 — provenance gained required ``engine_route``/``fused_gates``
+#: fields and ``QTDAConfig`` gained ``circuit_engine`` (request fingerprints
+#: changed); 1 — initial service wire format.
+SCHEMA_VERSION = 2
 
 #: The request kinds the service understands, in dispatch order.
 REQUEST_KINDS = ("estimate", "pipeline", "sweep", "experiment")
@@ -559,7 +562,10 @@ class Provenance:
     ``cache_hits``/``cache_misses`` are the service spectrum-cache deltas
     observed while the request ran; under concurrent execution they are a
     best-effort attribution (the counters are shared), while totals remain
-    exact through :attr:`QTDAService.stats`.
+    exact through :attr:`QTDAService.stats`.  ``engine_route``/``fused_gates``
+    record, for single-estimate requests on circuit backends, the concrete
+    circuit-execution route taken (``ensemble``/``purified``/``density``,
+    DESIGN.md §11) and the ensemble engine's post-fusion gate count.
     """
 
     request_kind: str
@@ -572,6 +578,8 @@ class Provenance:
     cache_misses: int = 0
     betti_std: Optional[float] = None
     result_cache_hit: bool = False
+    engine_route: Optional[str] = None
+    fused_gates: Optional[int] = None
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, Any]:
@@ -587,6 +595,8 @@ class Provenance:
             "cache_misses": self.cache_misses,
             "betti_std": self.betti_std,
             "result_cache_hit": self.result_cache_hit,
+            "engine_route": self.engine_route,
+            "fused_gates": self.fused_gates,
         }
 
 
@@ -603,6 +613,8 @@ _PROVENANCE_FIELDS = (
     "cache_misses",
     "betti_std",
     "result_cache_hit",
+    "engine_route",
+    "fused_gates",
 )
 
 
@@ -930,7 +942,7 @@ class QTDAService:
                 return cached
         hits0, misses0 = self._cache_counters()
         start = time.perf_counter()
-        payload, backend_name, operator_format, seed, betti_std = self._execute(request)
+        payload, backend_name, operator_format, seed, betti_std, engine_route, fused_gates = self._execute(request)
         wall = time.perf_counter() - start
         hits1, misses1 = self._cache_counters()
         provenance = Provenance(
@@ -943,6 +955,8 @@ class QTDAService:
             cache_hits=hits1 - hits0,
             cache_misses=misses1 - misses0,
             betti_std=betti_std,
+            engine_route=engine_route,
+            fused_gates=fused_gates,
         )
         result = EstimationResult(request=request, payload=payload, provenance=provenance)
         if fingerprint is not None:
@@ -1116,7 +1130,7 @@ class QTDAService:
 
     def _execute(
         self, request: Request
-    ) -> Tuple[Dict[str, Any], str, str, Optional[int], Optional[float]]:
+    ) -> Tuple[Dict[str, Any], str, str, Optional[int], Optional[float], Optional[str], Optional[int]]:
         """Dispatch to the legacy execution paths; returns payload + provenance bits."""
         if isinstance(request, EstimationRequest):
             estimator = QTDABettiEstimator(request.config, spectrum_cache=self.spectrum_cache)
@@ -1129,6 +1143,8 @@ class QTDAService:
                 estimator.operator_format,
                 request.seed,
                 estimate.betti_std,
+                estimate.engine_route,
+                estimate.fused_gates,
             )
         if isinstance(request, PipelineRequest):
             engine = self._engine(request)
@@ -1162,6 +1178,8 @@ class QTDAService:
                 engine.negotiated_operator_format(),
                 request.seed,
                 None,
+                None,
+                None,
             )
         if isinstance(request, SweepRequest):
             engine = self._engine(request)
@@ -1178,6 +1196,8 @@ class QTDAService:
                 engine.negotiated_operator_format(),
                 request.seed,
                 None,
+                None,
+                None,
             )
         # ExperimentRequest
         runner = _EXPERIMENT_RUNNERS[request.experiment]
@@ -1186,7 +1206,7 @@ class QTDAService:
             operator_format = preferred_format(get_backend(backend_name))
         except ValueError:
             operator_format = "dense"
-        return payload, backend_name, operator_format, seed, None
+        return payload, backend_name, operator_format, seed, None, None, None
 
 
 def describe_backends() -> List[Dict[str, Any]]:

@@ -109,12 +109,23 @@ class BackendResult:
         *stochastic* backends (Hutchinson trace estimation); ``None`` for
         deterministic backends.  The estimator scales it by ``2^q`` into
         :attr:`BettiEstimate.betti_std`.
+    engine_route:
+        For circuit backends, the concrete execution route taken
+        (``"ensemble"``, ``"purified"`` or ``"density"`` — see
+        ``QTDAConfig.circuit_engine`` and DESIGN.md §11); ``None`` for
+        non-circuit backends.  Surfaced through
+        :attr:`BettiEstimate.engine_route` into service provenance.
+    fused_gates:
+        Number of gates actually executed after the fusion pass (``ensemble``
+        route only); ``None`` when no fusion ran.
     """
 
     distribution: np.ndarray
     num_system_qubits: int
     lambda_max: float
     p_zero_std: "float | None" = None
+    engine_route: "str | None" = None
+    fused_gates: "int | None" = None
 
 
 @runtime_checkable

@@ -37,6 +37,15 @@ class NoisyDensityBackend:
     supports_noise = True
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
+        engine = getattr(config, "circuit_engine", "auto")
+        if engine not in ("auto", "density"):
+            # This backend is the density-matrix route by construction (even
+            # its noiseless limit runs an identity channel); silently taking
+            # it anyway would drop an explicit pure-state engine request.
+            raise ValueError(
+                f"the noisy-density backend always runs the density-matrix route; "
+                f"circuit_engine={engine!r} cannot be honoured (use 'auto' or 'density')"
+            )
         noise = config.resolved_noise_model()
         if noise is None:
             # No channel configured: run the noiseless limit explicitly (a

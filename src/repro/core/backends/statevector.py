@@ -1,12 +1,24 @@
 """The ``statevector`` backend — the explicit Fig. 6 circuit.
 
 Builds the full QTDA circuit with exact controlled powers of ``U = exp(iH)``
-and executes it:
+and executes it over one of three routes (``QTDAConfig.circuit_engine``,
+DESIGN.md §11):
 
-* with purification (Fig. 2) the maximally mixed input is prepared with
-  auxiliary qubits and the statevector simulator runs on ``t + 2q`` qubits;
-* without purification (or whenever a noise model is in effect) the
-  density-matrix simulator evolves ``|0><0| ⊗ I/2^q`` on ``t + q`` qubits.
+* ``ensemble`` (the default for noise-free runs) — the maximally mixed input
+  is simulated by evolving the ``2^q`` system basis states as *one batched
+  ``(2^(t+q), B)`` statevector array* on the execution engine
+  (:mod:`repro.quantum.engine`): every gate is a single ``tensordot`` across
+  the whole batch, adjacent gates are fused, the batch is chunked to a
+  memory budget, and the readout is the batch-averaged marginal.
+  Mathematically identical to evolving ``|0><0| ⊗ I/2^q`` but
+  ``O(2^(t+q) · 2^q)`` flops per gate on a flat array instead of a squared
+  density matrix, with no purification qubits.
+* ``purified`` — the Fig. 2 construction: auxiliary qubits and Bell pairs,
+  statevector simulation on ``t + 2q`` qubits (legacy route,
+  bit-identity-pinned).
+* ``density`` — density-matrix evolution of ``|0><0| ⊗ I/2^q`` on ``t + q``
+  qubits, gate by gate (legacy route, bit-identity-pinned; required — and
+  forced — whenever a noise model is in effect).
 
 This module also hosts the circuit-execution plumbing shared by the
 ``trotter`` and ``noisy-density`` backends, which differ only in how ``U`` is
@@ -22,8 +34,37 @@ import numpy as np
 from repro.core.backends.base import BackendResult, EstimationProblem, register_backend
 from repro.core.qtda_circuit import QTDACircuitSpec, qtda_circuit
 from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.quantum.engine import EnsembleExecutor
 from repro.quantum.noise import NoiseModel
 from repro.quantum.statevector import StatevectorSimulator
+
+#: Concrete circuit-execution routes (``"auto"`` resolves to one of these).
+CIRCUIT_ROUTES = ("ensemble", "purified", "density")
+
+
+def resolve_circuit_route(config, noise_model: Optional[NoiseModel]) -> str:
+    """Resolve ``config.circuit_engine`` to a concrete route.
+
+    A noise model forces the ``density`` route (Kraus channels need a mixed
+    state the pure-state routes cannot carry); an *explicit* pure-state
+    engine choice combined with noise raises instead of silently dropping
+    either.  ``"auto"`` picks ``ensemble`` for noise-free runs.
+    """
+    engine = getattr(config, "circuit_engine", "auto")
+    if engine not in ("auto",) + CIRCUIT_ROUTES:
+        raise ValueError(
+            f"circuit_engine must be one of {('auto',) + CIRCUIT_ROUTES}, got {engine!r}"
+        )
+    if noise_model is not None:
+        if engine in ("ensemble", "purified"):
+            raise ValueError(
+                f"circuit_engine={engine!r} cannot simulate noise channels; "
+                "use 'density' (or 'auto')"
+            )
+        return "density"
+    if engine == "auto":
+        return "ensemble"
+    return engine
 
 
 def mixed_initial_state(spec: QTDACircuitSpec) -> DensityMatrix:
@@ -37,6 +78,44 @@ def mixed_initial_state(spec: QTDACircuitSpec) -> DensityMatrix:
     return DensityMatrix(rho)
 
 
+def _ensemble_route_result(problem: EstimationProblem, config, synthesis: str) -> BackendResult:
+    """Batched-statevector execution of the mixed-state circuit.
+
+    The circuit is built without purification on ``t + q`` qubits; the
+    ``2^q`` system basis states form the ensemble (full-register basis index
+    ``b`` — the precision register reads ``|0...0>``, so the indices coincide).
+    The exact synthesis uses spectral controlled powers (one ``eigh`` of
+    ``H``, phases raised to ``2^j``); the engine fuses adjacent small gates
+    (cached per circuit fingerprint) and chunks the batch to its memory
+    budget.
+    """
+    hamiltonian = problem.dense_hamiltonian(config)
+    circuit, spec = qtda_circuit(
+        hamiltonian,
+        precision_qubits=config.precision_qubits,
+        use_purification=False,
+        synthesis=synthesis,
+        trotter_steps=config.trotter_steps,
+        trotter_order=config.trotter_order,
+        power_synthesis="spectral" if synthesis == "exact" else "chain",
+    )
+    executor = EnsembleExecutor()
+    plan = executor.gate_plan(circuit)
+    distribution = executor.basis_ensemble_distribution(
+        circuit,
+        qubits=list(spec.precision_register),
+        basis_states=range(2**spec.system_qubits),
+        plan=plan,
+    )
+    return BackendResult(
+        distribution=distribution,
+        num_system_qubits=hamiltonian.num_qubits,
+        lambda_max=hamiltonian.padded.lambda_max,
+        engine_route="ensemble",
+        fused_gates=len(plan),
+    )
+
+
 def circuit_backend_result(
     problem: EstimationProblem,
     config,
@@ -46,23 +125,30 @@ def circuit_backend_result(
 ) -> BackendResult:
     """Build and execute the Fig. 6 circuit, returning the readout distribution.
 
-    ``use_purification`` defaults to the config's setting, forced off when a
-    noise model is in effect (noise requires the density-matrix route).
+    The route comes from ``config.circuit_engine`` via
+    :func:`resolve_circuit_route`; the legacy ``use_purification`` keyword,
+    when passed explicitly, forces the corresponding legacy route (purified
+    statevector, or the density-matrix evolution — noise always implies the
+    latter), bypassing the ensemble engine.
     """
-    hamiltonian = problem.dense_hamiltonian(config)
     if use_purification is None:
-        use_purification = config.use_purification and noise_model is None
+        route = resolve_circuit_route(config, noise_model)
+    else:
+        route = "purified" if (use_purification and noise_model is None) else "density"
+    if route == "ensemble":
+        return _ensemble_route_result(problem, config, synthesis)
+
+    hamiltonian = problem.dense_hamiltonian(config)
     circuit, spec = qtda_circuit(
         hamiltonian,
         precision_qubits=config.precision_qubits,
-        use_purification=use_purification,
+        use_purification=route == "purified",
         synthesis=synthesis,
         trotter_steps=config.trotter_steps,
         trotter_order=config.trotter_order,
     )
     precision_register = list(spec.precision_register)
-    if noise_model is not None or spec.auxiliary_qubits == 0:
-        # Density-matrix route: start the system register in I/2^q directly.
+    if route == "density":
         sim = DensityMatrixSimulator(noise_model=noise_model)
         final = sim.run(circuit, initial_state=mixed_initial_state(spec))
         distribution = final.marginal_probabilities(precision_register)
@@ -72,6 +158,7 @@ def circuit_backend_result(
         distribution=distribution,
         num_system_qubits=hamiltonian.num_qubits,
         lambda_max=hamiltonian.padded.lambda_max,
+        engine_route=route,
     )
 
 
@@ -79,7 +166,7 @@ class StatevectorBackend:
     """Explicit Fig. 6 circuit with exact controlled powers of ``U``."""
 
     name = "statevector"
-    description = "explicit Fig. 6 circuit with exact controlled powers of U (purified or density-matrix)"
+    description = "explicit Fig. 6 circuit with exact controlled powers of U (ensemble, purified or density route)"
     prefers_sparse = False
     supported_formats = ("dense",)
     supports_noise = True

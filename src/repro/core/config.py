@@ -19,11 +19,20 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.backends import available_backends
+from repro.core.backends.statevector import CIRCUIT_ROUTES
 from repro.quantum.noise import NOISE_CHANNELS, NoiseModel
 from repro.utils.validation import check_integer, check_positive_integer, check_probability
 
 #: Allowed padding modes (Eq. 7 identity padding vs the naive zero padding).
 PADDING_MODES = ("identity", "zero")
+
+#: Circuit-execution engine choices for the faithful Fig. 6 backends
+#: (``statevector``/``trotter``/``noisy-density``): ``"auto"`` plus the
+#: concrete routes, derived from the route module's single source of truth
+#: (:data:`repro.core.backends.statevector.CIRCUIT_ROUTES`); see
+#: :func:`repro.core.backends.statevector.resolve_circuit_route` and
+#: DESIGN.md §11.
+CIRCUIT_ENGINES = ("auto",) + CIRCUIT_ROUTES
 
 
 @dataclass
@@ -54,11 +63,29 @@ class QTDAConfig:
         ``"zero"`` for the naive zero padding it argues against.
     trotter_steps, trotter_order:
         Product-formula parameters for the ``"trotter"`` backend.
+    circuit_engine:
+        How the circuit backends execute the mixed-state Fig. 6 circuit
+        (DESIGN.md §11):
+
+        * ``"ensemble"`` — batched statevector route: evolve the ``2^q``
+          basis states as one ``(2^(t+q), B)`` array (chunked to a memory
+          budget, gates fused) and average the readout; no auxiliary qubits,
+          no density matrix.
+        * ``"purified"`` — Fig. 2 purification, statevector on ``t + 2q``
+          qubits (legacy, bit-identity-pinned).
+        * ``"density"`` — density-matrix evolution of ``|0><0| ⊗ I/2^q`` on
+          ``t + q`` qubits (legacy, bit-identity-pinned; the only route that
+          can simulate noise channels).
+        * ``"auto"`` (default) — ``density`` when a noise model is in
+          effect, ``ensemble`` otherwise.
+
+        All three noise-free routes agree to better than ``1e-10``; only the
+        legacy two are pinned bit-exactly across releases.
     use_purification:
-        For circuit backends, prepare the maximally mixed state with
-        auxiliary qubits and Bell pairs (Fig. 2).  When false, the mixed
-        state is simulated by averaging over computational basis states,
-        which needs no auxiliary qubits.
+        Legacy route selector, superseded by ``circuit_engine`` (an explicit
+        ``circuit_engine`` always wins; ``"auto"`` no longer consults this
+        flag).  Retained for wire-format compatibility and for direct
+        :func:`repro.core.qtda_circuit.qtda_circuit` callers.
     noise_channel, noise_strength:
         Declarative noise parametrisation consumed by the ``noisy-density``
         backend (and honoured by the other circuit backends): a channel name
@@ -88,6 +115,7 @@ class QTDAConfig:
     padding: str = "identity"
     trotter_steps: int = 4
     trotter_order: int = 1
+    circuit_engine: str = "auto"
     use_purification: bool = True
     noise_channel: Optional[str] = None
     noise_strength: float = 0.0
@@ -111,6 +139,10 @@ class QTDAConfig:
             raise ValueError(f"padding must be one of {PADDING_MODES}, got {self.padding!r}")
         self.trotter_steps = check_positive_integer(self.trotter_steps, "trotter_steps")
         self.trotter_order = check_integer(self.trotter_order, "trotter_order", minimum=1, maximum=2)
+        if self.circuit_engine not in CIRCUIT_ENGINES:
+            raise ValueError(
+                f"circuit_engine must be one of {CIRCUIT_ENGINES}, got {self.circuit_engine!r}"
+            )
         if self.noise_channel is not None and self.noise_channel not in NOISE_CHANNELS:
             raise ValueError(
                 f"noise_channel must be one of {NOISE_CHANNELS}, got {self.noise_channel!r}"
@@ -121,6 +153,15 @@ class QTDAConfig:
         self.noise_strength = check_probability(self.noise_strength, "noise_strength")
         if self.noise_model is not None and not isinstance(self.noise_model, NoiseModel):
             raise TypeError("noise_model must be a repro.quantum.NoiseModel or None")
+        if self.circuit_engine in ("ensemble", "purified") and (
+            self.noise_model is not None or self.noise_channel is not None
+        ):
+            # Pure-state routes cannot express Kraus channels; a config
+            # claiming both would silently drop the noise.
+            raise ValueError(
+                f"circuit_engine={self.circuit_engine!r} cannot simulate noise "
+                "channels; use circuit_engine='density' (or 'auto')"
+            )
         if self.noise_strength > 0 and self.noise_channel is None and self.noise_model is None:
             # Without this check the strength would be silently ignored and a
             # run claiming noise would report noiseless results.

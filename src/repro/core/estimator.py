@@ -61,6 +61,12 @@ class BettiEstimate:
         ``stochastic-trace`` backend's Hutchinson sampling error).  ``None``
         for deterministic backends.  Shot noise is *not* included — it is
         identical across backends and already visible through ``counts``.
+    engine_route, fused_gates:
+        Circuit-execution provenance echoed from
+        :class:`~repro.core.backends.BackendResult`: the concrete route the
+        circuit backend took (``"ensemble"``/``"purified"``/``"density"``)
+        and the post-fusion gate count of the ensemble engine.  ``None`` for
+        non-circuit backends.
     """
 
     betti_estimate: float
@@ -75,6 +81,8 @@ class BettiEstimate:
     lambda_max: float = 0.0
     delta: float = 0.0
     betti_std: Optional[float] = None
+    engine_route: Optional[str] = None
+    fused_gates: Optional[int] = None
 
     @property
     def absolute_error(self) -> Optional[float]:
@@ -107,6 +115,8 @@ class BettiEstimate:
             "lambda_max": self.lambda_max,
             "delta": self.delta,
             "betti_std": self.betti_std,
+            "engine_route": self.engine_route,
+            "fused_gates": self.fused_gates,
         }
 
 
@@ -221,6 +231,8 @@ class QTDABettiEstimator:
             lambda_max=result.lambda_max,
             delta=self.config.delta,
             betti_std=betti_std,
+            engine_route=result.engine_route,
+            fused_gates=result.fused_gates,
         )
 
     def estimate_betti_numbers(

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.hamiltonian import RescaledHamiltonian
 from repro.core.mixed_state import maximally_mixed_state_circuit
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.qpe import phase_estimation_circuit
+from repro.quantum.qpe import SpectralUnitary, phase_estimation_circuit
 from repro.quantum.trotter import pauli_evolution_circuit
 from repro.utils.validation import check_positive_integer
 
@@ -61,6 +61,7 @@ def qtda_circuit(
     synthesis: str = "exact",
     trotter_steps: int = 4,
     trotter_order: int = 1,
+    power_synthesis: str = "chain",
 ) -> tuple[QuantumCircuit, QTDACircuitSpec]:
     """Build the full QTDA circuit of Fig. 6.
 
@@ -81,6 +82,15 @@ def qtda_circuit(
         which is controlled and repeated inside QPE.
     trotter_steps, trotter_order:
         Product-formula parameters for ``synthesis="trotter"``.
+    power_synthesis:
+        For ``synthesis="exact"``: ``"chain"`` (default) exponentiates ``H``
+        once (``expm``) and lets QPE power the dense unitary per precision
+        qubit by repeated squaring — bit-identical to every pre-engine
+        release — while ``"spectral"`` diagonalises ``H`` once (``eigh``) and
+        every controlled power ``U^{2^j}`` is the same eigenbasis with phases
+        raised to ``2^j`` (no ``expm``, no per-qubit matrix powering; used by
+        the batched ``ensemble`` circuit route).  Ignored for
+        ``synthesis="trotter"`` (powers are realised by repetition).
 
     Returns
     -------
@@ -92,8 +102,17 @@ def qtda_circuit(
     aux = q if use_purification else 0
     spec = QTDACircuitSpec(precision_qubits=t, system_qubits=q, auxiliary_qubits=aux)
 
+    if power_synthesis not in ("chain", "spectral"):
+        raise ValueError(
+            f"power_synthesis must be 'chain' or 'spectral', got {power_synthesis!r}"
+        )
     if synthesis == "exact":
-        unitary: np.ndarray | QuantumCircuit = hamiltonian.unitary()
+        if power_synthesis == "spectral":
+            unitary: np.ndarray | QuantumCircuit | SpectralUnitary = (
+                SpectralUnitary.from_hermitian(hamiltonian.matrix)
+            )
+        else:
+            unitary = hamiltonian.unitary()
     elif synthesis == "trotter":
         unitary = pauli_evolution_circuit(
             hamiltonian.pauli_decomposition(),

@@ -9,6 +9,10 @@ scratch on NumPy:
 * a dense statevector simulator (:mod:`repro.quantum.statevector`) and a
   density-matrix simulator with noise channels
   (:mod:`repro.quantum.density_matrix`, :mod:`repro.quantum.noise`);
+* a batched ("ensemble") execution engine that evolves many pure states as
+  one ``(2^n, B)`` array behind an array-module seam (NumPy/CuPy), plus a
+  gate-fusion pass cached per circuit fingerprint
+  (:mod:`repro.quantum.engine`, :mod:`repro.quantum.fusion`);
 * measurement / shot sampling (:mod:`repro.quantum.measurement`);
 * the quantum Fourier transform and quantum phase estimation circuit
   builders (:mod:`repro.quantum.qft`, :mod:`repro.quantum.qpe`);
@@ -49,8 +53,15 @@ from repro.quantum.operations import Gate, Measurement, Barrier
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.statevector import StatevectorSimulator, Statevector
 from repro.quantum.density_matrix import DensityMatrixSimulator, DensityMatrix
+from repro.quantum.engine import (
+    EnsembleExecutor,
+    apply_gate_to_ensemble,
+    array_module,
+)
+from repro.quantum.fusion import fuse_circuit, fusion_cache_info
 from repro.quantum.measurement import (
     born_probabilities,
+    ensemble_marginal_probabilities,
     marginal_probabilities,
     sample_counts,
     counts_to_probabilities,
@@ -58,6 +69,7 @@ from repro.quantum.measurement import (
 from repro.quantum.qft import qft_circuit, inverse_qft_circuit
 from repro.quantum.qpe import (
     PhaseEstimation,
+    SpectralUnitary,
     phase_estimation_circuit,
     qpe_outcome_distribution,
     qpe_probability_kernel,
@@ -105,13 +117,20 @@ __all__ = [
     "Statevector",
     "DensityMatrixSimulator",
     "DensityMatrix",
+    "EnsembleExecutor",
+    "apply_gate_to_ensemble",
+    "array_module",
+    "fuse_circuit",
+    "fusion_cache_info",
     "born_probabilities",
+    "ensemble_marginal_probabilities",
     "marginal_probabilities",
     "sample_counts",
     "counts_to_probabilities",
     "qft_circuit",
     "inverse_qft_circuit",
     "PhaseEstimation",
+    "SpectralUnitary",
     "phase_estimation_circuit",
     "qpe_outcome_distribution",
     "qpe_probability_kernel",

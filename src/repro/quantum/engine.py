@@ -1,0 +1,302 @@
+"""Batched ("ensemble") statevector execution engine.
+
+The simulators in :mod:`repro.quantum.statevector` evolve one pure state at a
+time.  The QTDA circuit, however, takes the *maximally mixed* state ``I/2^q``
+as input, and the faithful ways to simulate that — purification on ``t + 2q``
+qubits, or density-matrix evolution of a ``2^(t+q) x 2^(t+q)`` matrix — pay
+for the mixedness quadratically.  This module provides the third route: store
+an ensemble of ``B`` pure states as one ``(2^n, B)`` array and push *every*
+gate through the whole batch with a single :func:`tensordot` contraction, so
+the mixed state costs ``O(2^(t+q) · 2^q)`` flops per gate on a flat array
+instead of a squared state, with no auxiliary qubits at all.
+
+Three design points:
+
+* **One kernel.**  :func:`apply_gate_to_ensemble` is the only contraction in
+  the package — the single-state simulator's ``apply_gate_to_statevector`` is
+  its batch-1 specialisation (bit-identical: the underlying GEMM sees the
+  same operand bytes in the same order, the trailing batch axis of length 1
+  changes nothing).
+* **Gate fusion.**  The executor runs circuits through the fusion pass of
+  :mod:`repro.quantum.fusion`, which merges adjacent gates acting on at most
+  ``max_fuse_qubits`` qubits into one matrix and caches the fused plan per
+  circuit fingerprint — QPE's repeated ``U^{2^j}``-by-repetition synthesis
+  collapses dramatically, and re-running the same circuit (every chunk of a
+  batched ensemble, every ε of a sweep) pays for fusion once.
+* **Array-module seam.**  All array math goes through an ``xp`` module handle
+  (:func:`array_module`).  It is :mod:`numpy` everywhere today; when CuPy is
+  installed it is picked up automatically (or forced/suppressed with the
+  ``REPRO_ARRAY_MODULE`` environment variable), which lands the ROADMAP's
+  "GPU statevector backend" item without a separate code path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.measurement import ensemble_marginal_probabilities
+from repro.quantum.operations import Barrier, Gate, Measurement
+
+#: Default ceiling on the bytes a single ensemble chunk may occupy
+#: (``2^n · B · 16`` bytes for complex128).  256 MiB keeps the largest chunk
+#: comfortably inside typical last-level caches-plus-RAM headroom while still
+#: amortising per-gate Python overhead over wide batches.
+DEFAULT_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Default fusion window (see :func:`repro.quantum.fusion.fuse_circuit`).
+DEFAULT_MAX_FUSE_QUBITS = 3
+
+_ARRAY_MODULE_OVERRIDE = None
+_DETECTED_MODULE = None
+
+
+def set_array_module(xp) -> None:
+    """Force the array module used by new executors (``None`` re-enables autodetection).
+
+    Intended for tests and for callers that manage device placement
+    themselves; normal code should rely on :func:`array_module`.
+    """
+    global _ARRAY_MODULE_OVERRIDE
+    _ARRAY_MODULE_OVERRIDE = xp
+
+
+def array_module():
+    """The active array module (``numpy``, or ``cupy`` when available).
+
+    Resolution order: :func:`set_array_module` override, then the
+    ``REPRO_ARRAY_MODULE`` environment variable (``"numpy"`` or ``"cupy"``),
+    then autodetection (CuPy with a usable device wins, NumPy otherwise).
+    The autodetection result is cached for the life of the process.
+    """
+    global _DETECTED_MODULE
+    if _ARRAY_MODULE_OVERRIDE is not None:
+        return _ARRAY_MODULE_OVERRIDE
+    requested = os.environ.get("REPRO_ARRAY_MODULE", "").strip().lower()
+    if requested in ("numpy", "np"):
+        return np
+    if requested == "cupy":
+        import cupy  # hard requirement when explicitly requested
+
+        return cupy
+    if requested:
+        # An explicit-but-unknown value must not silently fall back to
+        # autodetection — the user asked for a specific device placement.
+        raise ValueError(
+            f"REPRO_ARRAY_MODULE must be 'numpy' or 'cupy', got {requested!r}"
+        )
+    if _DETECTED_MODULE is None:
+        try:
+            import cupy
+
+            cupy.zeros(1)  # fails fast when no device is usable
+            _DETECTED_MODULE = cupy
+        except Exception:
+            _DETECTED_MODULE = np
+    return _DETECTED_MODULE
+
+
+def to_host(array) -> np.ndarray:
+    """Move an ``xp`` array to host memory (no-op for NumPy arrays)."""
+    getter = getattr(array, "get", None)
+    if getter is not None and not isinstance(array, np.ndarray):
+        return np.asarray(getter())
+    return np.asarray(array)
+
+
+def apply_gate_to_ensemble(
+    states,
+    gate_matrix,
+    qubits: Sequence[int],
+    num_qubits: int,
+    xp=np,
+):
+    """Apply a ``k``-qubit gate to every member of a ``(2^n, B)`` ensemble at once.
+
+    Parameters
+    ----------
+    states:
+        ``(2^num_qubits, B)`` complex array; column ``b`` is one pure state.
+    gate_matrix:
+        ``2^k x 2^k`` unitary; its first index qubit is ``qubits[0]``.
+    qubits:
+        Target qubits (qubit 0 = most significant bit of basis labels).
+    num_qubits:
+        Register size ``n``.
+    xp:
+        Array module (:func:`array_module`); defaults to NumPy.
+
+    Notes
+    -----
+    The whole batch is contracted in one ``tensordot`` — the gate's column
+    indices against the target qubit axes of the rank-``n+1`` state tensor
+    (batch axis last) — so the per-gate cost is ``O(2^n · 2^k · B)`` with no
+    Python loop over batch members.  For ``B = 1`` the contraction is
+    bit-identical to the single-state kernel it generalises.
+    """
+    qubits = [int(q) for q in qubits]
+    k = len(qubits)
+    batch = states.shape[-1]
+    psi = states.reshape([2] * num_qubits + [batch])
+    gate = gate_matrix.reshape([2] * (2 * k))
+    # Contract the gate's column indices (last k axes) with the target axes.
+    psi = xp.tensordot(gate, psi, axes=(list(range(k, 2 * k)), qubits))
+    # tensordot moves the contracted axes to the front (in gate row order);
+    # put them back where the target qubits live.  The batch axis stays last.
+    psi = xp.moveaxis(psi, list(range(k)), qubits)
+    return xp.ascontiguousarray(psi).reshape(2**num_qubits, batch)
+
+
+class EnsembleExecutor:
+    """Executes circuits on ``(2^n, B)`` ensembles of pure states.
+
+    Parameters
+    ----------
+    fuse:
+        Run circuits through the gate-fusion pass (cached per circuit
+        fingerprint) before execution.  Fusion changes floating-point
+        association, so callers that need bit-identity with the unfused
+        single-state simulator must pass ``False``.
+    max_fuse_qubits:
+        Largest qubit support a fused block may reach.
+    memory_budget_bytes:
+        Ceiling on one chunk's state memory; :meth:`basis_ensemble_distribution`
+        splits wider ensembles into column chunks that fit.
+    xp:
+        Array module override; defaults to :func:`array_module`.
+    """
+
+    def __init__(
+        self,
+        fuse: bool = True,
+        max_fuse_qubits: int = DEFAULT_MAX_FUSE_QUBITS,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+        xp=None,
+    ):
+        self.fuse = bool(fuse)
+        self.max_fuse_qubits = int(max_fuse_qubits)
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.xp = xp if xp is not None else array_module()
+
+    # -- planning -------------------------------------------------------------
+    def gate_plan(self, circuit: QuantumCircuit) -> Tuple[Gate, ...]:
+        """The gate sequence this executor will run (fused when enabled)."""
+        if self.fuse:
+            from repro.quantum.fusion import fuse_circuit
+
+            return fuse_circuit(circuit, max_fuse_qubits=self.max_fuse_qubits)
+        return circuit.gates
+
+    def max_batch(self, num_qubits: int) -> int:
+        """Widest batch whose ``(2^n, B)`` complex array fits the memory budget."""
+        bytes_per_state = (2**num_qubits) * 16  # complex128
+        return max(1, self.memory_budget_bytes // bytes_per_state)
+
+    # -- execution ------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, initial_states) -> np.ndarray:
+        """Evolve a ``(2^n, B)`` ensemble through ``circuit``; returns host array.
+
+        Measurement markers and barriers are skipped, exactly as in the
+        single-state simulator.  The caller sizes the batch; chunking to the
+        memory budget is the job of :meth:`basis_ensemble_distribution`.
+        """
+        n = circuit.num_qubits
+        xp = self.xp
+        states = xp.asarray(initial_states, dtype=complex)
+        if states.ndim == 1:
+            states = states.reshape(-1, 1)
+        if states.shape[0] != 2**n:
+            raise ValueError(
+                f"Ensemble has state dimension {states.shape[0]}, expected {2**n} for {n} qubits"
+            )
+        states = self._evolve(states, self._prepare(self.gate_plan(circuit)), n)
+        return to_host(states)
+
+    def _prepare(self, gates: Iterable[Gate]):
+        """Device-resident ``(matrix, qubits)`` pairs for a gate plan.
+
+        Conversion happens once per plan, not once per chunk — on the CuPy
+        seam each ``asarray`` is a host-to-device transfer, and re-uploading
+        the wide controlled powers for every ensemble chunk would waste
+        exactly the bandwidth the batch route is meant to save.
+        """
+        xp = self.xp
+        return [
+            (xp.asarray(gate.matrix, dtype=complex), gate.qubits)
+            for gate in gates
+            if not isinstance(gate, (Measurement, Barrier))
+        ]
+
+    def _evolve(self, states, prepared, num_qubits: int):
+        xp = self.xp
+        for matrix, qubits in prepared:
+            states = apply_gate_to_ensemble(states, matrix, qubits, num_qubits, xp=xp)
+        return states
+
+    def basis_ensemble_distribution(
+        self,
+        circuit: QuantumCircuit,
+        qubits: Sequence[int],
+        basis_states: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+        plan: Optional[Tuple[Gate, ...]] = None,
+    ) -> np.ndarray:
+        """Readout distribution on ``qubits`` for an ensemble of basis states.
+
+        Evolves the ensemble ``{|basis_states[b]>}`` through ``circuit`` and
+        returns the weighted average of each member's marginal probabilities
+        on ``qubits`` (uniform weights by default — the maximally mixed
+        ensemble).  The ensemble is processed in column chunks sized to the
+        memory budget, and the readout reduction happens on the ``(2^n, B)``
+        array directly (one reshape-and-sum per chunk), so no per-member
+        probability vector over the full register is ever materialised.
+        ``plan`` lets callers that already obtained :meth:`gate_plan` for
+        this circuit skip re-fingerprinting it.
+        """
+        n = circuit.num_qubits
+        dim = 2**n
+        basis = [int(b) for b in basis_states]
+        if not basis:
+            raise ValueError("basis_states must be non-empty")
+        for b in basis:
+            if not 0 <= b < dim:
+                raise ValueError(f"basis state {b} out of range for {n} qubits")
+        if weights is None:
+            w = np.full(len(basis), 1.0 / len(basis))
+        else:
+            w = np.asarray(list(weights), dtype=float)
+            if w.shape != (len(basis),):
+                raise ValueError("weights must match basis_states in length")
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+            total_weight = w.sum()
+            if total_weight <= 0:
+                # Caught here rather than as NaNs three layers downstream.
+                raise ValueError("weights must have a positive sum")
+            w = w / total_weight
+
+        xp = self.xp
+        prepared = self._prepare(plan if plan is not None else self.gate_plan(circuit))
+        chunk = self.max_batch(n)
+        total: Optional[np.ndarray] = None
+        for start in range(0, len(basis), chunk):
+            block = basis[start : start + chunk]
+            states = xp.zeros((dim, len(block)), dtype=complex)
+            for column, b in enumerate(block):
+                states[b, column] = 1.0
+            states = self._evolve(states, prepared, n)
+            partial = ensemble_marginal_probabilities(
+                states,
+                n,
+                qubits,
+                weights=xp.asarray(w[start : start + len(block)]),
+                normalize=False,
+                xp=xp,
+            )
+            partial = to_host(partial)
+            total = partial if total is None else total + partial
+        assert total is not None
+        return total / total.sum()

@@ -25,29 +25,91 @@ def born_probabilities(amplitudes: np.ndarray) -> np.ndarray:
     return probs / total
 
 
+def _marginal_axes(num_qubits: int, qubits: Sequence[int]) -> tuple:
+    """Validated ``(keep, drop, order)`` axis bookkeeping for marginalisation.
+
+    ``drop`` are the traced-out qubit axes; ``order`` permutes the surviving
+    axes (which a sum leaves in increasing qubit order) into the caller's
+    requested qubit order.
+    """
+    keep = [int(q) for q in qubits]
+    if len(set(keep)) != len(keep):
+        raise ValueError("qubits must be distinct")
+    for q in keep:
+        if not 0 <= q < num_qubits:
+            raise ValueError(f"qubit {q} out of range for {num_qubits} qubits")
+    drop = [q for q in range(num_qubits) if q not in keep]
+    remaining = sorted(keep)
+    order = [remaining.index(q) for q in keep]
+    return keep, drop, order
+
+
 def marginal_probabilities(probabilities: np.ndarray, num_qubits: int, qubits: Sequence[int]) -> np.ndarray:
     """Marginalise a full ``2^n`` distribution onto the sub-register ``qubits``.
 
     The output is indexed by the bitstring of ``qubits`` in the order given
-    (first listed qubit = most significant bit of the outcome index).
+    (first listed qubit = most significant bit of the outcome index).  The
+    reduction is a reshape-and-sum over the traced axes — no intermediate
+    per-outcome loops.
     """
     probs = np.asarray(probabilities, dtype=float).reshape([2] * num_qubits)
-    qubits = [int(q) for q in qubits]
-    if len(set(qubits)) != len(qubits):
-        raise ValueError("qubits must be distinct")
-    for q in qubits:
-        if not 0 <= q < num_qubits:
-            raise ValueError(f"qubit {q} out of range for {num_qubits} qubits")
-    keep = qubits
-    drop = [q for q in range(num_qubits) if q not in keep]
+    _, drop, order = _marginal_axes(num_qubits, qubits)
     if drop:
         probs = probs.sum(axis=tuple(drop))
-    # After the sum the remaining axes correspond to the kept qubits in
-    # increasing qubit order; permute them into the requested order.
-    remaining = sorted(keep)
-    order = [remaining.index(q) for q in keep]
     probs = np.transpose(probs, order)
     return np.ascontiguousarray(probs).reshape(-1)
+
+
+def ensemble_marginal_probabilities(
+    states: np.ndarray,
+    num_qubits: int,
+    qubits: Sequence[int],
+    weights: np.ndarray | None = None,
+    normalize: bool = True,
+    xp=np,
+) -> np.ndarray:
+    """Weighted-average marginal readout of a ``(2^n, B)`` ensemble of pure states.
+
+    Computes ``p(m) = Σ_b w_b · P_b(m)`` where ``P_b`` is member ``b``'s
+    marginal distribution on ``qubits``, in a single reshape-and-sum over the
+    traced qubit axes and the batch axis — no per-member full-register
+    probability vector is ever materialised, which is what makes the batched
+    (``ensemble``) circuit route's readout linear in ``2^n · B``.
+
+    Parameters
+    ----------
+    states:
+        ``(2^num_qubits, B)`` complex amplitude array (batch axis last).
+    num_qubits, qubits:
+        As in :func:`marginal_probabilities`.
+    weights:
+        Length-``B`` non-negative weights; uniform ``1/B`` when omitted.
+        Weights are applied as given (callers chunking a larger ensemble pass
+        sub-batches of an already-normalised weight vector).
+    normalize:
+        Rescale the result to sum to one (guards against floating-point
+        drift).  Chunked callers pass ``False`` and normalise the final sum.
+    xp:
+        Array module (NumPy default; CuPy via the engine seam).
+    """
+    batch = states.shape[-1]
+    keep, drop, order = _marginal_axes(num_qubits, qubits)
+    probs = (states.real**2 + states.imag**2).reshape([2] * num_qubits + [batch])
+    if weights is None:
+        weights = xp.full(batch, 1.0 / batch)
+    # Sum the traced qubit axes, then contract the batch axis with the
+    # weights; both reductions stay on the (reshaped) ensemble array.
+    if drop:
+        probs = probs.sum(axis=tuple(drop))
+    probs = xp.tensordot(probs, weights, axes=([len(keep)], [0]))
+    probs = xp.transpose(probs, order)
+    probs = xp.ascontiguousarray(probs).reshape(-1)
+    if normalize:
+        total = probs.sum()
+        if total <= 0:
+            raise ValueError("Ensemble has zero readout mass; cannot normalise")
+        probs = probs / total
+    return probs
 
 
 def sample_counts(

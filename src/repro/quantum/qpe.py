@@ -37,22 +37,91 @@ from repro.utils.validation import check_positive_integer
 # Circuit construction (Fig. 6)
 # ---------------------------------------------------------------------------
 
+
+@dataclass
+class SpectralUnitary:
+    """``U = exp(iH)`` held as one eigendecomposition of the Hermitian ``H``.
+
+    QPE needs all ``t`` controlled powers ``U^{2^j}`` of the same unitary.
+    Powering the dense matrix independently per precision qubit repeats
+    ``O(log 2^j)`` matrix products each time; in the eigenbasis every power
+    is diagonal, so a *single* decomposition yields each power as one phase
+    array plus two matrix products:
+
+        ``U^p = V · diag(e^{i p λ}) · V†``.
+
+    Build it with :meth:`from_hermitian` (one ``eigh`` of ``H`` — no ``expm``
+    at all) when the Hamiltonian is at hand, or :meth:`from_unitary` (one
+    Schur decomposition) from a dense unitary.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+
+    def __post_init__(self):
+        self.eigenvalues = np.asarray(self.eigenvalues, dtype=float).reshape(-1)
+        self.eigenvectors = np.asarray(self.eigenvectors, dtype=complex)
+        dim = self.eigenvalues.size
+        if self.eigenvectors.shape != (dim, dim):
+            raise ValueError(
+                f"eigenvectors shape {self.eigenvectors.shape} does not match "
+                f"{dim} eigenvalues"
+            )
+
+    @classmethod
+    def from_hermitian(cls, hamiltonian: np.ndarray) -> "SpectralUnitary":
+        """Spectral form of ``exp(iH)`` from one ``eigh`` of the Hermitian ``H``."""
+        eigenvalues, eigenvectors = np.linalg.eigh(np.asarray(hamiltonian, dtype=complex))
+        return cls(eigenvalues=eigenvalues, eigenvectors=eigenvectors)
+
+    @classmethod
+    def from_unitary(cls, unitary: np.ndarray) -> "SpectralUnitary":
+        """Spectral form of a dense unitary via one (complex) Schur decomposition.
+
+        Unitaries are normal, so the Schur factor is diagonal and its
+        diagonal's angles are the eigenphases (an effective Hermitian
+        generator with eigenvalues in ``(-π, π]``).
+        """
+        from scipy.linalg import schur
+
+        triangular, vectors = schur(np.asarray(unitary, dtype=complex), output="complex")
+        return cls(eigenvalues=np.angle(np.diag(triangular)), eigenvectors=vectors)
+
+    @property
+    def dim(self) -> int:
+        return self.eigenvalues.size
+
+    @property
+    def num_qubits(self) -> int:
+        q = int(np.log2(self.dim))
+        if 2**q != self.dim:
+            raise ValueError("dimension must be a power of two")
+        return q
+
+    def power(self, power: float) -> np.ndarray:
+        """Dense ``U^power`` reconstructed from the stored eigendecomposition."""
+        phases = np.exp(1j * float(power) * self.eigenvalues)
+        return (self.eigenvectors * phases) @ self.eigenvectors.conj().T
+
+
 def phase_estimation_circuit(
-    unitary: np.ndarray | QuantumCircuit,
+    unitary: np.ndarray | QuantumCircuit | SpectralUnitary,
     num_precision: int,
     num_system: Optional[int] = None,
     num_auxiliary: int = 0,
     name: str = "QPE",
+    power_synthesis: str = "chain",
 ) -> QuantumCircuit:
     """Build the QPE circuit.
 
     Parameters
     ----------
     unitary:
-        Either a dense ``2^q x 2^q`` unitary (controlled powers are exact
-        matrix powers) or a :class:`QuantumCircuit` implementing ``U`` on the
-        system register (each of its gates is individually controlled and the
-        power ``2^j`` is realised by repetition — the faithful
+        One of: a dense ``2^q x 2^q`` unitary (controlled powers are exact
+        matrix powers), a :class:`SpectralUnitary` (all powers share its one
+        eigendecomposition), or a :class:`QuantumCircuit` implementing ``U``
+        on the system register (each of its gates is individually controlled
+        and the power ``2^j`` is realised by repetition — the faithful
         "implementation perspective" of the paper).
     num_precision:
         Number of precision (phase-readout) qubits ``t``.
@@ -64,6 +133,14 @@ def phase_estimation_circuit(
         untouched by QPE itself.
     name:
         Circuit name.
+    power_synthesis:
+        How the ``t`` controlled powers of a *dense* unitary are computed:
+        ``"chain"`` (default) keeps the historical independent
+        repeated-squaring per precision qubit — bit-identical to every
+        pre-engine release — while ``"spectral"`` performs one Schur
+        decomposition and raises the eigenphases to ``2^j``
+        (:class:`SpectralUnitary`).  Ignored for circuit-valued and
+        already-spectral unitaries.
 
     Returns
     -------
@@ -72,19 +149,32 @@ def phase_estimation_circuit(
         a measurement marker on the precision register.
     """
     t = check_positive_integer(num_precision, "num_precision")
+    if power_synthesis not in ("chain", "spectral"):
+        raise ValueError(
+            f"power_synthesis must be 'chain' or 'spectral', got {power_synthesis!r}"
+        )
+    unitary_circuit: Optional[QuantumCircuit] = None
+    unitary_matrix: Optional[np.ndarray] = None
+    spectral: Optional[SpectralUnitary] = None
     if isinstance(unitary, QuantumCircuit):
         q = unitary.num_qubits if num_system is None else int(num_system)
         if q != unitary.num_qubits:
             raise ValueError("num_system does not match the unitary circuit size")
-        unitary_circuit: Optional[QuantumCircuit] = unitary
-        unitary_matrix: Optional[np.ndarray] = None
+        unitary_circuit = unitary
+    elif isinstance(unitary, SpectralUnitary):
+        q = unitary.num_qubits if num_system is None else int(num_system)
+        if 2**q != unitary.dim:
+            raise ValueError("num_system does not match the spectral unitary's dimension")
+        spectral = unitary
     else:
         mat = np.asarray(unitary, dtype=complex)
         q = int(np.log2(mat.shape[0])) if num_system is None else int(num_system)
         if mat.shape != (2**q, 2**q):
             raise ValueError(f"unitary shape {mat.shape} does not match {q} system qubits")
-        unitary_circuit = None
-        unitary_matrix = mat
+        if power_synthesis == "spectral":
+            spectral = SpectralUnitary.from_unitary(mat)
+        else:
+            unitary_matrix = mat
 
     total = t + q + int(num_auxiliary)
     circ = QuantumCircuit(total, name=name)
@@ -100,7 +190,10 @@ def phase_estimation_circuit(
     #    qubit 0 (MSB of the readout) carries the highest power.
     for j, control in enumerate(precision_qubits):
         power = 2 ** (t - 1 - j)
-        if unitary_matrix is not None:
+        if spectral is not None:
+            powered = spectral.power(power)
+            circ.controlled_unitary(powered, [control], system_qubits, name=f"c-U^{power}")
+        elif unitary_matrix is not None:
             powered = matrix_power_unitary(unitary_matrix, power)
             circ.controlled_unitary(powered, [control], system_qubits, name=f"c-U^{power}")
         else:

@@ -97,6 +97,12 @@ class Statevector:
 def apply_gate_to_statevector(state: np.ndarray, gate_matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
     """Apply a ``k``-qubit gate to a flat statevector and return a new flat array.
 
+    This is the batch-1 specialisation of :func:`repro.quantum.engine.
+    apply_gate_to_ensemble` — the state is viewed as a ``(2^n, 1)`` ensemble
+    and pushed through the same contraction kernel (bit-identical: the
+    trailing batch axis of length 1 changes neither operand layout nor
+    summation order).
+
     Parameters
     ----------
     state:
@@ -108,24 +114,40 @@ def apply_gate_to_statevector(state: np.ndarray, gate_matrix: np.ndarray, qubits
     num_qubits:
         Register size.
     """
-    qubits = [int(q) for q in qubits]
-    k = len(qubits)
-    psi = np.asarray(state, dtype=complex).reshape([2] * num_qubits)
-    gate = np.asarray(gate_matrix, dtype=complex).reshape([2] * (2 * k))
-    # Contract the gate's column indices (last k axes) with the state's target axes.
-    psi = np.tensordot(gate, psi, axes=(list(range(k, 2 * k)), qubits))
-    # tensordot moves the contracted axes to the front (in gate row order);
-    # put them back where the target qubits live.
-    psi = np.moveaxis(psi, list(range(k)), qubits)
-    return np.ascontiguousarray(psi).reshape(-1)
+    from repro.quantum.engine import apply_gate_to_ensemble
+
+    psi = np.asarray(state, dtype=complex).reshape(-1, 1)
+    gate = np.asarray(gate_matrix, dtype=complex)
+    return apply_gate_to_ensemble(psi, gate, qubits, num_qubits).reshape(-1)
 
 
 class StatevectorSimulator:
-    """Executes :class:`QuantumCircuit` objects on dense statevectors."""
+    """Executes :class:`QuantumCircuit` objects on dense statevectors.
 
-    def __init__(self, validate_unitaries: bool = False, atol: float = 1e-8):
+    Parameters
+    ----------
+    validate_unitaries, atol:
+        Optionally check every gate matrix is unitary before applying it.
+    fuse:
+        Run circuits through the gate-fusion pass
+        (:func:`repro.quantum.fusion.fuse_circuit`) before execution.  Off by
+        default: fusion changes floating-point association, and this
+        simulator backs the bit-identity-pinned legacy circuit routes.
+    max_fuse_qubits:
+        Fusion window when ``fuse`` is enabled.
+    """
+
+    def __init__(
+        self,
+        validate_unitaries: bool = False,
+        atol: float = 1e-8,
+        fuse: bool = False,
+        max_fuse_qubits: int = 3,
+    ):
         self.validate_unitaries = bool(validate_unitaries)
         self.atol = float(atol)
+        self.fuse = bool(fuse)
+        self.max_fuse_qubits = int(max_fuse_qubits)
 
     def run(
         self,
@@ -147,7 +169,15 @@ class StatevectorSimulator:
                     f"Initial state has dimension {init.size}, expected {2**n} for {n} qubits"
                 )
             psi = init.reshape(-1).astype(complex)
-        for op in circuit.instructions:
+        if self.fuse:
+            from repro.quantum.fusion import fuse_circuit
+
+            instructions: Sequence[object] = fuse_circuit(
+                circuit, max_fuse_qubits=self.max_fuse_qubits
+            )
+        else:
+            instructions = circuit.instructions
+        for op in instructions:
             if isinstance(op, Gate):
                 if self.validate_unitaries:
                     op.validate_unitary(atol=self.atol)

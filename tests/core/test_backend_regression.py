@@ -30,6 +30,11 @@ _CASES = {
 #: (backend, shots, case) -> (betti_estimate, p_zero, betti_rounded, q, lambda_max)
 #: captured at commit 93335dd with precision_qubits=3, delta=6.0,
 #: trotter_steps=4, seed=11, use_purification=False for circuit backends.
+#: Since the ensemble execution engine became the default noise-free route,
+#: circuit backends pin the legacy route explicitly via
+#: ``circuit_engine="density"`` (same route those numbers were captured on);
+#: the ensemble route is pinned separately, to 1e-10 agreement, in
+#: tests/core/test_circuit_engine.py.
 _PINNED = {
     ("exact", None, "appendix"): (1.0979011690891878, 0.13723764613614847, 1, 3, 6.0),
     ("exact", None, "square_tail"): (1.0714667568731957, 0.13393334460914946, 1, 3, 5.0),
@@ -61,7 +66,9 @@ def test_backends_bit_identical_to_pre_registry_estimator(backend, shots, case):
     expected_estimate, expected_p_zero, expected_rounded, expected_q, expected_lam = _PINNED[
         (backend, shots, case)
     ]
-    kwargs = {"use_purification": False} if backend != "exact" else {}
+    kwargs = (
+        {"use_purification": False, "circuit_engine": "density"} if backend != "exact" else {}
+    )
     estimate = QTDABettiEstimator(
         precision_qubits=3,
         shots=shots,
@@ -80,7 +87,12 @@ def test_backends_bit_identical_to_pre_registry_estimator(backend, shots, case):
 
 def test_purified_statevector_bit_identical():
     estimate = QTDABettiEstimator(
-        precision_qubits=3, shots=None, backend="statevector", delta=6.0, use_purification=True
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        delta=6.0,
+        use_purification=True,
+        circuit_engine="purified",
     ).estimate(appendix_complex(), 1)
     expected_estimate, expected_p_zero, expected_rounded = _PINNED_PURIFIED
     assert estimate.betti_estimate == expected_estimate
@@ -156,7 +168,11 @@ def test_noisy_density_zero_strength_matches_statevector():
     """Acceptance gate: noisy-density at strength 0 equals the statevector
     density route (same circuit, same simulator, identity channel)."""
     sv = QTDABettiEstimator(
-        precision_qubits=3, shots=None, backend="statevector", delta=6.0, use_purification=False
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        delta=6.0,
+        circuit_engine="density",
     ).estimate(appendix_complex(), 1)
     noisy = QTDABettiEstimator(
         precision_qubits=3, shots=None, backend="noisy-density", delta=6.0

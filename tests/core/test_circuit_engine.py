@@ -1,0 +1,182 @@
+"""Regression and routing tests for the batched (``ensemble``) circuit route.
+
+The legacy ``purified``/``density`` routes stay bit-identity-pinned in
+``test_backend_regression.py``; here the new route is pinned to agree with
+the density-matrix evolution of ``|0><0| ⊗ I/2^q`` within 1e-10 on the
+reference complexes, and the ``circuit_engine`` knob's resolution rules are
+locked down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backends.statevector import resolve_circuit_route
+from repro.core.config import QTDAConfig
+from repro.core.estimator import QTDABettiEstimator
+from repro.experiments.worked_example import appendix_complex
+from repro.quantum.noise import NoiseModel
+from repro.tda.complexes import SimplicialComplex
+
+
+def _square_tail() -> SimplicialComplex:
+    return SimplicialComplex(
+        [(0,), (1,), (2,), (3,), (4,), (0, 1), (1, 2), (2, 3), (0, 3), (3, 4)]
+    )
+
+
+_REFERENCE = {
+    "appendix": (appendix_complex, 1),
+    "square_tail": (_square_tail, 1),
+    "square_tail_b0": (_square_tail, 0),
+}
+
+
+def _estimate(backend, case, circuit_engine, **overrides):
+    make, k = _REFERENCE[case]
+    kwargs = {
+        "precision_qubits": 3,
+        "shots": None,
+        "backend": backend,
+        "delta": 6.0,
+        "trotter_steps": 4,
+        "circuit_engine": circuit_engine,
+    }
+    kwargs.update(overrides)
+    return QTDABettiEstimator(**kwargs).estimate(make(), k)
+
+
+# ---------------------------------------------------------------------------
+# Numerical agreement: ensemble vs the density-matrix reference
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["statevector", "trotter"])
+@pytest.mark.parametrize("case", sorted(_REFERENCE))
+def test_ensemble_route_matches_density_route_to_1e10(backend, case):
+    """The PR's acceptance pin: same circuit semantics, 1e-10 agreement."""
+    ensemble = _estimate(backend, case, "ensemble")
+    density = _estimate(backend, case, "density")
+    assert ensemble.engine_route == "ensemble"
+    assert density.engine_route == "density"
+    assert ensemble.p_zero == pytest.approx(density.p_zero, abs=1e-10)
+    assert ensemble.betti_estimate == pytest.approx(density.betti_estimate, abs=1e-10)
+    assert ensemble.betti_rounded == density.betti_rounded
+    assert ensemble.num_system_qubits == density.num_system_qubits
+    assert ensemble.lambda_max == density.lambda_max
+
+
+def test_ensemble_route_matches_purified_route(case="appendix"):
+    ensemble = _estimate("statevector", case, "ensemble")
+    purified = _estimate("statevector", case, "purified")
+    assert purified.engine_route == "purified"
+    assert ensemble.p_zero == pytest.approx(purified.p_zero, abs=1e-10)
+
+
+def test_ensemble_is_the_default_noise_free_route():
+    estimate = _estimate("statevector", "appendix", "auto")
+    assert estimate.engine_route == "ensemble"
+    assert estimate.fused_gates is not None and estimate.fused_gates > 0
+    # The fused plan is shorter than the raw gate list (the inverse QFT run
+    # and the Hadamard layer fuse; the wide controlled powers pass through).
+    density = _estimate("statevector", "appendix", "density")
+    assert density.fused_gates is None
+
+
+def test_ensemble_shots_are_sampled_from_the_same_distribution():
+    """Finite-shot behaviour is the estimator's job and is seeded identically
+    across routes; with distributions equal to 1e-10 the sampled counts of
+    the two routes coincide for a fixed seed."""
+    a = _estimate("statevector", "appendix", "ensemble", shots=2000, seed=11)
+    b = _estimate("statevector", "appendix", "density", shots=2000, seed=11)
+    assert a.counts == b.counts
+    assert a.p_zero == b.p_zero
+
+
+# ---------------------------------------------------------------------------
+# Route resolution and validation
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_circuit_route_table():
+    noiseless = QTDAConfig(backend="statevector")
+    assert resolve_circuit_route(noiseless, None) == "ensemble"
+    for engine in ("ensemble", "purified", "density"):
+        config = QTDAConfig(backend="statevector", circuit_engine=engine)
+        assert resolve_circuit_route(config, None) == engine
+    noise = NoiseModel.depolarizing(0.01)
+    assert resolve_circuit_route(noiseless, noise) == "density"
+    density = QTDAConfig(backend="statevector", circuit_engine="density")
+    assert resolve_circuit_route(density, noise) == "density"
+
+
+def test_pure_state_engines_reject_noise():
+    for engine in ("ensemble", "purified"):
+        config = QTDAConfig(backend="statevector", circuit_engine=engine)
+        with pytest.raises(ValueError, match="noise"):
+            resolve_circuit_route(config, NoiseModel.depolarizing(0.01))
+        with pytest.raises(ValueError, match="noise"):
+            QTDAConfig(
+                backend="noisy-density",
+                circuit_engine=engine,
+                noise_channel="depolarizing",
+                noise_strength=0.01,
+            )
+
+
+def test_config_validates_circuit_engine():
+    with pytest.raises(ValueError, match="circuit_engine"):
+        QTDAConfig(circuit_engine="warp")
+    config = QTDAConfig(circuit_engine="ensemble")
+    assert QTDAConfig.from_dict(config.as_dict()).circuit_engine == "ensemble"
+
+
+def test_noisy_density_backend_rejects_pure_state_engines():
+    """Even channel-less (where config validation cannot catch it), an
+    explicit pure-state engine must raise, not silently run density."""
+    for engine in ("ensemble", "purified"):
+        estimator = QTDABettiEstimator(
+            precision_qubits=3, shots=None, backend="noisy-density", circuit_engine=engine
+        )
+        with pytest.raises(ValueError, match="density-matrix route"):
+            estimator.estimate(appendix_complex(), 1)
+
+
+def test_noisy_density_backend_still_routes_density():
+    estimate = QTDABettiEstimator(
+        precision_qubits=3,
+        shots=None,
+        backend="noisy-density",
+        delta=6.0,
+        noise_channel="depolarizing",
+        noise_strength=0.02,
+    ).estimate(appendix_complex(), 1)
+    assert estimate.engine_route == "density"
+
+
+# ---------------------------------------------------------------------------
+# Service provenance
+# ---------------------------------------------------------------------------
+
+
+def test_service_provenance_records_engine_route_and_fusion():
+    import json
+
+    from repro.api import EstimationRequest, EstimationResult, QTDAService
+    from repro.experiments.worked_example import APPENDIX_SIMPLICES
+
+    with QTDAService(max_workers=1) as service:
+        result = service.run(
+            EstimationRequest(
+                simplices=APPENDIX_SIMPLICES,
+                k=1,
+                config=QTDAConfig(
+                    precision_qubits=3, shots=None, delta=6.0, backend="statevector"
+                ),
+            )
+        )
+    assert result.provenance.engine_route == "ensemble"
+    assert result.provenance.fused_gates == result.payload["fused_gates"]
+    assert result.payload["engine_route"] == "ensemble"
+    document = json.loads(result.to_json())
+    EstimationResult.validate_dict(document)
+    assert document["provenance"]["engine_route"] == "ensemble"

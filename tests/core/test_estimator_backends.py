@@ -28,14 +28,23 @@ def _estimate(complex_, backend, **kwargs):
 
 def test_exact_equals_statevector_purified(small_complex):
     exact = _estimate(small_complex, "exact")
-    statevector = _estimate(small_complex, "statevector", use_purification=True)
+    statevector = _estimate(small_complex, "statevector", circuit_engine="purified")
+    assert statevector.engine_route == "purified"
     assert statevector.p_zero == pytest.approx(exact.p_zero, abs=1e-9)
 
 
 def test_exact_equals_statevector_density_route(small_complex):
     exact = _estimate(small_complex, "exact")
-    density = _estimate(small_complex, "statevector", use_purification=False)
+    density = _estimate(small_complex, "statevector", circuit_engine="density")
+    assert density.engine_route == "density"
     assert density.p_zero == pytest.approx(exact.p_zero, abs=1e-9)
+
+
+def test_exact_equals_statevector_ensemble_route(small_complex):
+    exact = _estimate(small_complex, "exact")
+    ensemble = _estimate(small_complex, "statevector")  # circuit_engine="auto"
+    assert ensemble.engine_route == "ensemble"
+    assert ensemble.p_zero == pytest.approx(exact.p_zero, abs=1e-9)
 
 
 def test_trotter_converges_to_exact(small_complex):
