@@ -2,9 +2,14 @@
 
 The paper's conclusion asks how the algorithm behaves on noisy (NISQ)
 devices.  This benchmark sweeps the per-gate depolarising probability on the
-full QTDA circuit (density-matrix simulation) for the Appendix A complex and
-reports how p(0) and the Betti estimate drift.  The expected shape: the
-estimate degrades smoothly towards the fully-mixed value as noise grows.
+full QTDA circuit for the Appendix A complex and reports how p(0) and the
+Betti estimate drift.  The expected shape: the estimate degrades smoothly
+towards the fully-mixed value as noise grows.
+
+The noisy rows run on the ``trajectory`` route (the ``auto`` resolution for
+declarative noise since DESIGN.md §12) — stochastic Kraus unravelling whose
+repetition spread is reported as the ± column; the noiseless row stays on
+the ``ensemble`` route.
 """
 
 from __future__ import annotations
@@ -16,11 +21,15 @@ from repro.experiments.worked_example import appendix_complex
 from repro.quantum.noise import NoiseModel
 from repro.utils.ascii_plots import render_table
 
+SEED = 17
+N_TRAJECTORIES = 32
+
 
 def _run_noise_sweep(strengths=(0.0, 0.002, 0.01, 0.05)):
     complex_ = appendix_complex()
     rows = []
     estimates = []
+    routes = []
     for p in strengths:
         noise = None if p == 0.0 else NoiseModel.depolarizing(p)
         estimator = QTDABettiEstimator(
@@ -30,25 +39,41 @@ def _run_noise_sweep(strengths=(0.0, 0.002, 0.01, 0.05)):
             delta=6.0,
             use_purification=False,
             noise_model=noise,
+            n_trajectories=N_TRAJECTORIES,
+            seed=SEED,
         )
         estimate = estimator.estimate(complex_, 1)
-        rows.append([p, f"{estimate.p_zero:.4f}", f"{estimate.betti_estimate:.3f}", estimate.betti_rounded])
+        spread = f"±{estimate.betti_std:.3f}" if estimate.betti_std is not None else "—"
+        rows.append(
+            [
+                p,
+                f"{estimate.p_zero:.4f}",
+                f"{estimate.betti_estimate:.3f}",
+                spread,
+                estimate.betti_rounded,
+                estimate.engine_route,
+            ]
+        )
         estimates.append(estimate.betti_estimate)
-    return rows, estimates
+        routes.append(estimate.engine_route)
+    return rows, estimates, routes
 
 
 @pytest.mark.benchmark(group="ablation-noise")
 def test_bench_ablation_depolarising_noise(benchmark):
-    rows, estimates = benchmark.pedantic(_run_noise_sweep, rounds=1, iterations=1)
+    rows, estimates, routes = benchmark.pedantic(_run_noise_sweep, rounds=1, iterations=1)
     print()
     print(
         render_table(
-            ["depolarising p", "p(0)", "beta_1 estimate", "rounded"],
+            ["depolarising p", "p(0)", "beta_1 estimate", "spread", "rounded", "route"],
             rows,
             title="Ablation A3 — per-gate depolarising noise on the QTDA circuit (Appendix A complex)",
         )
     )
-    # Noiseless run recovers the Appendix A answer.
-    assert rows[0][-1] == 1
+    # Noiseless run recovers the Appendix A answer on the ensemble route.
+    assert rows[0][-2] == 1
+    assert routes[0] == "ensemble"
+    # Every noisy row resolves to the trajectory route.
+    assert all(route == "trajectory" for route in routes[1:])
     # Noise changes the estimate but small noise keeps it near the true value.
     assert abs(estimates[1] - estimates[0]) < 0.5

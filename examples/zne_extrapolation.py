@@ -1,0 +1,50 @@
+"""Zero-noise extrapolation on the trajectory route.
+
+The trajectory engine (``circuit_engine="trajectory"``, the automatic route
+for noisy runs) makes a noise-strength *sweep* affordable — and a sweep is
+exactly what zero-noise extrapolation needs: estimate β̃_k at several
+multiples of the base noise strength, Richardson-fit p(0) against strength,
+and read off the fit at strength zero.  On the paper's appendix complex the
+extrapolated Betti number recovers the noiseless answer from runs that are
+individually biased by depolarising noise.
+
+Run with:  python examples/zne_extrapolation.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import QTDABettiEstimator, QTDAConfig, zero_noise_extrapolation
+from repro.experiments.worked_example import appendix_complex
+
+complex_ = appendix_complex()
+
+config = QTDAConfig(
+    precision_qubits=3,
+    shots=None,
+    delta=6.0,
+    backend="statevector",
+    noise_channel="depolarizing",
+    noise_strength=0.01,
+    n_trajectories=32,
+    seed=11,
+)
+
+print("== noiseless reference ==")
+clean = QTDABettiEstimator(
+    QTDAConfig(precision_qubits=3, shots=None, delta=6.0, backend="statevector")
+).estimate(complex_, 1)
+print(f"  beta_1 = {clean.betti_estimate:.6f}  (route: {clean.engine_route})")
+
+print("\n== noisy sweep + Richardson extrapolation ==")
+result = zero_noise_extrapolation(complex_, 1, config, scale_factors=(1.0, 2.0, 3.0))
+for s, b, route in zip(
+    result.strengths, result.betti_estimates, [e.engine_route for e in result.estimates]
+):
+    print(f"  strength {s:.3f}: beta_1 = {b:.6f}  (route: {route})")
+print(f"  extrapolated to zero noise: beta_1 = {result.betti_extrapolated:.6f}")
+print(f"  rounded: {result.betti_rounded}  (exact: {clean.exact_betti})")
+
+print("\n== JSON summary ==")
+print(json.dumps(result.as_dict(), indent=2))

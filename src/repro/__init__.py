@@ -65,6 +65,9 @@ _LAZY_EXPORTS = {
         "QTDAConfig",
         "BatchConfig",
         "BatchFeatureEngine",
+        "ZNEResult",
+        "richardson_extrapolate",
+        "zero_noise_extrapolation",
     ),
     "repro.api": (
         "EstimationRequest",

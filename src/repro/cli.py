@@ -16,7 +16,8 @@ Every subcommand prints the same report the corresponding benchmark prints;
 ``--paper-scale`` switches to the full grids described in EXPERIMENTS.md.
 The estimation subcommands accept ``--backend`` (any name from the
 :mod:`repro.core.backends` registry) and, for the noisy workload,
-``--noise-channel`` / ``--noise-strength``.
+``--noise-channel`` / ``--noise-strength`` plus the trajectory-route knobs
+``--circuit-engine`` / ``--n-trajectories`` / ``--readout-error``.
 
 The experiment subcommands are executed through the service API
 (:mod:`repro.core.api`): each run is an :class:`~repro.core.api.
@@ -61,6 +62,27 @@ def _add_noise_options(parser) -> None:
         type=float,
         default=0.0,
         help="per-gate error probability of the noise channel",
+    )
+    parser.add_argument(
+        "--circuit-engine",
+        choices=("auto", "ensemble", "trajectory", "purified", "density"),
+        default="auto",
+        help=(
+            "circuit execution route for the statevector/noisy backends "
+            "('auto' picks ensemble when noise-free, trajectory when noisy)"
+        ),
+    )
+    parser.add_argument(
+        "--n-trajectories",
+        type=int,
+        default=8,
+        help="stochastic Kraus-unravelling repetitions on the trajectory route",
+    )
+    parser.add_argument(
+        "--readout-error",
+        type=float,
+        default=0.0,
+        help="per-bit readout flip probability applied to measured marginals",
     )
 
 
@@ -236,6 +258,9 @@ def _run_table1(args) -> str:
         "backend": args.backend,
         "noise_channel": args.noise_channel,
         "noise_strength": args.noise_strength,
+        "circuit_engine": args.circuit_engine,
+        "n_trajectories": args.n_trajectories,
+        "readout_error": args.readout_error,
     }
     if args.paper_scale:
         params["paper_scale"] = True
@@ -274,6 +299,9 @@ def _run_appendix(args) -> str:
         "include_drawing": args.draw,
         "noise_channel": args.noise_channel,
         "noise_strength": args.noise_strength,
+        "circuit_engine": args.circuit_engine,
+        "n_trajectories": args.n_trajectories,
+        "readout_error": args.readout_error,
     }
     return _run_experiment("appendix", params, args.json)
 
@@ -291,6 +319,9 @@ def _run_timeseries(args) -> str:
         "backend": args.backend,
         "noise_channel": args.noise_channel,
         "noise_strength": args.noise_strength,
+        "circuit_engine": args.circuit_engine,
+        "n_trajectories": args.n_trajectories,
+        "readout_error": args.readout_error,
     }
     return _run_experiment("timeseries", params, args.json)
 

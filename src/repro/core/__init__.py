@@ -60,6 +60,7 @@ from repro.core.hamiltonian import (
 from repro.core.mixed_state import maximally_mixed_state_circuit, mixed_state_purification_qubits
 from repro.core.qtda_circuit import qtda_circuit, QTDACircuitSpec
 from repro.core.estimator import BettiEstimate, QTDABettiEstimator
+from repro.core.zne import ZNEResult, richardson_extrapolate, zero_noise_extrapolation
 from repro.core.pipeline import PipelineConfig, QTDAPipeline, betti_feature_vector
 from repro.core.batch import BatchConfig, BatchFeatureEngine
 from repro.core.api import (
@@ -109,6 +110,9 @@ __all__ = [
     "QTDACircuitSpec",
     "BettiEstimate",
     "QTDABettiEstimator",
+    "ZNEResult",
+    "richardson_extrapolate",
+    "zero_noise_extrapolation",
     "PipelineConfig",
     "QTDAPipeline",
     "betti_feature_vector",

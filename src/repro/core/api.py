@@ -56,10 +56,14 @@ from repro.utils.validation import check_integer
 #: Version of the request/result wire format.  Bump on any incompatible
 #: change to the dictionaries emitted by ``as_dict`` (consumers validate it
 #: through :meth:`EstimationResult.validate_dict`).
-#: History: 2 — provenance gained required ``engine_route``/``fused_gates``
-#: fields and ``QTDAConfig`` gained ``circuit_engine`` (request fingerprints
-#: changed); 1 — initial service wire format.
-SCHEMA_VERSION = 2
+#: History: 3 — provenance gained required ``n_trajectories``/``noise_spec``
+#: fields and ``QTDAConfig`` gained the :class:`repro.quantum.channels.
+#: NoiseSpec` fields plus ``n_trajectories``/``fuse_purified`` (request
+#: fingerprints changed); 2 — provenance gained required
+#: ``engine_route``/``fused_gates`` fields and ``QTDAConfig`` gained
+#: ``circuit_engine`` (request fingerprints changed); 1 — initial service
+#: wire format.
+SCHEMA_VERSION = 3
 
 #: The request kinds the service understands, in dispatch order.
 REQUEST_KINDS = ("estimate", "pipeline", "sweep", "experiment")
@@ -564,8 +568,11 @@ class Provenance:
     best-effort attribution (the counters are shared), while totals remain
     exact through :attr:`QTDAService.stats`.  ``engine_route``/``fused_gates``
     record, for single-estimate requests on circuit backends, the concrete
-    circuit-execution route taken (``ensemble``/``purified``/``density``,
-    DESIGN.md §11) and the ensemble engine's post-fusion gate count.
+    circuit-execution route taken (``ensemble``/``trajectory``/``purified``/
+    ``density``, DESIGN.md §11–12) and the ensemble engine's post-fusion gate
+    count; ``n_trajectories``/``noise_spec`` record the trajectory-route
+    repetition count and the resolved noise description the run executed
+    under (``None`` for noiseless runs).
     """
 
     request_kind: str
@@ -580,6 +587,8 @@ class Provenance:
     result_cache_hit: bool = False
     engine_route: Optional[str] = None
     fused_gates: Optional[int] = None
+    n_trajectories: Optional[int] = None
+    noise_spec: Optional[Dict[str, Any]] = None
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, Any]:
@@ -597,6 +606,8 @@ class Provenance:
             "result_cache_hit": self.result_cache_hit,
             "engine_route": self.engine_route,
             "fused_gates": self.fused_gates,
+            "n_trajectories": self.n_trajectories,
+            "noise_spec": self.noise_spec,
         }
 
 
@@ -615,6 +626,8 @@ _PROVENANCE_FIELDS = (
     "result_cache_hit",
     "engine_route",
     "fused_gates",
+    "n_trajectories",
+    "noise_spec",
 )
 
 
@@ -743,7 +756,15 @@ def _run_table1(params: Dict[str, Any]) -> Tuple[Dict[str, Any], str, Optional[i
         # Everything else stays at the paper-scale defaults (which ARE the
         # dataclass defaults for table1); reject typo'd overrides instead of
         # silently ignoring them.
-        allowed = {"batch", "backend", "noise_channel", "noise_strength"}
+        allowed = {
+            "batch",
+            "backend",
+            "noise_channel",
+            "noise_strength",
+            "circuit_engine",
+            "n_trajectories",
+            "readout_error",
+        }
         unknown = set(params) - allowed
         if unknown:
             raise TypeError(
@@ -942,7 +963,17 @@ class QTDAService:
                 return cached
         hits0, misses0 = self._cache_counters()
         start = time.perf_counter()
-        payload, backend_name, operator_format, seed, betti_std, engine_route, fused_gates = self._execute(request)
+        (
+            payload,
+            backend_name,
+            operator_format,
+            seed,
+            betti_std,
+            engine_route,
+            fused_gates,
+            n_trajectories,
+            noise_spec,
+        ) = self._execute(request)
         wall = time.perf_counter() - start
         hits1, misses1 = self._cache_counters()
         provenance = Provenance(
@@ -957,6 +988,8 @@ class QTDAService:
             betti_std=betti_std,
             engine_route=engine_route,
             fused_gates=fused_gates,
+            n_trajectories=n_trajectories,
+            noise_spec=noise_spec,
         )
         result = EstimationResult(request=request, payload=payload, provenance=provenance)
         if fingerprint is not None:
@@ -1130,7 +1163,17 @@ class QTDAService:
 
     def _execute(
         self, request: Request
-    ) -> Tuple[Dict[str, Any], str, str, Optional[int], Optional[float], Optional[str], Optional[int]]:
+    ) -> Tuple[
+        Dict[str, Any],
+        str,
+        str,
+        Optional[int],
+        Optional[float],
+        Optional[str],
+        Optional[int],
+        Optional[int],
+        Optional[Dict[str, Any]],
+    ]:
         """Dispatch to the legacy execution paths; returns payload + provenance bits."""
         if isinstance(request, EstimationRequest):
             estimator = QTDABettiEstimator(request.config, spectrum_cache=self.spectrum_cache)
@@ -1145,6 +1188,8 @@ class QTDAService:
                 estimate.betti_std,
                 estimate.engine_route,
                 estimate.fused_gates,
+                estimate.n_trajectories,
+                estimate.noise_spec,
             )
         if isinstance(request, PipelineRequest):
             engine = self._engine(request)
@@ -1180,6 +1225,8 @@ class QTDAService:
                 None,
                 None,
                 None,
+                None,
+                None,
             )
         if isinstance(request, SweepRequest):
             engine = self._engine(request)
@@ -1198,6 +1245,8 @@ class QTDAService:
                 None,
                 None,
                 None,
+                None,
+                None,
             )
         # ExperimentRequest
         runner = _EXPERIMENT_RUNNERS[request.experiment]
@@ -1206,7 +1255,7 @@ class QTDAService:
             operator_format = preferred_format(get_backend(backend_name))
         except ValueError:
             operator_format = "dense"
-        return payload, backend_name, operator_format, seed, None, None, None
+        return payload, backend_name, operator_format, seed, None, None, None, None, None
 
 
 def describe_backends() -> List[Dict[str, Any]]:

@@ -111,13 +111,21 @@ class BackendResult:
         :attr:`BettiEstimate.betti_std`.
     engine_route:
         For circuit backends, the concrete execution route taken
-        (``"ensemble"``, ``"purified"`` or ``"density"`` — see
-        ``QTDAConfig.circuit_engine`` and DESIGN.md §11); ``None`` for
+        (``"ensemble"``, ``"trajectory"``, ``"purified"`` or ``"density"`` —
+        see ``QTDAConfig.circuit_engine`` and DESIGN.md §11–12); ``None`` for
         non-circuit backends.  Surfaced through
         :attr:`BettiEstimate.engine_route` into service provenance.
     fused_gates:
         Number of gates actually executed after the fusion pass (``ensemble``
         route only); ``None`` when no fusion ran.
+    n_trajectories:
+        Number of stochastic Kraus-trajectory repetitions run (``trajectory``
+        route only); ``None`` otherwise.
+    noise_spec:
+        JSON-safe dictionary view of the resolved
+        :class:`repro.quantum.channels.NoiseSpec` the run was executed under
+        (circuit backends with any declarative noise configured); ``None``
+        for noiseless runs and non-circuit backends.
     """
 
     distribution: np.ndarray
@@ -126,6 +134,8 @@ class BackendResult:
     p_zero_std: "float | None" = None
     engine_route: "str | None" = None
     fused_gates: "int | None" = None
+    n_trajectories: "int | None" = None
+    noise_spec: "dict | None" = None
 
 
 @runtime_checkable

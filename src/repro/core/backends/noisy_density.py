@@ -9,7 +9,12 @@ from :class:`QTDAConfig`:
 
 * ``noise_channel`` — ``"depolarizing"``, ``"bit-flip"``, ``"phase-flip"``
   or ``"amplitude-damping"`` (see :data:`repro.quantum.noise.NOISE_CHANNELS`);
-* ``noise_strength`` — the channel's error probability per gate per qubit.
+* ``noise_strength`` — the channel's error probability per gate per qubit;
+* the extended :class:`repro.quantum.channels.NoiseSpec` fields
+  (``noise_gate_strengths``, ``noise_two_qubit_channel``/``..._strength``,
+  ``readout_error``) — resolved through the shared channel layer, so the
+  exact density contraction and the ``trajectory`` route place noise
+  identically.
 
 The mixed input state ``I/2^q`` is prepared directly on the density matrix
 (no purification — the auxiliary register would only add noisy gates without
@@ -52,7 +57,7 @@ class NoisyDensityBackend:
             # zero-strength depolarising channel is the identity map).
             noise = NoiseModel.depolarizing(0.0)
         return circuit_backend_result(
-            problem, config, synthesis="exact", noise_model=noise, use_purification=False
+            problem, config, synthesis="exact", noise_model=noise, use_purification=False, rng=rng
         )
 
 

@@ -13,12 +13,18 @@ DESIGN.md §11):
   Mathematically identical to evolving ``|0><0| ⊗ I/2^q`` but
   ``O(2^(t+q) · 2^q)`` flops per gate on a flat array instead of a squared
   density matrix, with no purification qubits.
+* ``trajectory`` (the default for noisy runs) — the same batched ensemble,
+  unravelled through the configured noise channels by stochastic
+  Kraus-branch sampling (one branch per ensemble member after each gate),
+  repeated ``n_trajectories`` times; the mean estimates the density result
+  and the spread becomes ``p_zero_std``.
 * ``purified`` — the Fig. 2 construction: auxiliary qubits and Bell pairs,
   statevector simulation on ``t + 2q`` qubits (legacy route,
-  bit-identity-pinned).
+  bit-identity-pinned; opt-in gate fusion via ``QTDAConfig.fuse_purified``).
 * ``density`` — density-matrix evolution of ``|0><0| ⊗ I/2^q`` on ``t + q``
-  qubits, gate by gate (legacy route, bit-identity-pinned; required — and
-  forced — whenever a noise model is in effect).
+  qubits, gate by gate (legacy route, bit-identity-pinned; the exact Kraus
+  contraction, and the only noise route for hand-built ``NoiseModel``
+  objects no :class:`~repro.quantum.channels.NoiseSpec` can express).
 
 This module also hosts the circuit-execution plumbing shared by the
 ``trotter`` and ``noisy-density`` backends, which differ only in how ``U`` is
@@ -33,35 +39,56 @@ import numpy as np
 
 from repro.core.backends.base import BackendResult, EstimationProblem, register_backend
 from repro.core.qtda_circuit import QTDACircuitSpec, qtda_circuit
+from repro.quantum.channels import NoiseSpec, apply_readout_error
 from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
 from repro.quantum.engine import EnsembleExecutor
 from repro.quantum.noise import NoiseModel
 from repro.quantum.statevector import StatevectorSimulator
+from repro.utils.rng import as_rng
 
 #: Concrete circuit-execution routes (``"auto"`` resolves to one of these).
-CIRCUIT_ROUTES = ("ensemble", "purified", "density")
+CIRCUIT_ROUTES = ("ensemble", "trajectory", "purified", "density")
 
 
 def resolve_circuit_route(config, noise_model: Optional[NoiseModel]) -> str:
     """Resolve ``config.circuit_engine`` to a concrete route.
 
-    A noise model forces the ``density`` route (Kraus channels need a mixed
-    state the pure-state routes cannot carry); an *explicit* pure-state
-    engine choice combined with noise raises instead of silently dropping
-    either.  ``"auto"`` picks ``ensemble`` for noise-free runs.
+    Gate noise excludes the pure-state routes (an *explicit* ``ensemble`` or
+    ``purified`` choice combined with noise raises instead of silently
+    dropping either) and ``"auto"`` resolves it to the ``trajectory`` route —
+    stochastic Kraus unravelling at ensemble speed — whenever the noise model
+    is expressible as a :class:`~repro.quantum.channels.NoiseSpec`.
+    Hand-built Kraus lists and gate-filtered models fall back to the exact
+    ``density`` contraction (and reject an explicit ``trajectory`` request).
+    Noise-free runs resolve ``"auto"`` to ``ensemble``; a zero-strength
+    channel counts as noise-free.
     """
     engine = getattr(config, "circuit_engine", "auto")
     if engine not in ("auto",) + CIRCUIT_ROUTES:
         raise ValueError(
             f"circuit_engine must be one of {('auto',) + CIRCUIT_ROUTES}, got {engine!r}"
         )
-    if noise_model is not None:
+    spec = noise_model.to_spec() if noise_model is not None else None
+    has_gate_noise = noise_model is not None and (spec is None or spec.has_gate_noise)
+    if has_gate_noise:
         if engine in ("ensemble", "purified"):
             raise ValueError(
                 f"circuit_engine={engine!r} cannot simulate noise channels; "
-                "use 'density' (or 'auto')"
+                "use 'trajectory', 'density' (or 'auto')"
             )
-        return "density"
+        if engine == "density":
+            return "density"
+        if spec is None:
+            # Hand-built Kraus operators / gate filters have no NoiseSpec
+            # form, so trajectory sampling cannot place them.
+            if engine == "trajectory":
+                raise ValueError(
+                    "circuit_engine='trajectory' requires declarative noise "
+                    "(noise_channel & friends); explicit NoiseModel objects "
+                    "run on the density route"
+                )
+            return "density"
+        return "trajectory"
     if engine == "auto":
         return "ensemble"
     return engine
@@ -116,12 +143,73 @@ def _ensemble_route_result(problem: EstimationProblem, config, synthesis: str) -
     )
 
 
+def _trajectory_route_result(
+    problem: EstimationProblem,
+    config,
+    synthesis: str,
+    spec: NoiseSpec,
+    rng: np.random.Generator,
+) -> BackendResult:
+    """Stochastic Kraus-trajectory execution of the noisy mixed-state circuit.
+
+    The circuit construction mirrors :func:`_ensemble_route_result` (no
+    purification, ``t + q`` qubits); both synthesis styles emit the same gate
+    *sequence* as the legacy density route, so ``spec.channels_for_gate``
+    places noise at identical points and the trajectory mean converges to the
+    density result.  Fusion is bypassed inside the executor for the same
+    reason.  The spread over ``config.n_trajectories`` repetitions surfaces
+    as ``p_zero_std``.
+    """
+    hamiltonian = problem.dense_hamiltonian(config)
+    circuit, circuit_spec = qtda_circuit(
+        hamiltonian,
+        precision_qubits=config.precision_qubits,
+        use_purification=False,
+        synthesis=synthesis,
+        trotter_steps=config.trotter_steps,
+        trotter_order=config.trotter_order,
+        power_synthesis="spectral" if synthesis == "exact" else "chain",
+    )
+    n_trajectories = int(getattr(config, "n_trajectories", 8))
+    executor = EnsembleExecutor(fuse=False)
+    distribution, sem = executor.trajectory_basis_distribution(
+        circuit,
+        qubits=list(circuit_spec.precision_register),
+        basis_states=range(2**circuit_spec.system_qubits),
+        noise_spec=spec,
+        rng=rng,
+        n_trajectories=n_trajectories,
+    )
+    return BackendResult(
+        distribution=distribution,
+        num_system_qubits=hamiltonian.num_qubits,
+        lambda_max=hamiltonian.padded.lambda_max,
+        p_zero_std=float(sem[0]) if n_trajectories > 1 else None,
+        engine_route="trajectory",
+        n_trajectories=n_trajectories,
+        noise_spec=spec.as_dict(),
+    )
+
+
+def _executed_noise_spec(config, noise_model: Optional[NoiseModel]) -> NoiseSpec:
+    """The :class:`NoiseSpec` a run executes under: the model's spec form (if
+    any) with the config's declarative ``readout_error`` folded in."""
+    spec = noise_model.to_spec() if noise_model is not None else None
+    readout = float(getattr(config, "readout_error", 0.0) or 0.0)
+    if spec is None:
+        return NoiseSpec(readout_error=readout)
+    if readout > spec.readout_error:
+        spec = NoiseSpec.from_dict({**spec.as_dict(), "readout_error": readout})
+    return spec
+
+
 def circuit_backend_result(
     problem: EstimationProblem,
     config,
     synthesis: str,
     noise_model: Optional[NoiseModel],
     use_purification: Optional[bool] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> BackendResult:
     """Build and execute the Fig. 6 circuit, returning the readout distribution.
 
@@ -129,17 +217,35 @@ def circuit_backend_result(
     :func:`resolve_circuit_route`; the legacy ``use_purification`` keyword,
     when passed explicitly, forces the corresponding legacy route (purified
     statevector, or the density-matrix evolution — noise always implies the
-    latter), bypassing the ensemble engine.
+    latter), bypassing the ensemble engine.  ``rng`` drives the trajectory
+    route's branch sampling (falls back to a ``config.seed``-derived
+    generator); a configured ``readout_error`` is applied to the final
+    distribution on every route (exact per-bit confusion contraction).
     """
     if use_purification is None:
         route = resolve_circuit_route(config, noise_model)
     else:
         route = "purified" if (use_purification and noise_model is None) else "density"
+    spec = _executed_noise_spec(config, noise_model)
+    if route == "trajectory":
+        if rng is None:
+            rng = as_rng(getattr(config, "seed", None))
+        return _trajectory_route_result(problem, config, synthesis, spec, rng)
     if route == "ensemble":
-        return _ensemble_route_result(problem, config, synthesis)
+        result = _ensemble_route_result(problem, config, synthesis)
+        if spec.readout_error > 0:
+            result = BackendResult(
+                distribution=apply_readout_error(result.distribution, spec.readout_error),
+                num_system_qubits=result.num_system_qubits,
+                lambda_max=result.lambda_max,
+                engine_route=result.engine_route,
+                fused_gates=result.fused_gates,
+                noise_spec=spec.as_dict(),
+            )
+        return result
 
     hamiltonian = problem.dense_hamiltonian(config)
-    circuit, spec = qtda_circuit(
+    circuit, circuit_spec = qtda_circuit(
         hamiltonian,
         precision_qubits=config.precision_qubits,
         use_purification=route == "purified",
@@ -147,18 +253,24 @@ def circuit_backend_result(
         trotter_steps=config.trotter_steps,
         trotter_order=config.trotter_order,
     )
-    precision_register = list(spec.precision_register)
+    precision_register = list(circuit_spec.precision_register)
     if route == "density":
         sim = DensityMatrixSimulator(noise_model=noise_model)
-        final = sim.run(circuit, initial_state=mixed_initial_state(spec))
+        final = sim.run(circuit, initial_state=mixed_initial_state(circuit_spec))
         distribution = final.marginal_probabilities(precision_register)
     else:
-        distribution = StatevectorSimulator().probabilities(circuit, qubits=precision_register)
+        fuse_purified = bool(getattr(config, "fuse_purified", False))
+        distribution = StatevectorSimulator(fuse=fuse_purified).probabilities(
+            circuit, qubits=precision_register
+        )
+    if spec.readout_error > 0:
+        distribution = apply_readout_error(distribution, spec.readout_error)
     return BackendResult(
         distribution=distribution,
         num_system_qubits=hamiltonian.num_qubits,
         lambda_max=hamiltonian.padded.lambda_max,
         engine_route=route,
+        noise_spec=spec.as_dict() if not spec.is_noiseless else None,
     )
 
 
@@ -166,13 +278,15 @@ class StatevectorBackend:
     """Explicit Fig. 6 circuit with exact controlled powers of ``U``."""
 
     name = "statevector"
-    description = "explicit Fig. 6 circuit with exact controlled powers of U (ensemble, purified or density route)"
+    description = "explicit Fig. 6 circuit with exact controlled powers of U (ensemble, trajectory, purified or density route)"
     prefers_sparse = False
     supported_formats = ("dense",)
     supports_noise = True
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
-        return circuit_backend_result(problem, config, "exact", config.resolved_noise_model())
+        return circuit_backend_result(
+            problem, config, "exact", config.resolved_noise_model(), rng=rng
+        )
 
 
 register_backend(StatevectorBackend.name, StatevectorBackend())

@@ -24,7 +24,9 @@ class TrotterBackend:
     supports_noise = True
 
     def run(self, problem: EstimationProblem, config, rng: np.random.Generator) -> BackendResult:
-        return circuit_backend_result(problem, config, "trotter", config.resolved_noise_model())
+        return circuit_backend_result(
+            problem, config, "trotter", config.resolved_noise_model(), rng=rng
+        )
 
 
 register_backend(TrotterBackend.name, TrotterBackend())

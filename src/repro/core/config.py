@@ -20,6 +20,11 @@ import numpy as np
 
 from repro.core.backends import available_backends
 from repro.core.backends.statevector import CIRCUIT_ROUTES
+from repro.quantum.channels import (
+    TWO_QUBIT_NOISE_CHANNELS,
+    NoiseSpec,
+    _normalise_gate_strengths,
+)
 from repro.quantum.noise import NOISE_CHANNELS, NoiseModel
 from repro.utils.validation import check_integer, check_positive_integer, check_probability
 
@@ -71,27 +76,57 @@ class QTDAConfig:
           basis states as one ``(2^(t+q), B)`` array (chunked to a memory
           budget, gates fused) and average the readout; no auxiliary qubits,
           no density matrix.
+        * ``"trajectory"`` — the noisy counterpart of ``ensemble``:
+          stochastic Kraus-branch trajectories on the same ``(2^(t+q), B)``
+          array, one sampled branch per ensemble member after each gate,
+          repeated ``n_trajectories`` times (mean converges to the density
+          result; spread becomes ``p_zero_std``).
         * ``"purified"`` — Fig. 2 purification, statevector on ``t + 2q``
           qubits (legacy, bit-identity-pinned).
         * ``"density"`` — density-matrix evolution of ``|0><0| ⊗ I/2^q`` on
-          ``t + q`` qubits (legacy, bit-identity-pinned; the only route that
-          can simulate noise channels).
-        * ``"auto"`` (default) — ``density`` when a noise model is in
-          effect, ``ensemble`` otherwise.
+          ``t + q`` qubits (legacy, bit-identity-pinned; exact Kraus
+          contraction for noise).
+        * ``"auto"`` (default) — ``trajectory`` when declarative gate noise
+          is configured, ``density`` for explicit ``noise_model`` objects
+          the spec cannot express, ``ensemble`` otherwise.
 
-        All three noise-free routes agree to better than ``1e-10``; only the
+        All noise-free routes agree to better than ``1e-10``; only the
         legacy two are pinned bit-exactly across releases.
     use_purification:
         Legacy route selector, superseded by ``circuit_engine`` (an explicit
         ``circuit_engine`` always wins; ``"auto"`` no longer consults this
         flag).  Retained for wire-format compatibility and for direct
         :func:`repro.core.qtda_circuit.qtda_circuit` callers.
+    fuse_purified:
+        Opt-in gate fusion for the legacy ``purified`` route (the fusion
+        pass of :mod:`repro.quantum.fusion` run inside the single-state
+        simulator).  Off by default: fusion changes floating-point
+        association, and the purified route is bit-identity-pinned.
     noise_channel, noise_strength:
         Declarative noise parametrisation consumed by the ``noisy-density``
         backend (and honoured by the other circuit backends): a channel name
         from :data:`repro.quantum.noise.NOISE_CHANNELS` and its per-gate
         error probability.  Unlike ``noise_model`` these fields are plain
         data, so configs stay serialisable (:meth:`as_dict`).
+    noise_gate_strengths:
+        Optional per-gate-class strength overrides for ``noise_channel``,
+        keyed by gate name (``"H"``, ``"CNOT"``, ``"CU"``, ...).  Accepts a
+        mapping or a tuple of ``(name, strength)`` pairs (the wire layer
+        freezes mappings into the latter); normalised to a plain dict.
+    noise_two_qubit_channel, noise_two_qubit_strength:
+        Optional correlated two-qubit channel (one of
+        :data:`repro.quantum.channels.TWO_QUBIT_NOISE_CHANNELS`) injected
+        after every two-qubit gate, modelling the dominant entangling-gate
+        errors of real devices.
+    readout_error:
+        Symmetric measurement bit-flip probability applied to the readout
+        marginal.  Honoured by every circuit route (it is a classical
+        post-processing of the distribution), so it composes with the
+        noise-free ``ensemble`` route too.
+    n_trajectories:
+        Number of stochastic Kraus-trajectory repetitions for the
+        ``trajectory`` route; their spread surfaces as
+        ``p_zero_std``/``betti_std``.
     noise_model:
         Optional explicit noise model object; takes precedence over
         ``noise_channel``/``noise_strength`` when set (only honoured by
@@ -117,8 +152,14 @@ class QTDAConfig:
     trotter_order: int = 1
     circuit_engine: str = "auto"
     use_purification: bool = True
+    fuse_purified: bool = False
     noise_channel: Optional[str] = None
     noise_strength: float = 0.0
+    noise_gate_strengths: Optional[object] = None
+    noise_two_qubit_channel: Optional[str] = None
+    noise_two_qubit_strength: float = 0.0
+    readout_error: float = 0.0
+    n_trajectories: int = 8
     noise_model: Optional[NoiseModel] = None
     trace_deflation_rank: int = 0
     seed: Optional[int] = None
@@ -151,16 +192,42 @@ class QTDAConfig:
             self.trace_deflation_rank, "trace_deflation_rank", minimum=0
         )
         self.noise_strength = check_probability(self.noise_strength, "noise_strength")
+        self.use_purification = bool(self.use_purification)
+        self.fuse_purified = bool(self.fuse_purified)
+        self.noise_gate_strengths = _normalise_gate_strengths(self.noise_gate_strengths)
+        if (
+            self.noise_two_qubit_channel is not None
+            and self.noise_two_qubit_channel not in TWO_QUBIT_NOISE_CHANNELS
+        ):
+            raise ValueError(
+                f"noise_two_qubit_channel must be one of {TWO_QUBIT_NOISE_CHANNELS}, "
+                f"got {self.noise_two_qubit_channel!r}"
+            )
+        self.noise_two_qubit_strength = check_probability(
+            self.noise_two_qubit_strength, "noise_two_qubit_strength"
+        )
+        self.readout_error = check_probability(self.readout_error, "readout_error")
+        self.n_trajectories = check_positive_integer(self.n_trajectories, "n_trajectories")
+        if self.noise_gate_strengths and self.noise_channel is None:
+            raise ValueError("noise_gate_strengths requires a noise_channel")
+        if self.noise_two_qubit_strength > 0 and self.noise_two_qubit_channel is None:
+            raise ValueError(
+                f"noise_two_qubit_strength={self.noise_two_qubit_strength} requires "
+                "a noise_two_qubit_channel"
+            )
         if self.noise_model is not None and not isinstance(self.noise_model, NoiseModel):
             raise TypeError("noise_model must be a repro.quantum.NoiseModel or None")
         if self.circuit_engine in ("ensemble", "purified") and (
-            self.noise_model is not None or self.noise_channel is not None
+            self.noise_model is not None
+            or self.noise_channel is not None
+            or self.noise_two_qubit_channel is not None
         ):
             # Pure-state routes cannot express Kraus channels; a config
-            # claiming both would silently drop the noise.
+            # claiming both would silently drop the noise.  (readout_error is
+            # classical post-processing and composes with every route.)
             raise ValueError(
                 f"circuit_engine={self.circuit_engine!r} cannot simulate noise "
-                "channels; use circuit_engine='density' (or 'auto')"
+                "channels; use circuit_engine='trajectory', 'density' (or 'auto')"
             )
         if self.noise_strength > 0 and self.noise_channel is None and self.noise_model is None:
             # Without this check the strength would be silently ignored and a
@@ -170,14 +237,41 @@ class QTDAConfig:
                 f"(one of {NOISE_CHANNELS}) or an explicit noise_model"
             )
 
+    def _has_extended_noise_fields(self) -> bool:
+        """Whether any beyond-legacy gate-noise field is set (per-gate-class
+        overrides or a correlated two-qubit channel)."""
+        return bool(self.noise_gate_strengths) or self.noise_two_qubit_channel is not None
+
+    def resolved_noise_spec(self) -> NoiseSpec:
+        """The declarative noise description of this config as a :class:`NoiseSpec`.
+
+        Covers the plain-data fields only; an explicit ``noise_model`` object
+        (which may carry hand-built Kraus operators no spec can express) is
+        the caller's to inspect via :meth:`resolved_noise_model`.
+        """
+        return NoiseSpec(
+            channel=self.noise_channel,
+            strength=self.noise_strength,
+            gate_strengths=self.noise_gate_strengths,
+            two_qubit_channel=self.noise_two_qubit_channel,
+            two_qubit_strength=self.noise_two_qubit_strength,
+            readout_error=self.readout_error,
+        )
+
     def resolved_noise_model(self) -> Optional[NoiseModel]:
         """The effective noise model of this config.
 
         An explicit ``noise_model`` object wins; otherwise one is built from
-        ``noise_channel``/``noise_strength``; ``None`` means noiseless.
+        the declarative fields (the legacy single-channel adapter when only
+        ``noise_channel``/``noise_strength`` are set — keeping the density
+        route bit-identical — or a spec-driven adapter when per-gate-class
+        strengths or a two-qubit channel are configured); ``None`` means no
+        gate noise.
         """
         if self.noise_model is not None:
             return self.noise_model
+        if self._has_extended_noise_fields():
+            return NoiseModel.from_spec(self.resolved_noise_spec())
         if self.noise_channel is None:
             return None
         return NoiseModel.from_channel(self.noise_channel, self.noise_strength)

@@ -64,9 +64,15 @@ class BettiEstimate:
     engine_route, fused_gates:
         Circuit-execution provenance echoed from
         :class:`~repro.core.backends.BackendResult`: the concrete route the
-        circuit backend took (``"ensemble"``/``"purified"``/``"density"``)
-        and the post-fusion gate count of the ensemble engine.  ``None`` for
-        non-circuit backends.
+        circuit backend took (``"ensemble"``/``"trajectory"``/``"purified"``/
+        ``"density"``) and the post-fusion gate count of the ensemble engine.
+        ``None`` for non-circuit backends.
+    n_trajectories, noise_spec:
+        Noise-execution provenance echoed from
+        :class:`~repro.core.backends.BackendResult`: the number of stochastic
+        Kraus-trajectory repetitions (``trajectory`` route) and the JSON-safe
+        resolved :class:`~repro.quantum.channels.NoiseSpec` the run executed
+        under.  ``None`` for noiseless / non-circuit runs.
     """
 
     betti_estimate: float
@@ -83,6 +89,8 @@ class BettiEstimate:
     betti_std: Optional[float] = None
     engine_route: Optional[str] = None
     fused_gates: Optional[int] = None
+    n_trajectories: Optional[int] = None
+    noise_spec: Optional[Dict[str, object]] = None
 
     @property
     def absolute_error(self) -> Optional[float]:
@@ -117,6 +125,8 @@ class BettiEstimate:
             "betti_std": self.betti_std,
             "engine_route": self.engine_route,
             "fused_gates": self.fused_gates,
+            "n_trajectories": self.n_trajectories,
+            "noise_spec": None if self.noise_spec is None else dict(self.noise_spec),
         }
 
 
@@ -233,6 +243,8 @@ class QTDABettiEstimator:
             betti_std=betti_std,
             engine_route=result.engine_route,
             fused_gates=result.fused_gates,
+            n_trajectories=result.n_trajectories,
+            noise_spec=result.noise_spec,
         )
 
     def estimate_betti_numbers(

@@ -62,9 +62,14 @@ class GearboxExperimentConfig:
     #: Any registered estimator backend (repro.core.backends); the paper's
     #: sweep uses the analytical ``exact`` path.
     backend: str = "exact"
-    #: Noise parametrisation forwarded to QTDAConfig (used by noisy-density).
+    #: Noise parametrisation forwarded to QTDAConfig (used by noisy-density
+    #: and the trajectory route of the statevector backend).
     noise_channel: Optional[str] = None
     noise_strength: float = 0.0
+    #: Circuit-execution route and trajectory-route knobs (QTDAConfig fields).
+    circuit_engine: str = "auto"
+    n_trajectories: int = 8
+    readout_error: float = 0.0
     gearbox: GearboxDatasetConfig = field(default_factory=GearboxDatasetConfig)
     batch: BatchConfig = field(default_factory=BatchConfig)
 
@@ -120,6 +125,9 @@ class Table1Result:
                 "backend": cfg.backend,
                 "noise_channel": cfg.noise_channel,
                 "noise_strength": cfg.noise_strength,
+                "circuit_engine": cfg.circuit_engine,
+                "n_trajectories": cfg.n_trajectories,
+                "readout_error": cfg.readout_error,
             },
         }
 
@@ -227,6 +235,9 @@ def run_gearbox_table1(config: GearboxExperimentConfig | None = None) -> Table1R
             backend=cfg.backend,
             noise_channel=cfg.noise_channel,
             noise_strength=cfg.noise_strength,
+            circuit_engine=cfg.circuit_engine,
+            n_trajectories=cfg.n_trajectories,
+            readout_error=cfg.readout_error,
             seed=derive_seed(cfg.seed, precision),
         )
         estimated, exact = _betti_features(
@@ -312,6 +323,9 @@ def run_timeseries_classification(
     backend: str = "exact",
     noise_channel: Optional[str] = None,
     noise_strength: float = 0.0,
+    circuit_engine: str = "auto",
+    n_trajectories: int = 8,
+    readout_error: float = 0.0,
 ) -> TimeseriesClassificationResult:
     """Classify healthy vs faulty gearbox windows from Betti-number features.
 
@@ -335,6 +349,9 @@ def run_timeseries_classification(
             backend=backend,
             noise_channel=noise_channel,
             noise_strength=noise_strength,
+            circuit_engine=circuit_engine,
+            n_trajectories=n_trajectories,
+            readout_error=readout_error,
             seed=derive_seed(seed, 3),
         )
         if use_quantum

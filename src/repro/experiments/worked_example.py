@@ -121,13 +121,19 @@ def run_worked_example(
     include_drawing: bool = False,
     noise_channel: Optional[str] = None,
     noise_strength: float = 0.0,
+    circuit_engine: str = "auto",
+    n_trajectories: int = 8,
+    readout_error: float = 0.0,
 ) -> WorkedExampleResult:
     """Execute the Appendix A pipeline and return all intermediates.
 
     The defaults mirror the appendix exactly: δ = 6 (so H = Δ̃_1), three
     precision qubits, 1000 shots, the explicit Fig. 6 circuit.  ``backend``
     may be any registered estimator backend; ``noise_channel`` /
-    ``noise_strength`` parametrise the ``noisy-density`` workload.
+    ``noise_strength`` parametrise the noisy workloads, with
+    ``circuit_engine`` / ``n_trajectories`` / ``readout_error`` selecting and
+    tuning the execution route (noisy runs resolve to the trajectory route
+    under ``"auto"``).
     """
     complex_ = appendix_complex()
     d1 = boundary_matrix(complex_, 1)
@@ -147,6 +153,9 @@ def run_worked_example(
             seed=seed,
             noise_channel=noise_channel,
             noise_strength=noise_strength,
+            circuit_engine=circuit_engine,
+            n_trajectories=n_trajectories,
+            readout_error=readout_error,
         )
     )
     estimate = estimator.estimate(complex_, 1)

@@ -57,6 +57,16 @@ from repro.quantum.engine import (
     EnsembleExecutor,
     apply_gate_to_ensemble,
     array_module,
+    sample_channel_branches,
+)
+from repro.quantum.channels import (
+    NOISE_CHANNELS,
+    TWO_QUBIT_NOISE_CHANNELS,
+    NoiseSpec,
+    QuantumChannel,
+    apply_readout_error,
+    correlated_zz_kraus,
+    two_qubit_depolarizing_kraus,
 )
 from repro.quantum.fusion import fuse_circuit, fusion_cache_info
 from repro.quantum.measurement import (
@@ -120,6 +130,14 @@ __all__ = [
     "EnsembleExecutor",
     "apply_gate_to_ensemble",
     "array_module",
+    "sample_channel_branches",
+    "NOISE_CHANNELS",
+    "TWO_QUBIT_NOISE_CHANNELS",
+    "NoiseSpec",
+    "QuantumChannel",
+    "apply_readout_error",
+    "correlated_zz_kraus",
+    "two_qubit_depolarizing_kraus",
     "fuse_circuit",
     "fusion_cache_info",
     "born_probabilities",

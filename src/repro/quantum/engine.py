@@ -37,6 +37,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.quantum.channels import NoiseSpec, QuantumChannel, apply_readout_error
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.measurement import ensemble_marginal_probabilities
 from repro.quantum.operations import Barrier, Gate, Measurement
@@ -148,6 +149,86 @@ def apply_gate_to_ensemble(
     # put them back where the target qubits live.  The batch axis stays last.
     psi = xp.moveaxis(psi, list(range(k)), qubits)
     return xp.ascontiguousarray(psi).reshape(2**num_qubits, batch)
+
+
+def _apply_member_matrices(states, matrices, qubits, num_qubits: int, xp=np):
+    """Apply a *different* ``d x d`` matrix to each member of a ``(2^n, B)`` ensemble.
+
+    ``matrices`` is ``(B, d, d)`` with ``d = 2^len(qubits)`` — the sampled
+    Kraus branch of each ensemble member.  The whole batch still goes through
+    one einsum: the target qubit axes are moved to the front, flattened to
+    ``(d, M, B)``, and contracted against the per-member matrix stack.
+    """
+    qubits = [int(q) for q in qubits]
+    k = len(qubits)
+    d = 2**k
+    batch = states.shape[-1]
+    psi = states.reshape([2] * num_qubits + [batch])
+    psi = xp.moveaxis(psi, qubits, list(range(k)))
+    rest_shape = psi.shape[k:]
+    psi = psi.reshape(d, -1, batch)
+    psi = xp.einsum("bij,jmb->imb", matrices, psi)
+    psi = psi.reshape((2,) * k + tuple(rest_shape))
+    psi = xp.moveaxis(psi, list(range(k)), qubits)
+    return xp.ascontiguousarray(psi).reshape(2**num_qubits, batch)
+
+
+def sample_channel_branches(
+    channel: QuantumChannel,
+    states,
+    qubits: Sequence[int],
+    num_qubits: int,
+    rng: np.random.Generator,
+    xp=np,
+):
+    """One trajectory step: sample a Kraus branch of ``channel`` per ensemble member.
+
+    Mixed-unitary channels (Pauli-type — every ``K_k = √p_k U_k``) use the
+    precomputed cumulative branch table: one ``searchsorted`` over ``B``
+    uniforms picks each member's branch, and no renormalisation is needed
+    (unitary branches preserve norm).  Members that drew an exact-identity
+    branch — almost all of them at realistic strengths — are skipped
+    entirely; the remaining sampled unitaries are gathered into a stack and
+    applied to just those columns in a single einsum.
+
+    General channels (amplitude damping) need per-state Born probabilities
+    ``p_k(ψ_b) = ‖K_k ψ_b‖²``: every branch is applied to the full ensemble,
+    the branch is sampled from each member's own distribution, and the
+    selected states are renormalised by ``√p_k``.
+    """
+    batch = states.shape[-1]
+    if channel.is_mixed_unitary:
+        u = rng.random(batch)
+        idx = np.searchsorted(channel.cumulative_probabilities, u, side="right")
+        idx = np.clip(idx, 0, len(channel.unitary_branches) - 1)
+        active = np.flatnonzero(~channel.identity_branches[idx])
+        if active.size == 0:
+            return states
+        if active.size < batch:
+            mats = xp.asarray(np.stack(channel.unitary_branches)[idx[active]])
+            out = xp.array(states, copy=True)
+            out[:, active] = _apply_member_matrices(
+                xp.ascontiguousarray(states[:, active]), mats, qubits, num_qubits, xp=xp
+            )
+            return out
+        mats = xp.asarray(np.stack(channel.unitary_branches)[idx])
+        return _apply_member_matrices(states, mats, qubits, num_qubits, xp=xp)
+    branch_states = xp.stack(
+        [
+            apply_gate_to_ensemble(states, xp.asarray(k), qubits, num_qubits, xp=xp)
+            for k in channel.kraus_ops
+        ]
+    )  # (K, 2^n, B)
+    probs = (xp.abs(branch_states) ** 2).sum(axis=1)  # (K, B) Born weights
+    cumulative = xp.cumsum(probs, axis=0)
+    u = xp.asarray(rng.random(batch)) * cumulative[-1]
+    idx = (u[None, :] > cumulative).sum(axis=0)
+    idx = xp.clip(idx, 0, len(channel.kraus_ops) - 1)
+    members = xp.arange(batch)
+    selected = branch_states[idx, :, members].T  # (2^n, B)
+    norms = xp.sqrt(probs[idx, members])
+    norms = xp.where(norms > 0, norms, 1.0)
+    return selected / norms
 
 
 class EnsembleExecutor:
@@ -300,3 +381,98 @@ class EnsembleExecutor:
             total = partial if total is None else total + partial
         assert total is not None
         return total / total.sum()
+
+    def trajectory_basis_distribution(
+        self,
+        circuit: QuantumCircuit,
+        qubits: Sequence[int],
+        basis_states: Sequence[int],
+        noise_spec: NoiseSpec,
+        rng: np.random.Generator,
+        n_trajectories: int = 8,
+        weights: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Noisy readout distribution via stochastic Kraus-branch trajectories.
+
+        Evolves the basis-state ensemble through ``circuit`` like
+        :meth:`basis_ensemble_distribution`, but after each gate samples one
+        Kraus branch of every channel ``noise_spec`` places there
+        (:func:`sample_channel_branches`) — per ensemble member, still one
+        contraction per gate across the batch.  The whole run is repeated
+        ``n_trajectories`` times; the mean over trajectories estimates the
+        density-matrix result and the spread is returned as a per-outcome
+        standard error (zeros for a single trajectory).
+
+        Gate fusion is deliberately bypassed: the density route injects noise
+        after every *original* gate, and fusing would move the injection
+        points, so the trajectory mean would converge to a different channel
+        composition.  Readout error is applied to each trajectory's marginal
+        as the exact per-bit confusion contraction.
+
+        Returns ``(mean_distribution, standard_error)`` as host arrays.
+        """
+        n = circuit.num_qubits
+        dim = 2**n
+        basis = [int(b) for b in basis_states]
+        if not basis:
+            raise ValueError("basis_states must be non-empty")
+        for b in basis:
+            if not 0 <= b < dim:
+                raise ValueError(f"basis state {b} out of range for {n} qubits")
+        n_trajectories = int(n_trajectories)
+        if n_trajectories < 1:
+            raise ValueError("n_trajectories must be >= 1")
+        if weights is None:
+            w = np.full(len(basis), 1.0 / len(basis))
+        else:
+            w = np.asarray(list(weights), dtype=float)
+            if w.shape != (len(basis),):
+                raise ValueError("weights must match basis_states in length")
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+            total_weight = w.sum()
+            if total_weight <= 0:
+                raise ValueError("weights must have a positive sum")
+            w = w / total_weight
+
+        xp = self.xp
+        gates = [g for g in circuit.gates if not isinstance(g, (Measurement, Barrier))]
+        prepared = [(xp.asarray(g.matrix, dtype=complex), g.qubits) for g in gates]
+        noise_plan = [noise_spec.channels_for_gate(g) for g in gates]
+        chunk = self.max_batch(n)
+        out_dim = 2 ** len(list(qubits))
+        per_trajectory = np.zeros((n_trajectories, out_dim))
+        for trajectory in range(n_trajectories):
+            total: Optional[np.ndarray] = None
+            for start in range(0, len(basis), chunk):
+                block = basis[start : start + chunk]
+                states = xp.zeros((dim, len(block)), dtype=complex)
+                for column, b in enumerate(block):
+                    states[b, column] = 1.0
+                for (matrix, gate_qubits), placed in zip(prepared, noise_plan):
+                    states = apply_gate_to_ensemble(states, matrix, gate_qubits, n, xp=xp)
+                    for channel, targets in placed:
+                        states = sample_channel_branches(
+                            channel, states, targets, n, rng, xp=xp
+                        )
+                partial = ensemble_marginal_probabilities(
+                    states,
+                    n,
+                    qubits,
+                    weights=xp.asarray(w[start : start + len(block)]),
+                    normalize=False,
+                    xp=xp,
+                )
+                partial = to_host(partial)
+                total = partial if total is None else total + partial
+            assert total is not None
+            distribution = total / total.sum()
+            if noise_spec.readout_error > 0:
+                distribution = apply_readout_error(distribution, noise_spec.readout_error)
+            per_trajectory[trajectory] = distribution
+        mean = per_trajectory.mean(axis=0)
+        if n_trajectories > 1:
+            sem = per_trajectory.std(axis=0, ddof=1) / np.sqrt(n_trajectories)
+        else:
+            sem = np.zeros(out_dim)
+        return mean, sem

@@ -1,83 +1,36 @@
-"""Noise channels (Kraus maps) and a simple per-gate noise model.
+"""Per-gate noise model — now a thin compatibility adapter over the channel IR.
 
-The paper's experiments are noiseless, but its conclusion explicitly flags
-"how the algorithm behaves on NISQ devices" as the next question.  This
-module provides the standard single-qubit channels and a
-:class:`NoiseModel` that injects a channel after every gate, which the
-ablation benchmark ``benchmarks/test_bench_ablation_noise.py`` uses to sweep
-depolarising strength against Betti-number error.
+The Kraus factories and the channel registry moved to
+:mod:`repro.quantum.channels`, which is the shared layer consumed by the
+density-matrix simulator, the ensemble engine's trajectory route, and the
+readout stage.  This module re-exports the factories (so existing imports
+keep working) and keeps :class:`NoiseModel` as the density-route adapter:
+a plain list of single-qubit Kraus operators applied after every (filtered)
+gate, optionally carrying a :class:`~repro.quantum.channels.NoiseSpec` whose
+placement rules (per-gate-class strengths, correlated two-qubit channel)
+then drive the density contraction instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.quantum.channels import (  # noqa: F401  (compatibility re-exports)
+    NOISE_CHANNELS,
+    TWO_QUBIT_NOISE_CHANNELS,
+    NoiseSpec,
+    QuantumChannel,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    is_trace_preserving,
+    phase_flip_kraus,
+    two_qubit_depolarizing_kraus,
+)
 from repro.quantum.operations import Gate
-from repro.utils.validation import check_probability
-
-_I = np.eye(2, dtype=complex)
-_X = np.array([[0, 1], [1, 0]], dtype=complex)
-_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
-_Z = np.array([[1, 0], [0, -1]], dtype=complex)
-
-
-def bit_flip_kraus(p: float) -> List[np.ndarray]:
-    """Bit-flip channel: X applied with probability ``p``."""
-    p = check_probability(p, "p")
-    return [np.sqrt(1 - p) * _I, np.sqrt(p) * _X]
-
-
-def phase_flip_kraus(p: float) -> List[np.ndarray]:
-    """Phase-flip channel: Z applied with probability ``p``."""
-    p = check_probability(p, "p")
-    return [np.sqrt(1 - p) * _I, np.sqrt(p) * _Z]
-
-
-def depolarizing_kraus(p: float) -> List[np.ndarray]:
-    """Single-qubit depolarising channel with error probability ``p``.
-
-    With probability ``p`` the qubit is replaced by the maximally mixed state,
-    implemented as the uniform Pauli twirl ``{X, Y, Z}`` each with ``p/3``.
-    """
-    p = check_probability(p, "p")
-    return [
-        np.sqrt(1 - p) * _I,
-        np.sqrt(p / 3.0) * _X,
-        np.sqrt(p / 3.0) * _Y,
-        np.sqrt(p / 3.0) * _Z,
-    ]
-
-
-def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
-    """Amplitude damping (T1 decay) with damping probability ``gamma``."""
-    gamma = check_probability(gamma, "gamma")
-    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
-    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
-    return [k0, k1]
-
-
-#: Channel-name -> Kraus-factory map used by :meth:`NoiseModel.from_channel`
-#: (and, through ``QTDAConfig.noise_channel``, by the ``noisy-density``
-#: estimator backend).
-_CHANNEL_FACTORIES = {
-    "depolarizing": depolarizing_kraus,
-    "bit-flip": bit_flip_kraus,
-    "phase-flip": phase_flip_kraus,
-    "amplitude-damping": amplitude_damping_kraus,
-}
-
-#: Names accepted by :meth:`NoiseModel.from_channel` / ``QTDAConfig.noise_channel``.
-NOISE_CHANNELS = tuple(sorted(_CHANNEL_FACTORIES))
-
-
-def is_trace_preserving(kraus_ops: Sequence[np.ndarray], atol: float = 1e-9) -> bool:
-    """Check the completeness relation ``Σ_k K_k† K_k = I``."""
-    dim = kraus_ops[0].shape[0]
-    total = sum(k.conj().T @ k for k in kraus_ops)
-    return bool(np.allclose(total, np.eye(dim), atol=atol))
 
 
 @dataclass
@@ -92,10 +45,22 @@ class NoiseModel:
     gate_filter:
         Optional set of gate names the noise applies to; ``None`` means all
         gates.
+    channel_name, strength:
+        Set by the named constructors so :meth:`describe` can report *which*
+        channel ran (``None`` for hand-built Kraus lists).
+    spec:
+        Optional :class:`NoiseSpec`.  When present, its placement rules
+        (per-gate-class strength overrides, correlated two-qubit channel)
+        replace the flat per-qubit loop in :meth:`apply_after_gate`; models
+        built from a bare channel name leave it unset, keeping the legacy
+        density path bit-identical.
     """
 
     kraus_ops: List[np.ndarray] = field(default_factory=lambda: depolarizing_kraus(0.0))
     gate_filter: frozenset | None = None
+    channel_name: Optional[str] = None
+    strength: Optional[float] = None
+    spec: Optional[NoiseSpec] = None
 
     def __post_init__(self):
         self.kraus_ops = [np.asarray(k, dtype=complex) for k in self.kraus_ops]
@@ -109,35 +74,74 @@ class NoiseModel:
     @classmethod
     def depolarizing(cls, p: float, gate_filter: Sequence[str] | None = None) -> "NoiseModel":
         """Uniform depolarising noise of strength ``p`` after every (filtered) gate."""
-        return cls(depolarizing_kraus(p), frozenset(gate_filter) if gate_filter else None)
+        return cls(
+            depolarizing_kraus(p),
+            frozenset(gate_filter) if gate_filter else None,
+            channel_name="depolarizing",
+            strength=p,
+        )
 
     @classmethod
     def bit_flip(cls, p: float) -> "NoiseModel":
-        return cls(bit_flip_kraus(p))
+        return cls(bit_flip_kraus(p), channel_name="bit-flip", strength=p)
 
     @classmethod
     def amplitude_damping(cls, gamma: float) -> "NoiseModel":
-        return cls(amplitude_damping_kraus(gamma))
+        return cls(
+            amplitude_damping_kraus(gamma), channel_name="amplitude-damping", strength=gamma
+        )
 
     @classmethod
     def from_channel(cls, channel: str, strength: float) -> "NoiseModel":
         """Build a model from a channel name (see :data:`NOISE_CHANNELS`)."""
-        try:
-            factory = _CHANNEL_FACTORIES[channel]
-        except KeyError:
+        kraus = QuantumChannel.from_name(channel, strength)
+        if kraus.arity != 1:
             raise ValueError(
-                f"Unknown noise channel {channel!r}; available channels: {', '.join(NOISE_CHANNELS)}"
-            ) from None
-        return cls(factory(strength))
+                f"NoiseModel.from_channel expects a single-qubit channel, got {channel!r}"
+            )
+        return cls(list(kraus.kraus_ops), channel_name=channel, strength=float(strength))
+
+    @classmethod
+    def from_spec(cls, spec: NoiseSpec) -> "NoiseModel":
+        """Adapt a :class:`NoiseSpec` for the density-matrix route.
+
+        The baseline channel's Kraus list is kept for introspection; the
+        actual placement in :meth:`apply_after_gate` defers to
+        ``spec.channels_for_gate`` so per-gate-class strengths and the
+        correlated two-qubit channel behave identically to the trajectory
+        route.
+        """
+        if spec.channel is not None:
+            base = list(QuantumChannel.from_name(spec.channel, spec.strength).kraus_ops)
+        else:
+            base = depolarizing_kraus(0.0)
+        return cls(base, channel_name=spec.channel, strength=spec.strength, spec=spec)
+
+    def to_spec(self) -> Optional[NoiseSpec]:
+        """The :class:`NoiseSpec` this model expresses, or ``None``.
+
+        Hand-built Kraus lists and gate filters have no spec form — such
+        models can only run on the density-matrix route (the trajectory
+        router checks this).
+        """
+        if self.spec is not None:
+            return self.spec
+        if self.channel_name is not None and self.gate_filter is None:
+            return NoiseSpec.from_legacy(self.channel_name, self.strength or 0.0)
+        return None
 
     def applies_to(self, gate: Gate) -> bool:
         return self.gate_filter is None or gate.name in self.gate_filter
 
     def apply_after_gate(self, rho_tensor: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
-        """Apply the per-qubit channel after ``gate`` on a density tensor."""
+        """Apply the channel(s) after ``gate`` on a density tensor."""
         from repro.quantum.density_matrix import apply_kraus
 
         if not self.applies_to(gate):
+            return rho_tensor
+        if self.spec is not None:
+            for channel, qubits in self.spec.channels_for_gate(gate):
+                rho_tensor = apply_kraus(rho_tensor, channel.kraus_ops, list(qubits), num_qubits)
             return rho_tensor
         for q in gate.qubits:
             rho_tensor = apply_kraus(rho_tensor, self.kraus_ops, [q], num_qubits)
@@ -145,7 +149,14 @@ class NoiseModel:
 
     def describe(self) -> Dict[str, object]:
         """Summary dictionary (used in experiment reports)."""
-        return {
+        info: Dict[str, object] = {
+            "channel": self.channel_name,
+            "strength": self.strength,
             "num_kraus": len(self.kraus_ops),
             "gate_filter": sorted(self.gate_filter) if self.gate_filter else "all",
         }
+        if self.spec is not None:
+            info["spec"] = self.spec.describe()
+        elif self.channel_name is not None:
+            info["spec"] = NoiseSpec.from_legacy(self.channel_name, self.strength or 0.0).describe()
+        return info

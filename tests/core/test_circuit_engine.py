@@ -100,13 +100,27 @@ def test_ensemble_shots_are_sampled_from_the_same_distribution():
 def test_resolve_circuit_route_table():
     noiseless = QTDAConfig(backend="statevector")
     assert resolve_circuit_route(noiseless, None) == "ensemble"
-    for engine in ("ensemble", "purified", "density"):
+    for engine in ("ensemble", "trajectory", "purified", "density"):
         config = QTDAConfig(backend="statevector", circuit_engine=engine)
         assert resolve_circuit_route(config, None) == engine
     noise = NoiseModel.depolarizing(0.01)
-    assert resolve_circuit_route(noiseless, noise) == "density"
+    # Declarative (spec-expressible) noise resolves auto to the trajectory
+    # route; an explicit density request is honoured.
+    assert resolve_circuit_route(noiseless, noise) == "trajectory"
     density = QTDAConfig(backend="statevector", circuit_engine="density")
     assert resolve_circuit_route(density, noise) == "density"
+    trajectory = QTDAConfig(backend="statevector", circuit_engine="trajectory")
+    assert resolve_circuit_route(trajectory, noise) == "trajectory"
+    # Zero-strength channels count as noise-free.
+    assert resolve_circuit_route(noiseless, NoiseModel.depolarizing(0.0)) == "ensemble"
+    # Hand-built Kraus lists have no NoiseSpec form: auto falls back to the
+    # exact density contraction, and an explicit trajectory request raises.
+    custom = NoiseModel(
+        [np.sqrt(0.99) * np.eye(2), np.sqrt(0.01) * np.array([[0, 1], [1, 0]])]
+    )
+    assert resolve_circuit_route(noiseless, custom) == "density"
+    with pytest.raises(ValueError, match="density route"):
+        resolve_circuit_route(trajectory, custom)
 
 
 def test_pure_state_engines_reject_noise():
@@ -154,6 +168,92 @@ def test_noisy_density_backend_still_routes_density():
 
 
 # ---------------------------------------------------------------------------
+# Trajectory route
+# ---------------------------------------------------------------------------
+
+
+def test_auto_resolves_noisy_config_to_trajectory_route():
+    estimate = QTDABettiEstimator(
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        delta=6.0,
+        noise_channel="depolarizing",
+        noise_strength=0.02,
+        n_trajectories=4,
+        seed=7,
+    ).estimate(appendix_complex(), 1)
+    assert estimate.engine_route == "trajectory"
+    assert estimate.n_trajectories == 4
+    assert estimate.noise_spec is not None
+    assert estimate.noise_spec["channel"] == "depolarizing"
+    assert estimate.noise_spec["strength"] == 0.02
+    assert estimate.betti_std is not None and estimate.betti_std > 0
+
+
+def test_trajectory_mean_matches_density_within_3_sigma():
+    """Satellite acceptance: the trajectory route's mean converges to the
+    exact density-matrix contraction within sampling error."""
+    common = dict(
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        delta=6.0,
+        noise_channel="depolarizing",
+        noise_strength=0.03,
+    )
+    for case in sorted(_REFERENCE):
+        make, k = _REFERENCE[case]
+        density = QTDABettiEstimator(circuit_engine="density", **common).estimate(make(), k)
+        trajectory = QTDABettiEstimator(
+            circuit_engine="trajectory", n_trajectories=64, seed=5, **common
+        ).estimate(make(), k)
+        sigma = max(trajectory.betti_std or 0.0, 1e-6)
+        assert abs(trajectory.betti_estimate - density.betti_estimate) < 3 * sigma, case
+
+
+def test_trajectory_route_is_deterministic_given_seed():
+    kwargs = dict(
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        delta=6.0,
+        noise_channel="depolarizing",
+        noise_strength=0.02,
+        n_trajectories=4,
+        seed=13,
+    )
+    a = QTDABettiEstimator(**kwargs).estimate(appendix_complex(), 1)
+    b = QTDABettiEstimator(**kwargs).estimate(appendix_complex(), 1)
+    assert a.betti_estimate == b.betti_estimate
+    assert a.betti_std == b.betti_std
+
+
+def test_readout_error_composes_with_the_ensemble_route():
+    clean = _estimate("statevector", "appendix", "auto")
+    noisy = _estimate("statevector", "appendix", "auto", readout_error=0.05)
+    assert noisy.engine_route == "ensemble"
+    assert noisy.noise_spec is not None
+    assert noisy.noise_spec["readout_error"] == 0.05
+    # With bit-flip probability p on each of the t precision bits the
+    # all-zero outcome keeps (1-p)^t of its own weight plus leakage from
+    # every other outcome, so p(0) moves away from the clean value.
+    assert noisy.p_zero != pytest.approx(clean.p_zero, abs=1e-6)
+
+
+def test_purified_route_fusion_is_opt_in_and_bit_identical_when_off():
+    """Satellite: the PR 5 fusion pass wired into the legacy purified route
+    behind ``fuse_purified`` — off by default, bit-identical when off."""
+    baseline = _estimate("statevector", "appendix", "purified")
+    off = _estimate("statevector", "appendix", "purified", fuse_purified=False)
+    assert off.p_zero == baseline.p_zero
+    assert off.betti_estimate == baseline.betti_estimate
+    fused = _estimate("statevector", "appendix", "purified", fuse_purified=True)
+    assert fused.engine_route == "purified"
+    assert fused.p_zero == pytest.approx(baseline.p_zero, abs=1e-10)
+
+
+# ---------------------------------------------------------------------------
 # Service provenance
 # ---------------------------------------------------------------------------
 
@@ -180,3 +280,40 @@ def test_service_provenance_records_engine_route_and_fusion():
     document = json.loads(result.to_json())
     EstimationResult.validate_dict(document)
     assert document["provenance"]["engine_route"] == "ensemble"
+
+
+def test_service_provenance_records_trajectory_route_and_noise_spec():
+    """Wire schema v3: route, trajectory count and resolved noise spec flow
+    BackendResult -> BettiEstimate -> Provenance and validate end to end."""
+    import json
+
+    from repro.api import EstimationRequest, EstimationResult, QTDAService
+    from repro.experiments.worked_example import APPENDIX_SIMPLICES
+
+    with QTDAService(max_workers=1) as service:
+        result = service.run(
+            EstimationRequest(
+                simplices=APPENDIX_SIMPLICES,
+                k=1,
+                config=QTDAConfig(
+                    precision_qubits=3,
+                    shots=None,
+                    delta=6.0,
+                    backend="statevector",
+                    noise_channel="depolarizing",
+                    noise_strength=0.02,
+                    n_trajectories=4,
+                    seed=3,
+                ),
+            )
+        )
+    assert result.provenance.engine_route == "trajectory"
+    assert result.provenance.n_trajectories == 4
+    assert result.provenance.noise_spec["channel"] == "depolarizing"
+    assert result.payload["engine_route"] == "trajectory"
+    assert result.payload["n_trajectories"] == 4
+    document = json.loads(result.to_json())
+    EstimationResult.validate_dict(document)
+    assert document["provenance"]["engine_route"] == "trajectory"
+    assert document["provenance"]["n_trajectories"] == 4
+    assert document["provenance"]["noise_spec"]["strength"] == 0.02

@@ -107,3 +107,65 @@ def test_as_dict_rejects_explicit_noise_model_object():
     config = QTDAConfig(noise_model=NoiseModel.depolarizing(0.01))
     with pytest.raises(ValueError, match="noise_channel"):
         config.as_dict()
+
+
+def test_extended_noise_field_validation():
+    with pytest.raises(ValueError):
+        QTDAConfig(noise_two_qubit_channel="depolarizing")  # wrong arity
+    with pytest.raises(ValueError, match="noise_two_qubit_channel"):
+        QTDAConfig(noise_two_qubit_strength=0.1)
+    with pytest.raises(ValueError, match="noise_channel"):
+        QTDAConfig(noise_gate_strengths={"CNOT": 0.1})
+    with pytest.raises(ValueError):
+        QTDAConfig(readout_error=1.5)
+    with pytest.raises(ValueError):
+        QTDAConfig(n_trajectories=0)
+    config = QTDAConfig(
+        noise_channel="depolarizing",
+        noise_strength=0.01,
+        noise_gate_strengths={"CNOT": 0.05},
+        noise_two_qubit_channel="correlated-zz",
+        noise_two_qubit_strength=0.02,
+        readout_error=0.03,
+        n_trajectories=16,
+    )
+    assert config.n_trajectories == 16
+    spec = config.resolved_noise_spec()
+    assert spec.channel == "depolarizing"
+    assert spec.gate_strengths == {"CNOT": 0.05}
+    assert spec.two_qubit_channel == "correlated-zz"
+    assert spec.readout_error == 0.03
+
+
+def test_round_trip_covers_extended_noise_fields():
+    config = QTDAConfig(
+        backend="statevector",
+        shots=None,
+        noise_channel="depolarizing",
+        noise_strength=0.01,
+        noise_gate_strengths={"CNOT": 0.05, "H": 0.0},
+        noise_two_qubit_channel="two-qubit-depolarizing",
+        noise_two_qubit_strength=0.02,
+        readout_error=0.04,
+        n_trajectories=12,
+        fuse_purified=True,
+        seed=9,
+    )
+    restored = QTDAConfig.from_dict(config.as_dict())
+    assert restored == config
+    # The wire layer freezes the mapping into a tuple of pairs; the config
+    # must rebuild the same dict from that shape too.
+    frozen = config.replace(noise_gate_strengths=(("CNOT", 0.05), ("H", 0.0)))
+    assert frozen.noise_gate_strengths == config.noise_gate_strengths
+
+
+def test_pure_state_engines_reject_extended_gate_noise():
+    with pytest.raises(ValueError):
+        QTDAConfig(
+            backend="statevector",
+            circuit_engine="ensemble",
+            noise_two_qubit_channel="correlated-zz",
+            noise_two_qubit_strength=0.05,
+        )
+    # Readout error is classical post-processing — allowed on every engine.
+    QTDAConfig(backend="statevector", circuit_engine="ensemble", readout_error=0.05)

@@ -1,0 +1,92 @@
+"""Tests for zero-noise extrapolation (repro.core.zne)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QTDAConfig, richardson_extrapolate, zero_noise_extrapolation
+from repro.experiments.worked_example import appendix_complex
+
+
+def test_richardson_recovers_polynomial_exactly():
+    # Quadratic data is recovered exactly by the default quadratic fit.
+    strengths = [0.01, 0.02, 0.03, 0.04]
+    values = [0.5 - 3.0 * s + 7.0 * s**2 for s in strengths]
+    at_zero, coefficients = richardson_extrapolate(strengths, values)
+    assert at_zero == pytest.approx(0.5, abs=1e-12)
+    assert len(coefficients) == 3  # degree 2
+
+
+def test_richardson_linear_fit_on_two_points():
+    at_zero, coefficients = richardson_extrapolate([1.0, 2.0], [3.0, 5.0])
+    assert at_zero == pytest.approx(1.0)
+    assert len(coefficients) == 2  # degree 1 is all two points afford
+
+
+def test_richardson_explicit_order():
+    strengths = [0.01, 0.02, 0.03, 0.04]
+    values = [1.0 - 2.0 * s for s in strengths]
+    at_zero, coefficients = richardson_extrapolate(strengths, values, order=1)
+    assert at_zero == pytest.approx(1.0, abs=1e-12)
+    assert len(coefficients) == 2
+
+
+def test_richardson_validation():
+    with pytest.raises(ValueError, match="equal length"):
+        richardson_extrapolate([0.1, 0.2], [1.0])
+    with pytest.raises(ValueError, match="at least two"):
+        richardson_extrapolate([0.1], [1.0])
+    with pytest.raises(ValueError, match="distinct"):
+        richardson_extrapolate([0.1, 0.1], [1.0, 2.0])
+    with pytest.raises(ValueError, match="order"):
+        richardson_extrapolate([0.1, 0.2], [1.0, 2.0], order=5)
+
+
+def _noisy_config(**overrides):
+    params = dict(
+        precision_qubits=3,
+        shots=None,
+        delta=6.0,
+        backend="statevector",
+        noise_channel="depolarizing",
+        noise_strength=0.01,
+        n_trajectories=8,
+        seed=11,
+    )
+    params.update(overrides)
+    return QTDAConfig(**params)
+
+
+def test_zne_requires_declarative_noise():
+    noiseless = QTDAConfig(precision_qubits=3, backend="statevector")
+    with pytest.raises(ValueError, match="noise_channel"):
+        zero_noise_extrapolation(appendix_complex(), 1, noiseless)
+
+
+def test_zne_validates_scale_factors():
+    config = _noisy_config()
+    with pytest.raises(ValueError, match="at least two"):
+        zero_noise_extrapolation(appendix_complex(), 1, config, scale_factors=(1.0,))
+    with pytest.raises(ValueError, match="positive"):
+        zero_noise_extrapolation(appendix_complex(), 1, config, scale_factors=(1.0, -2.0))
+    with pytest.raises(ValueError, match="exceed 1.0"):
+        zero_noise_extrapolation(
+            appendix_complex(), 1, _noisy_config(noise_strength=0.5), scale_factors=(1.0, 3.0)
+        )
+
+
+def test_zne_sweep_runs_on_the_trajectory_route():
+    result = zero_noise_extrapolation(
+        appendix_complex(), 1, _noisy_config(), scale_factors=(1.0, 2.0, 3.0)
+    )
+    assert result.strengths == (0.01, 0.02, 0.03)
+    assert len(result.estimates) == 3
+    assert all(e.engine_route == "trajectory" for e in result.estimates)
+    # β̃ = 2^q · p(0) holds for the extrapolated pair too.
+    dim = 2 ** result.estimates[0].num_system_qubits
+    assert result.betti_extrapolated == pytest.approx(dim * result.p_zero_extrapolated)
+    assert result.betti_rounded == int(round(result.betti_extrapolated))
+    # The extrapolation pulls the noisy estimates towards the noiseless value.
+    np.testing.assert_allclose(result.betti_estimates, [e.betti_estimate for e in result.estimates])
+    payload = result.as_dict()
+    assert payload["engine_routes"] == ["trajectory", "trajectory", "trajectory"]
+    assert payload["strengths"] == [0.01, 0.02, 0.03]

@@ -75,6 +75,28 @@ def test_describe():
     info = model.describe()
     assert info["num_kraus"] == 2
     assert info["gate_filter"] == "all"
+    # The named constructors record what the model *is*, not just its size.
+    assert info["channel"] == "bit-flip"
+    assert info["strength"] == 0.1
+    assert info["spec"]["channel"] == "bit-flip"
+    assert info["spec"]["is_noiseless"] is False
+
+
+def test_describe_hand_built_kraus_has_no_channel_name():
+    model = NoiseModel([np.sqrt(0.99) * np.eye(2), np.sqrt(0.01) * np.array([[0, 1], [1, 0]])])
+    info = model.describe()
+    assert info["channel"] is None
+    assert "spec" not in info
+
+
+def test_to_spec_round_trip_for_named_channels():
+    model = NoiseModel.depolarizing(0.05)
+    spec = model.to_spec()
+    assert spec is not None and spec.channel == "depolarizing" and spec.strength == 0.05
+    rebuilt = NoiseModel.from_spec(spec)
+    assert rebuilt.to_spec() == spec
+    # Gate-filtered models have no declarative form.
+    assert NoiseModel.depolarizing(0.05, gate_filter=["CNOT"]).to_spec() is None
 
 
 def test_noisy_bell_state_stays_valid_density_matrix():
