@@ -16,6 +16,7 @@ from repro.core.api import (
     EstimationRequest,
     EstimationResult,
     ExperimentRequest,
+    ObserveRequest,
     PipelineRequest,
     Provenance,
     QTDAService,
@@ -34,6 +35,7 @@ __all__ = [
     "PipelineRequest",
     "SweepRequest",
     "ExperimentRequest",
+    "ObserveRequest",
     "Request",
     "request_from_dict",
     "Provenance",

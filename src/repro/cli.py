@@ -11,6 +11,7 @@ paper's experiments be regenerated without writing any Python:
     repro-experiments table1 --rows 80            # gearbox Table 1 analogue
     repro-experiments fig4 --scales 7             # accuracy vs grouping scale
     repro-experiments timeseries --windows 12     # Section 5 time-series route
+    repro-experiments timeseries --window-stride 64 --stream   # incremental streaming sweep
 
 Every subcommand prints the same report the corresponding benchmark prints;
 ``--paper-scale`` switches to the full grids described in EXPERIMENTS.md.
@@ -120,14 +121,20 @@ def _run_experiment(name: str, params: dict, as_json: bool) -> str:
     """Execute one experiment through the service API.
 
     Returns the rendered text report (identical to the pre-service output)
-    or, with ``as_json``, the full result envelope as indented JSON.
+    or, with ``as_json``, the full result envelope as indented JSON — plus a
+    ``service_cache_stats`` block with the service's cumulative cache
+    counters (result-cache and spectrum-cache totals, spectrum hit rate).
     """
+    import json
+
     from repro.core.api import ExperimentRequest, QTDAService
 
     with QTDAService() as service:
         result = service.run(ExperimentRequest(experiment=name, params=params))
-    if as_json:
-        return result.to_json(indent=2)
+        if as_json:
+            document = result.as_dict()
+            document["service_cache_stats"] = service.cache_stats()
+            return json.dumps(document, indent=2)
     return result.payload["report"]
 
 
@@ -183,6 +190,23 @@ def _add_timeseries(subparsers) -> None:
     parser.add_argument("--precision", type=int, default=4)
     parser.add_argument("--shots", type=int, default=100)
     parser.add_argument("--stride", type=int, default=16, help="Takens embedding stride")
+    parser.add_argument(
+        "--window-stride",
+        type=int,
+        default=None,
+        help=(
+            "cut overlapping windows (this many samples between window starts) from one "
+            "continuous signal per class instead of the paper's independent windows"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "route the overlapping windows through the incremental streaming engine "
+            "(delta updates between consecutive windows; requires --window-stride)"
+        ),
+    )
     parser.add_argument("--classical", action="store_true", help="use exact Betti numbers instead of QPE estimates")
     parser.add_argument("--seed", type=int, default=7)
     _add_backend_option(parser)
@@ -313,6 +337,8 @@ def _run_timeseries(args) -> str:
         "precision_qubits": args.precision,
         "shots": args.shots,
         "takens_stride": args.stride,
+        "window_stride": args.window_stride,
+        "streaming": args.stream,
         "seed": args.seed,
         "use_quantum": not args.classical,
         "batch": _batch_config(args).as_dict(),

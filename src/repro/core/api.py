@@ -10,8 +10,10 @@ over all of them:
   wire format (``as_dict``/``from_dict``, ``schema_version``):
   :class:`EstimationRequest` (one Betti estimate),
   :class:`PipelineRequest` (a batch of clouds/series/distance matrices to
-  Betti features), :class:`SweepRequest` (a batch × ε-grid sweep) and
-  :class:`ExperimentRequest` (a named paper experiment).
+  Betti features), :class:`SweepRequest` (a batch × ε-grid sweep),
+  :class:`ExperimentRequest` (a named paper experiment) and
+  :class:`ObserveRequest` (raw samples fed to a named online streaming
+  session, served by the incremental sweep engine — DESIGN.md §13).
 * **Results** always arrive in the same :class:`EstimationResult` envelope:
   a payload (the numbers a legacy entry point would have returned) plus
   :class:`Provenance` — backend name, negotiated operator format,
@@ -43,7 +45,7 @@ from typing import Any, ClassVar, Dict, Iterable, Iterator, List, Mapping, Optio
 import numpy as np
 
 from repro.core.backends import backend_capabilities, get_backend, preferred_format
-from repro.core.batch import BatchConfig, BatchFeatureEngine
+from repro.core.batch import BatchConfig, BatchFeatureEngine, StreamingFeatureEngine
 from repro.core.config import QTDAConfig
 from repro.core.estimator import QTDABettiEstimator
 from repro.core.hamiltonian import SpectrumCache
@@ -66,7 +68,10 @@ from repro.utils.validation import check_integer
 SCHEMA_VERSION = 3
 
 #: The request kinds the service understands, in dispatch order.
-REQUEST_KINDS = ("estimate", "pipeline", "sweep", "experiment")
+#: ``observe`` (added within schema version 3 — purely additive) feeds raw
+#: time-series samples into a named streaming session and returns the windows
+#: they completed (DESIGN.md §13).
+REQUEST_KINDS = ("estimate", "pipeline", "sweep", "experiment", "observe")
 
 #: Experiments addressable through :class:`ExperimentRequest` (the CLI
 #: subcommand names).
@@ -536,11 +541,117 @@ class ExperimentRequest(_RequestBase):
         return cls(experiment=body.get("experiment", ""), params=dict(body.get("params", {})))
 
 
+@dataclass(frozen=True)
+class ObserveRequest(_RequestBase):
+    """A chunk of raw time-series samples for an online streaming session.
+
+    The live-serving shape (DESIGN.md §13): samples are appended to the
+    named ``session``'s buffer, and every sliding window they complete is
+    Takens-embedded and advanced *incrementally* through
+    :class:`repro.core.batch.StreamingFeatureEngine` — bit-identical features
+    to a from-scratch sweep over the same windows, at delta cost.  The first
+    request for a session creates it; later requests must carry the same
+    window/stride/epsilons/pipeline configuration (each request is
+    self-contained on the wire, so any replica holding the session state can
+    validate it).  ``samples`` may be empty (a priming request that just
+    opens the session).
+
+    Observe requests are *stateful* — the same request legitimately returns
+    different windows depending on what the session saw before — so they are
+    never result-cached and carry an empty ``request_fingerprint``.
+    """
+
+    kind: ClassVar[str] = "observe"
+
+    samples: Tuple[float, ...] = ()
+    session: str = "default"
+    window_length: int = 0
+    stride: int = 1
+    epsilons: Tuple[float, ...] = ()
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    __hash__ = _request_hash
+
+    def __post_init__(self):
+        if not isinstance(self.session, str) or not self.session:
+            raise ValueError("session must be a non-empty string")
+        arr = np.asarray(self.samples, dtype=float)
+        if arr.ndim > 1:
+            raise ValueError("samples must be a 1-D sequence of raw time-series values")
+        object.__setattr__(self, "samples", tuple(float(x) for x in arr.reshape(-1)))
+        object.__setattr__(
+            self, "window_length", check_integer(self.window_length, "window_length", minimum=1)
+        )
+        object.__setattr__(self, "stride", check_integer(self.stride, "stride", minimum=1))
+        epsilons = tuple(float(e) for e in self.epsilons)
+        if not epsilons:
+            raise ValueError("epsilons must not be empty")
+        if any(e < 0 for e in epsilons):
+            raise ValueError("epsilons must be non-negative")
+        object.__setattr__(self, "epsilons", epsilons)
+        if isinstance(self.pipeline, Mapping):
+            object.__setattr__(self, "pipeline", PipelineConfig.from_dict(dict(self.pipeline)))
+        elif isinstance(self.pipeline, PipelineConfig):
+            object.__setattr__(self, "pipeline", copy.deepcopy(self.pipeline))
+        else:
+            raise TypeError("pipeline must be a PipelineConfig (or its as_dict mapping)")
+
+    @property
+    def seed(self) -> Optional[int]:
+        seed = self.pipeline.estimator.seed
+        return seed if isinstance(seed, (int, np.integer)) else None
+
+    @property
+    def deterministic(self) -> bool:
+        """Always false: the response depends on the session's prior samples."""
+        return False
+
+    def session_config(self) -> Dict[str, Any]:
+        """The session-defining configuration (must match across a session)."""
+        return {
+            "window_length": self.window_length,
+            "stride": self.stride,
+            "epsilons": list(self.epsilons),
+            "pipeline": self.pipeline.as_dict(),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return self._envelope(
+            {
+                "samples": self.samples,
+                "session": self.session,
+                "window_length": self.window_length,
+                "stride": self.stride,
+                "epsilons": self.epsilons,
+                "pipeline": self.pipeline.as_dict(),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObserveRequest":
+        body = cls._check_dict(data, cls.kind)
+        if body.get("pipeline") is not None:
+            body["pipeline"] = PipelineConfig.from_dict(_freeze_config_dict(body["pipeline"]))
+        for key in ("samples", "epsilons"):
+            if body.get(key) is not None:
+                body[key] = _freeze(body[key])
+        return cls(**body)
+
+
 #: Any request the service accepts.
-Request = Union[EstimationRequest, PipelineRequest, SweepRequest, ExperimentRequest]
+Request = Union[
+    EstimationRequest, PipelineRequest, SweepRequest, ExperimentRequest, ObserveRequest
+]
 
 _REQUEST_CLASSES: Dict[str, type] = {
-    cls.kind: cls for cls in (EstimationRequest, PipelineRequest, SweepRequest, ExperimentRequest)
+    cls.kind: cls
+    for cls in (
+        EstimationRequest,
+        PipelineRequest,
+        SweepRequest,
+        ExperimentRequest,
+        ObserveRequest,
+    )
 }
 
 
@@ -828,11 +939,21 @@ def _run_timeseries(params: Dict[str, Any]) -> Tuple[Dict[str, Any], str, Option
         params["batch"] = BatchConfig.from_dict(dict(params["batch"]))
     result = run_timeseries_classification(**params)
     payload = result.as_dict()
+    windowing = (
+        f", window stride = {result.window_stride}" if result.window_stride is not None else ""
+    )
     payload["report"] = (
-        f"Section 5 time-series classification ({result.num_windows} windows, eps = {result.epsilon:.3f})\n"
+        f"Section 5 time-series classification ({result.num_windows} windows, "
+        f"eps = {result.epsilon:.3f}{windowing})\n"
         f"training accuracy   = {result.training_accuracy:.3f}\n"
         f"validation accuracy = {result.validation_accuracy:.3f}"
     )
+    if result.streaming:
+        advances = sum(s.get("incremental_advances", 0) for s in result.streaming_stats.values())
+        rebuilds = sum(s.get("full_builds", 0) for s in result.streaming_stats.values())
+        payload["report"] += (
+            f"\nstreaming engine    : {advances} incremental advances, {rebuilds} full builds"
+        )
     if params.get("use_quantum", True):
         backend = params.get("backend", "exact")
     else:
@@ -854,6 +975,24 @@ _EXPERIMENT_RUNNERS = {
 # ---------------------------------------------------------------------------
 # The service
 # ---------------------------------------------------------------------------
+
+
+class _ObserveSession:
+    """Server-side state of one named streaming session.
+
+    ``key`` is the canonical JSON of the creating request's
+    :meth:`ObserveRequest.session_config` — later requests for the same
+    session name must reproduce it exactly.  ``lock`` serialises sample
+    feeds: the engine's buffer is stateful, so two concurrent ``observe``
+    calls for one session must not interleave.
+    """
+
+    __slots__ = ("engine", "key", "lock")
+
+    def __init__(self, engine: StreamingFeatureEngine, key: Optional[str]):
+        self.engine = engine
+        self.key = key
+        self.lock = threading.Lock()
 
 
 class QTDAService:
@@ -901,6 +1040,8 @@ class QTDAService:
         self.result_cache_size = check_integer(result_cache_size, "result_cache_size", minimum=0)
         self._results: "OrderedDict[str, EstimationResult]" = OrderedDict()
         self._lock = threading.Lock()
+        self._sessions: Dict[str, _ObserveSession] = {}
+        self._sessions_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -914,6 +1055,8 @@ class QTDAService:
             self._closed = True
         if pool is not None:
             pool.shutdown(wait=True)
+        with self._sessions_lock:
+            self._sessions.clear()
 
     def __enter__(self) -> "QTDAService":
         return self
@@ -936,10 +1079,45 @@ class QTDAService:
             if self.spectrum_cache is not None
             else None
         )
+        with self._sessions_lock:
+            sessions = len(self._sessions)
         return {
             "result_cache_entries": cached,
             "result_cache_hits": result_hits,
             "spectrum_cache": spectrum,
+            "open_sessions": sessions,
+        }
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Flat, JSON-safe cumulative cache counters (for CLI envelopes).
+
+        Unlike per-request :class:`Provenance` deltas these are service-lifetime
+        totals; ``spectrum_hit_rate`` is ``None`` until the first lookup.
+        """
+        with self._lock:
+            entries = len(self._results)
+            result_hits = self.result_cache_hits
+        if self.spectrum_cache is not None:
+            hits = self.spectrum_cache.hits
+            misses = self.spectrum_cache.misses
+            total = hits + misses
+            spectrum = {
+                "spectrum_hits": hits,
+                "spectrum_misses": misses,
+                "spectrum_entries": len(self.spectrum_cache),
+                "spectrum_hit_rate": (hits / total) if total else None,
+            }
+        else:
+            spectrum = {
+                "spectrum_hits": 0,
+                "spectrum_misses": 0,
+                "spectrum_entries": 0,
+                "spectrum_hit_rate": None,
+            }
+        return {
+            "result_cache_entries": entries,
+            "result_cache_hits": result_hits,
+            **spectrum,
         }
 
     # -- public API -----------------------------------------------------------
@@ -1028,6 +1206,31 @@ class QTDAService:
         """Wire-format entry point: ``request_from_dict`` then :meth:`run`."""
         return self.run(request_from_dict(data))
 
+    def observe(self, request: ObserveRequest) -> EstimationResult:
+        """Feed samples into a streaming session; returns the completed windows.
+
+        Sugar over :meth:`run` with an explicit type check — the online
+        endpoint of the incremental sweep engine (DESIGN.md §13).  The
+        payload lists one record per *newly completed* window, each with the
+        per-ε feature matrix and the delta statistics (incremental vs full
+        rebuild, simplices destroyed/created); features are bit-identical to
+        a from-scratch batch sweep over the same windows.
+        """
+        if not isinstance(request, ObserveRequest):
+            raise TypeError(f"observe expects an ObserveRequest, got {type(request).__name__}")
+        return self.run(request)
+
+    def close_session(self, session: str = "default") -> bool:
+        """Drop a streaming session's state; ``True`` if it existed."""
+        with self._sessions_lock:
+            return self._sessions.pop(session, None) is not None
+
+    @property
+    def open_sessions(self) -> Tuple[str, ...]:
+        """Names of the currently open streaming sessions (sorted)."""
+        with self._sessions_lock:
+            return tuple(sorted(self._sessions))
+
     def stream_sweep(self, request: SweepRequest) -> Iterator[EstimationResult]:
         """Yield one per-ε :class:`EstimationResult` at a time for a sweep.
 
@@ -1109,6 +1312,10 @@ class QTDAService:
 
     def _cacheable(self, request: Request) -> bool:
         if self.result_cache_size <= 0:
+            return False
+        if isinstance(request, ObserveRequest):
+            # Stateful by design: the response depends on the session's
+            # buffered samples, so identical requests legitimately differ.
             return False
         if isinstance(request, (PipelineRequest, SweepRequest)):
             return request.deterministic
@@ -1248,6 +1455,8 @@ class QTDAService:
                 None,
                 None,
             )
+        if isinstance(request, ObserveRequest):
+            return self._execute_observe(request)
         # ExperimentRequest
         runner = _EXPERIMENT_RUNNERS[request.experiment]
         payload, backend_name, seed = runner(request.param_dict)
@@ -1256,6 +1465,86 @@ class QTDAService:
         except ValueError:
             operator_format = "dense"
         return payload, backend_name, operator_format, seed, None, None, None, None, None
+
+    def _session_for(self, request: ObserveRequest) -> _ObserveSession:
+        """Get or create the named session; validate the configuration key."""
+        try:
+            key: Optional[str] = canonical_json(request.session_config())
+        except (TypeError, ValueError):
+            # Unserialisable pipeline (explicit noise_model object): the
+            # session still works, but config matching degrades to trusting
+            # the caller (both sides carry a None key).
+            key = None
+        with self._sessions_lock:
+            session = self._sessions.get(request.session)
+            if session is None:
+                engine = StreamingFeatureEngine(
+                    request.pipeline,
+                    window_length=request.window_length,
+                    stride=request.stride,
+                    epsilons=request.epsilons,
+                    spectrum_cache=self.spectrum_cache,
+                )
+                session = _ObserveSession(engine, key)
+                self._sessions[request.session] = session
+        if session.key != key:
+            raise ValueError(
+                f"observe request for session {request.session!r} does not match the "
+                "session's window_length/stride/epsilons/pipeline configuration; "
+                "close_session() first to reconfigure"
+            )
+        return session
+
+    def _execute_observe(
+        self, request: ObserveRequest
+    ) -> Tuple[
+        Dict[str, Any],
+        str,
+        str,
+        Optional[int],
+        Optional[float],
+        Optional[str],
+        Optional[int],
+        Optional[int],
+        Optional[Dict[str, Any]],
+    ]:
+        session = self._session_for(request)
+        with session.lock:
+            engine = session.engine
+            windows = engine.extend(request.samples)
+            payload: Dict[str, Any] = {
+                "session": request.session,
+                "samples_seen": engine.samples_seen,
+                "windows_emitted": engine.windows_emitted,
+                "new_windows": len(windows),
+                "epsilons": list(request.epsilons),
+                "feature_names": list(engine.feature_names),
+                "windows": [
+                    {
+                        "index": w.index,
+                        "start": w.start,
+                        "features": w.features,
+                        "incremental": w.incremental,
+                        "unchanged": w.unchanged,
+                        "simplices_destroyed": w.simplices_destroyed,
+                        "simplices_created": w.simplices_created,
+                    }
+                    for w in windows
+                ],
+                "engine_stats": dict(engine.stats),
+            }
+            operator_format = engine.negotiated_operator_format()
+        return (
+            payload,
+            self._pipeline_backend(request.pipeline),
+            operator_format,
+            request.seed,
+            None,
+            None,
+            None,
+            None,
+            None,
+        )
 
 
 def describe_backends() -> List[Dict[str, Any]]:
@@ -1273,6 +1562,7 @@ __all__ = [
     "PipelineRequest",
     "SweepRequest",
     "ExperimentRequest",
+    "ObserveRequest",
     "Request",
     "request_from_dict",
     "Provenance",

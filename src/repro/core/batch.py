@@ -36,7 +36,7 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +49,8 @@ from repro.tda.laplacian import (
     combinatorial_laplacian_operator,
     laplacian_operator_from_flag_arrays,
 )
-from repro.tda.rips import RipsComplex, flag_complex_arrays
+from repro.tda.incremental import IncrementalFlagComplex, SlidingDistanceMatrix
+from repro.tda.rips import FlagComplexArrays, RipsComplex, flag_complex_arrays
 from repro.tda.takens import TakensEmbedding
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_integer
@@ -135,6 +136,73 @@ def _small_eigenvalues(laplacian: np.ndarray, cache: Optional[SpectrumCache]) ->
     return laplacian_spectrum_info(laplacian)[0]
 
 
+def _negotiate_laplacian_format(config: PipelineConfig, operator_format: Optional[str]) -> str:
+    """Negotiated operator format for estimator handoffs (DESIGN.md §9).
+
+    An explicit ``operator_format`` wins; otherwise the configured estimator
+    backend's format preference decides.  Classical-only runs
+    (``use_quantum=False``) stay dense — their eigenvalue counts densify
+    anyway.
+    """
+    if operator_format is not None:
+        return operator_format
+    if not config.use_quantum:
+        return "dense"
+    from repro.core.backends import get_backend, preferred_format
+
+    return preferred_format(get_backend(config.estimator.backend))
+
+
+def _flag_features(
+    arrays: FlagComplexArrays,
+    config: PipelineConfig,
+    cache: Optional[SpectrumCache],
+    estimator: Optional[QTDABettiEstimator],
+    compute_exact: bool,
+    sparse_handoff: bool,
+    operators: Optional[Dict[int, object]] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Feature rows from prepared flag-complex arrays (the fast-path inner loop).
+
+    Shared by the per-sample sweep (:class:`_SampleSweeper`) and the
+    incremental window engine (:class:`StreamingFeatureEngine`), so both
+    routes run literally the same per-dimension code and stay bit-identical.
+
+    ``operators`` is the streaming engine's reuse hook: a mutable mapping
+    ``k -> LaplacianOperator`` whose existing entries are handed to the
+    estimator verbatim (their memoised fingerprints keep
+    :class:`SpectrumCache` keys stable across windows, so unchanged
+    sub-Laplacians skip both the rebuild and the rehash), and whose missing
+    entries are built here and stored back.
+    """
+    dims = config.homology_dimensions
+    atol = config.estimator.zero_eigenvalue_atol
+    estimated = np.empty(len(dims))
+    exact = np.empty(len(dims)) if compute_exact else None
+    for f_idx, k in enumerate(dims):
+        if arrays.num_simplices(k) == 0:
+            estimated[f_idx] = 0.0
+            if exact is not None:
+                exact[f_idx] = 0.0
+            continue
+        laplacian = operators.get(k) if operators is not None else None
+        if laplacian is None:
+            laplacian = laplacian_operator_from_flag_arrays(arrays, k, sparse_format=sparse_handoff)
+            if operators is not None:
+                operators[k] = laplacian
+        exact_value: Optional[float] = None
+        if exact is not None:
+            eigenvalues = _small_eigenvalues(laplacian, cache)
+            exact_value = float(np.count_nonzero(np.abs(eigenvalues) <= atol))
+            exact[f_idx] = exact_value
+        if estimator is not None:
+            estimate = estimator.estimate_from_laplacian(laplacian)
+            estimated[f_idx] = float(estimate.betti_estimate)
+        else:
+            estimated[f_idx] = exact_value if exact_value is not None else 0.0
+    return estimated, exact
+
+
 class _SampleSweeper:
     """Stateful per-sample feature computer: one distance matrix, many ε.
 
@@ -172,46 +240,36 @@ class _SampleSweeper:
     def features_at(self, epsilon: float) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Feature rows ``(estimated (F,), exact (F,) or None)`` at one ε."""
         config = self.config
-        dims = config.homology_dimensions
-        atol = config.estimator.zero_eigenvalue_atol
         if self.fast:
             arrays = flag_complex_arrays(self.task.distances, epsilon, config.max_complex_dimension)
-            num_simplices = arrays.num_simplices
-            laplacian_of = lambda k: laplacian_operator_from_flag_arrays(  # noqa: E731
-                arrays, k, sparse_format=self.sparse_handoff
+            return _flag_features(
+                arrays, config, self.cache, self.estimator, self.compute_exact, self.sparse_handoff
             )
-            complex_ = None
-        else:
-            # Generic clique route for dimensions above 2; successive ε share
-            # the distance matrix via with_epsilon.
-            self._rips = (
-                RipsComplex.from_distance_matrix(
-                    self.task.distances, epsilon, config.max_complex_dimension
-                )
-                if self._rips is None
-                else self._rips.with_epsilon(epsilon)
+        # Generic clique route for dimensions above 2; successive ε share
+        # the distance matrix via with_epsilon.
+        self._rips = (
+            RipsComplex.from_distance_matrix(
+                self.task.distances, epsilon, config.max_complex_dimension
             )
-            complex_ = self._rips.complex()
-            num_simplices = complex_.num_simplices
-            laplacian_of = lambda k: combinatorial_laplacian_operator(  # noqa: E731
-                complex_, k, sparse_format=self.sparse_handoff
-            )
+            if self._rips is None
+            else self._rips.with_epsilon(epsilon)
+        )
+        complex_ = self._rips.complex()
+        dims = config.homology_dimensions
         estimated = np.empty(len(dims))
         exact = np.empty(len(dims)) if self.compute_exact else None
         for f_idx, k in enumerate(dims):
-            if num_simplices(k) == 0:
+            if complex_.num_simplices(k) == 0:
                 estimated[f_idx] = 0.0
                 if exact is not None:
                     exact[f_idx] = 0.0
                 continue
-            laplacian = laplacian_of(k)
+            laplacian = combinatorial_laplacian_operator(
+                complex_, k, sparse_format=self.sparse_handoff
+            )
             exact_value: Optional[float] = None
             if exact is not None:
-                if self.fast:
-                    eigenvalues = _small_eigenvalues(laplacian, self.cache)
-                    exact_value = float(np.count_nonzero(np.abs(eigenvalues) <= atol))
-                else:
-                    exact_value = float(betti_number(complex_, k))
+                exact_value = float(betti_number(complex_, k))
                 exact[f_idx] = exact_value
             if self.estimator is not None:
                 estimate = self.estimator.estimate_from_laplacian(laplacian)
@@ -412,6 +470,41 @@ class BatchFeatureEngine:
                 rows = list(pool.map(lambda s: s.features_at(eps)[0], sweepers))
                 yield eps, np.vstack(rows)
 
+    def iter_windows(
+        self,
+        series: np.ndarray,
+        window_length: int,
+        stride: int = 1,
+        epsilons: Optional[Iterable[float]] = None,
+    ) -> Iterator["WindowFeatures"]:
+        """Slide a window over one raw series through the incremental engine.
+
+        Streaming counterpart of embedding every window and calling
+        :meth:`sweep` / :meth:`iter_sweep` on the resulting clouds — and
+        bit-identical to them (window ``i`` plays the role of sample ``i``,
+        including its derived estimator seed).  Instead of rebuilding each
+        window's geometry from scratch, the engine advances a
+        :class:`repro.tda.incremental.SlidingDistanceMatrix` and per-ε
+        :class:`repro.tda.incremental.IncrementalFlagComplex` states, reusing
+        this engine's spectrum cache, so overlapping windows
+        (``stride << window_length``) cost per-advance work instead of
+        per-window work.  Yields one :class:`WindowFeatures` per window as
+        soon as enough samples arrived.
+        """
+        engine = StreamingFeatureEngine(
+            self.config,
+            window_length=window_length,
+            stride=stride,
+            epsilons=epsilons,
+            spectrum_cache=self._cache,
+            spectrum_cache_size=self.batch.spectrum_cache_size,
+            operator_format=self.batch.operator_format,
+        )
+        arr = np.asarray(series, dtype=float).reshape(-1)
+        for pos in range(0, arr.size, engine.stride):
+            for window in engine.extend(arr[pos : pos + engine.stride]):
+                yield window
+
     def features_and_exact(
         self, clouds: Sequence[np.ndarray], epsilon: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -461,13 +554,7 @@ class BatchFeatureEngine:
         re-sparsify.  Classical-only runs (``use_quantum=False``) stay dense —
         their eigenvalue counts densify anyway.
         """
-        if self.batch.operator_format is not None:
-            return self.batch.operator_format
-        if not self.config.use_quantum:
-            return "dense"
-        from repro.core.backends import get_backend, preferred_format
-
-        return preferred_format(get_backend(self.config.estimator.backend))
+        return _negotiate_laplacian_format(self.config, self.batch.operator_format)
 
     def _execute(
         self, tasks: List[_SampleTask], want_exact: bool
@@ -503,3 +590,326 @@ class BatchFeatureEngine:
                     for index, value in chunk_result:
                         results[index] = value
         return results  # type: ignore[return-value]
+
+
+# -- incremental streaming ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowFeatures:
+    """One emitted window of a streaming sweep (see :class:`StreamingFeatureEngine`).
+
+    ``index`` doubles as the estimator-seed derivation index, so window ``i``
+    of a stream gets exactly the per-sample seed that cloud ``i`` of the
+    equivalent batched sweep would (``derive_seed(config.estimator.seed, i)``)
+    — the anchor of the bit-identity guarantee.
+    """
+
+    index: int                    #: window number, 0-based (= seed derivation index)
+    start: int                    #: absolute raw-sample index of the window start
+    epsilons: Tuple[float, ...]   #: grouping scales, in evaluation order
+    features: np.ndarray          #: (num_epsilons, num_features) estimated Betti features
+    incremental: bool             #: advanced by deltas (False: first window / full replace)
+    unchanged: bool               #: every ε complex bit-identical to the previous window's
+    simplices_destroyed: int      #: delta size, summed over ε (0 when unchanged)
+    simplices_created: int
+
+
+class _EpsilonState:
+    """Per-ε streaming state: the incremental complex plus reusable artefacts."""
+
+    __slots__ = ("complex", "operators", "row")
+
+    def __init__(self, complex_: IncrementalFlagComplex):
+        self.complex = complex_
+        #: k -> LaplacianOperator built from the *current* arrays; invalidated
+        #: per dimension by the delta's changed flags, so unchanged
+        #: sub-Laplacians keep their memoised fingerprints across windows.
+        self.operators: Dict[int, object] = {}
+        #: cached classical feature row (pure function of the arrays); never
+        #: used in quantum mode, where per-window seeds must differ.
+        self.row: Optional[np.ndarray] = None
+
+
+class StreamingFeatureEngine:
+    """Online sliding-window Betti features with incremental window advances.
+
+    Feed raw time-series samples one at a time (:meth:`observe`) or in chunks
+    (:meth:`extend`); every time a full window of ``window_length`` samples is
+    available the engine emits its Betti features and advances the window by
+    ``stride``.  The features are **bit-identical** to Takens-embedding each
+    window and running it through :meth:`BatchFeatureEngine.sweep` /
+    :meth:`~BatchFeatureEngine.iter_sweep` (window index = sample index), but
+    the per-window cost is incremental (DESIGN.md §13):
+
+    - the embedded point cloud advances by point enter/leave whenever the
+      window stride is a multiple of the Takens stride, so only the entering
+      points' distances are computed (:class:`SlidingDistanceMatrix`);
+    - each ε's flag complex is patched with simplex deltas instead of
+      re-enumerated (:class:`IncrementalFlagComplex`);
+    - per-dimension Laplacian operators survive across windows when their
+      inputs didn't change, so their memoised fingerprints make
+      :class:`SpectrumCache` lookups O(1) and unchanged sub-Laplacians skip
+      the eigensolve, the rebuild and the rehash;
+    - in classical mode (``use_quantum=False``) a fully unchanged ε state
+      reuses the previous feature row outright.
+
+    When ``stride % takens_stride != 0`` (window advances shift every
+    embedded point's coordinates) or the windows don't overlap in embedded
+    points, the engine falls back to a full per-window rebuild *through the
+    same delta path* (``leave == num_points``), still bit-identical.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        window_length: int,
+        stride: int = 1,
+        epsilons: Optional[Iterable[float]] = None,
+        spectrum_cache: Optional[SpectrumCache] = None,
+        spectrum_cache_size: int = 1024,
+        operator_format: Optional[str] = None,
+        **overrides,
+    ):
+        base = config if config is not None else PipelineConfig()
+        self.config = apply_pipeline_overrides(base, overrides)
+        if self.config.max_complex_dimension > 2:
+            raise ValueError(
+                "StreamingFeatureEngine requires max_complex_dimension <= 2 "
+                "(the flag-array fast path the incremental layer patches)"
+            )
+        self.window_length = check_integer(window_length, "window_length", minimum=1)
+        self.stride = check_integer(stride, "stride", minimum=1)
+        scales = tuple(
+            float(e) for e in (epsilons if epsilons is not None else (self.config.epsilon,))
+        )
+        if not scales:
+            raise ValueError("epsilons must contain at least one grouping scale")
+        self.epsilons = scales
+        if spectrum_cache is not None:
+            self._cache: Optional[SpectrumCache] = spectrum_cache
+        elif spectrum_cache_size > 0:
+            self._cache = SpectrumCache(spectrum_cache_size)
+        else:
+            self._cache = None
+        self._format = _negotiate_laplacian_format(self.config, operator_format)
+        self._sparse_handoff = self._format == "sparse"
+        self._takens = TakensEmbedding(
+            dimension=self.config.takens_dimension,
+            delay=self.config.takens_delay,
+            stride=self.config.takens_stride,
+        )
+        span = self._takens.window_size
+        if self.window_length < span:
+            raise ValueError(
+                f"window_length={self.window_length} is shorter than the Takens span {span}"
+            )
+        self._points_per_window = (self.window_length - span) // self._takens.stride + 1
+        # Incrementality precondition: a window advance maps onto point
+        # enter/leave only when the window stride is a multiple of the Takens
+        # stride (otherwise every embedded point's coordinates shift).  A
+        # non-overlapping advance degenerates to leave == num_points, the
+        # full-replacement route.
+        if self.stride % self._takens.stride == 0:
+            self._leave = min(self.stride // self._takens.stride, self._points_per_window)
+        else:
+            self._leave = self._points_per_window
+        self._buffer = np.zeros(0, dtype=float)
+        self._buffer_start = 0  # absolute raw index of buffer[0]
+        self._next_start = 0    # absolute raw index of the next window to emit
+        self._window_index = 0
+        self._sdm: Optional[SlidingDistanceMatrix] = None
+        self._states: Dict[float, _EpsilonState] = {}
+        #: Observability counters (cumulative; surfaced by the observe endpoint).
+        self.stats: Dict[str, int] = {
+            "windows": 0,
+            "full_builds": 0,
+            "incremental_advances": 0,
+            "unchanged_windows": 0,
+            "feature_rows_reused": 0,
+            "simplices_destroyed": 0,
+            "simplices_created": 0,
+        }
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def feature_names(self) -> Tuple[str, ...]:
+        return tuple(f"betti_{k}" for k in self.config.homology_dimensions)
+
+    @property
+    def points_per_window(self) -> int:
+        """Embedded points per window under the configured Takens embedding."""
+        return self._points_per_window
+
+    @property
+    def windows_emitted(self) -> int:
+        return self._window_index
+
+    @property
+    def samples_seen(self) -> int:
+        return self._buffer_start + int(self._buffer.size)
+
+    def negotiated_operator_format(self) -> str:
+        """Public view of the negotiated handoff format (service provenance)."""
+        return self._format
+
+    def observe(self, sample: float) -> Optional["WindowFeatures"]:
+        """Feed one raw sample; the completed window's features, or ``None``.
+
+        A single sample completes at most one window (``stride >= 1``), so
+        the return value is scalar — the live-serving call shape.
+        """
+        emitted = self.extend((float(sample),))
+        return emitted[-1] if emitted else None
+
+    def extend(self, samples: Iterable[float]) -> List["WindowFeatures"]:
+        """Feed a chunk of raw samples; every window they complete, in order."""
+        arr = np.asarray(samples, dtype=float).reshape(-1)
+        if arr.size:
+            self._buffer = np.concatenate([self._buffer, arr]) if self._buffer.size else arr
+        emitted: List[WindowFeatures] = []
+        while self._buffer_start + self._buffer.size - self._next_start >= self.window_length:
+            emitted.append(self._emit())
+        return emitted
+
+    def process(self, series: np.ndarray) -> np.ndarray:
+        """Feed a whole series; features stacked ``(num_epsilons, windows, F)``.
+
+        Shape- and bit-compatible with :meth:`BatchFeatureEngine.sweep` over
+        the same (embedded) sliding windows.
+        """
+        emitted = self.extend(np.asarray(series, dtype=float).reshape(-1))
+        if not emitted:
+            return np.zeros((len(self.epsilons), 0, len(self.config.homology_dimensions)))
+        return np.stack([window.features for window in emitted], axis=1)
+
+    # -- window advance -------------------------------------------------------
+    def _emit(self) -> "WindowFeatures":
+        start = self._next_start
+        incremental, unchanged, destroyed, created = self._advance_geometry(start)
+        features = self._window_features()
+        window = WindowFeatures(
+            index=self._window_index,
+            start=start,
+            epsilons=self.epsilons,
+            features=features,
+            incremental=incremental,
+            unchanged=unchanged,
+            simplices_destroyed=destroyed,
+            simplices_created=created,
+        )
+        self._window_index += 1
+        self.stats["windows"] += 1
+        self._next_start = start + self.stride
+        drop = self._next_start - self._buffer_start
+        if drop > 0:
+            # Samples before the next window start can never be read again.
+            self._buffer = self._buffer[drop:]
+            self._buffer_start = self._next_start
+        return window
+
+    def _advance_geometry(self, start: int) -> Tuple[bool, bool, int, int]:
+        """Advance distances + per-ε complexes to the window at ``start``.
+
+        Returns ``(incremental, unchanged, simplices_destroyed, simplices_created)``.
+        """
+        offset = start - self._buffer_start
+        n = self._points_per_window
+        if self._sdm is None:
+            window = self._buffer[offset : offset + self.window_length]
+            cloud = self._takens.transform(window)
+            self._sdm = SlidingDistanceMatrix(cloud)
+            distances = self._sdm.distances
+            self._states = {
+                eps: _EpsilonState(
+                    IncrementalFlagComplex(distances, eps, self.config.max_complex_dimension)
+                )
+                for eps in self.epsilons
+            }
+            self.stats["full_builds"] += 1
+            return False, False, 0, 0
+        if self._leave >= n:
+            # Full point replacement (fallback / non-overlapping windows):
+            # same delta path with leave == num_points.
+            window = self._buffer[offset : offset + self.window_length]
+            new_points = self._takens.transform(window)
+            self.stats["full_builds"] += 1
+            incremental = False
+        else:
+            # Only the entering embedded points are materialised; their
+            # gathers read the same raw floats a from-scratch embedding
+            # would, so the coordinates are bitwise identical.
+            entering = np.arange(n - self._leave, n)
+            gather = (
+                offset
+                + entering[:, None] * self._takens.stride
+                + np.arange(self._takens.dimension)[None, :] * self._takens.delay
+            )
+            new_points = self._buffer[gather]
+            self.stats["incremental_advances"] += 1
+            incremental = True
+        previous = self._sdm.distances
+        distances = self._sdm.advance(self._leave, new_points)
+        if np.array_equal(previous, distances):
+            # Identical geometry: every ε state (arrays, operators,
+            # fingerprints, classical feature rows) carries over untouched.
+            self.stats["unchanged_windows"] += 1
+            return incremental, True, 0, 0
+        destroyed = created = 0
+        all_unchanged = True
+        for eps in self.epsilons:
+            state = self._states[eps]
+            delta = state.complex.advance(self._leave, distances)
+            destroyed += delta.num_destroyed
+            created += delta.num_created
+            if delta.unchanged:
+                # Same arrays by content: operators and rows stay valid.
+                continue
+            all_unchanged = False
+            state.row = None
+            if delta.vertices_changed or delta.edges_changed:
+                state.operators.pop(0, None)
+            if delta.edges_changed or delta.triangles_changed:
+                state.operators.pop(1, None)
+                state.operators.pop(2, None)
+        self.stats["simplices_destroyed"] += destroyed
+        self.stats["simplices_created"] += created
+        if all_unchanged:
+            self.stats["unchanged_windows"] += 1
+        return incremental, all_unchanged, destroyed, created
+
+    def _window_features(self) -> np.ndarray:
+        """Features of the current window — same loop order as the batch sweep."""
+        estimator: Optional[QTDABettiEstimator] = None
+        if self.config.use_quantum:
+            estimator = QTDABettiEstimator(
+                self.config.estimator.replace(
+                    seed=derive_seed(self.config.estimator.seed, self._window_index)
+                ),
+                spectrum_cache=self._cache,
+            )
+        compute_exact = not self.config.use_quantum
+        features = np.empty((len(self.epsilons), len(self.config.homology_dimensions)))
+        for e_idx, eps in enumerate(self.epsilons):
+            state = self._states[eps]
+            if estimator is None and state.row is not None:
+                # Classical features are a pure function of the (unchanged)
+                # arrays; quantum estimates are not (per-window seeds differ
+                # by design), so the row cache never applies there.
+                features[e_idx] = state.row
+                self.stats["feature_rows_reused"] += 1
+                continue
+            row, _ = _flag_features(
+                state.complex.arrays,
+                self.config,
+                self._cache,
+                estimator,
+                compute_exact,
+                self._sparse_handoff,
+                operators=state.operators,
+            )
+            features[e_idx] = row
+            if estimator is None:
+                state.row = row
+        return features

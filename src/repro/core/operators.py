@@ -116,6 +116,7 @@ class DenseOperator(LaplacianOperator):
         arr = np.ascontiguousarray(np.asarray(matrix, dtype=float))
         super().__init__(arr.shape)
         self._matrix = arr
+        self._fingerprint: Optional[bytes] = None
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         return self._matrix @ np.asarray(x, dtype=float)
@@ -127,8 +128,13 @@ class DenseOperator(LaplacianOperator):
         return _sparse.csr_matrix(self._matrix)
 
     def fingerprint(self) -> bytes:
-        digest = hashlib.sha1(self._matrix.tobytes()).digest()
-        return b"dense" + self.dim.to_bytes(8, "little") + digest
+        # Memoised: operators are treated as immutable once constructed, so a
+        # reused operator (e.g. across unchanged streaming windows) hashes its
+        # matrix exactly once and SpectrumCache lookups become O(1).
+        if self._fingerprint is None:
+            digest = hashlib.sha1(self._matrix.tobytes()).digest()
+            self._fingerprint = b"dense" + self.dim.to_bytes(8, "little") + digest
+        return self._fingerprint
 
     def gershgorin_bound(self) -> float:
         return _dense_gershgorin(self._matrix)
@@ -151,6 +157,7 @@ class SparseOperator(LaplacianOperator):
         csr = matrix.tocsr().astype(float, copy=False)
         super().__init__(csr.shape)
         self._matrix = csr
+        self._fingerprint: Optional[bytes] = None
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         return self._matrix @ np.asarray(x, dtype=float)
@@ -162,6 +169,9 @@ class SparseOperator(LaplacianOperator):
         return self._matrix
 
     def fingerprint(self) -> bytes:
+        # Memoised under the same immutability assumption as DenseOperator.
+        if self._fingerprint is not None:
+            return self._fingerprint
         # Canonicalise so that equal matrices with different internal layouts
         # (unsorted indices, explicit duplicates/zeros) hash identically.
         canonical = self._matrix.copy()
@@ -172,7 +182,8 @@ class SparseOperator(LaplacianOperator):
         h.update(np.ascontiguousarray(canonical.data, dtype=float).tobytes())
         h.update(np.ascontiguousarray(canonical.indices, dtype=np.int64).tobytes())
         h.update(np.ascontiguousarray(canonical.indptr, dtype=np.int64).tobytes())
-        return b"sparse" + self.dim.to_bytes(8, "little") + h.digest()
+        self._fingerprint = b"sparse" + self.dim.to_bytes(8, "little") + h.digest()
+        return self._fingerprint
 
     def gershgorin_bound(self) -> float:
         if self.dim == 0:

@@ -15,8 +15,15 @@ from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive_integer
 
 
-def sliding_windows(series: np.ndarray, window_length: int, stride: int | None = None) -> np.ndarray:
+def sliding_windows(
+    series: np.ndarray, window_length: int, stride: int | None = None, copy: bool = True
+) -> np.ndarray:
     """Segment a 1-D series into (possibly overlapping) windows.
+
+    Built on :func:`numpy.lib.stride_tricks.sliding_window_view`, so the
+    segmentation itself is zero-copy regardless of how densely the windows
+    overlap; only the final materialisation (``copy=True``) touches
+    ``O(windows · length)`` memory.
 
     Parameters
     ----------
@@ -27,14 +34,19 @@ def sliding_windows(series: np.ndarray, window_length: int, stride: int | None =
     stride:
         Step between window starts; defaults to ``window_length``
         (non-overlapping windows).
+    copy:
+        Return a contiguous, writable copy (the default, and the historical
+        behaviour).  ``copy=False`` returns the read-only strided view —
+        O(1) memory, ideal for feeding overlapping windows to consumers that
+        only read them.
     """
     x = np.asarray(series, dtype=float).reshape(-1)
     length = check_positive_integer(window_length, "window_length")
     step = length if stride is None else check_positive_integer(stride, "stride")
     if x.size < length:
         raise ValueError(f"series of length {x.size} is shorter than the window length {length}")
-    starts = np.arange(0, x.size - length + 1, step)
-    return np.stack([x[s : s + length] for s in starts])
+    view = np.lib.stride_tricks.sliding_window_view(x, length)[::step]
+    return np.array(view) if copy else view
 
 
 def windowed_dataset(

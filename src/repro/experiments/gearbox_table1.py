@@ -294,6 +294,13 @@ class TimeseriesClassificationResult:
     num_windows: int
     epsilon: float
     feature_names: Tuple[str, ...]
+    #: Step between window starts when windows overlap (``None`` reproduces
+    #: the paper's independent windows).
+    window_stride: Optional[int] = None
+    #: Whether features came through the incremental streaming engine.
+    streaming: bool = False
+    #: Engine delta counters per class label when ``streaming`` (else empty).
+    streaming_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         """Machine-readable view (the service API's experiment payload)."""
@@ -303,6 +310,9 @@ class TimeseriesClassificationResult:
             "num_windows": self.num_windows,
             "epsilon": self.epsilon,
             "feature_names": list(self.feature_names),
+            "window_stride": self.window_stride,
+            "streaming": self.streaming,
+            "streaming_stats": {k: dict(v) for k, v in self.streaming_stats.items()},
         }
 
 
@@ -326,6 +336,8 @@ def run_timeseries_classification(
     circuit_engine: str = "auto",
     n_trajectories: int = 8,
     readout_error: float = 0.0,
+    window_stride: Optional[int] = None,
+    streaming: bool = False,
 ) -> TimeseriesClassificationResult:
     """Classify healthy vs faulty gearbox windows from Betti-number features.
 
@@ -333,12 +345,42 @@ def run_timeseries_classification(
     Rips complex, ``{β̃_0, β̃_1}`` features, then a logistic-regression
     classifier.  The stride of the Takens embedding subsamples the embedded
     cloud so the Rips complexes stay small enough for the simulator.
+
+    ``window_stride`` switches from the paper's independent windows to
+    *overlapping* windows cut from one continuous vibration signal per class
+    (step ``window_stride`` between window starts) — the condition-monitoring
+    shape where consecutive windows share most of their samples.
+    ``streaming`` additionally routes each class's signal through the
+    incremental :class:`~repro.core.batch.StreamingFeatureEngine`
+    (DESIGN.md §13) instead of rebuilding every window from scratch; it
+    requires ``window_stride``.
     """
-    windows, labels = generate_gearbox_dataset(
-        num_samples_per_class=num_samples_per_class,
-        window_length=window_length,
-        seed=seed,
-    )
+    if streaming and window_stride is None:
+        raise ValueError("streaming=True requires window_stride (overlapping windows)")
+    signals: Optional[Dict[int, np.ndarray]] = None
+    if window_stride is None:
+        windows, labels = generate_gearbox_dataset(
+            num_samples_per_class=num_samples_per_class,
+            window_length=window_length,
+            seed=seed,
+        )
+    else:
+        from repro.datasets.gearbox import generate_gearbox_signal
+        from repro.datasets.windows import sliding_windows
+
+        # One continuous signal per class, long enough for exactly
+        # num_samples_per_class overlapping windows at the requested stride.
+        series_length = window_length + int(window_stride) * (num_samples_per_class - 1)
+        signals = {
+            label: generate_gearbox_signal(
+                series_length, faulty=bool(label), seed=derive_seed(seed, label + 1)
+            )
+            for label in (0, 1)
+        }
+        windows = np.vstack(
+            [sliding_windows(signals[label], window_length, window_stride) for label in (0, 1)]
+        )
+        labels = np.repeat([0, 1], num_samples_per_class)
     embedder = TakensEmbedding(dimension=takens_dimension, delay=takens_delay, stride=takens_stride)
     clouds = [embedder.transform(window) for window in windows]
     eps = epsilon if epsilon is not None else _default_epsilon(clouds, percentile=epsilon_percentile)
@@ -357,7 +399,30 @@ def run_timeseries_classification(
         if use_quantum
         else None
     )
-    features, _ = _betti_features(clouds, eps, (0, 1), estimator_config, batch=batch)
+    streaming_stats: Dict[str, Dict[str, int]] = {}
+    if streaming:
+        assert signals is not None
+        from repro.core.batch import StreamingFeatureEngine
+
+        pipeline = PipelineConfig(
+            epsilon=float(eps),
+            homology_dimensions=(0, 1),
+            use_quantum=estimator_config is not None,
+            estimator=estimator_config if estimator_config is not None else QTDAConfig(),
+            takens_dimension=takens_dimension,
+            takens_delay=takens_delay,
+            takens_stride=takens_stride,
+        )
+        per_class = []
+        for label in (0, 1):
+            engine = StreamingFeatureEngine(
+                pipeline, window_length=window_length, stride=int(window_stride), epsilons=(eps,)
+            )
+            per_class.append(engine.process(signals[label])[0])  # (W, F) at the single ε
+            streaming_stats[str(label)] = {k: int(v) for k, v in engine.stats.items()}
+        features = np.vstack(per_class)
+    else:
+        features, _ = _betti_features(clouds, eps, (0, 1), estimator_config, batch=batch)
     train_acc, val_acc = _fit_and_score(features, labels, train_fraction, derive_seed(seed, 99))
     return TimeseriesClassificationResult(
         training_accuracy=train_acc,
@@ -365,4 +430,7 @@ def run_timeseries_classification(
         num_windows=len(clouds),
         epsilon=eps,
         feature_names=("betti_0", "betti_1"),
+        window_stride=None if window_stride is None else int(window_stride),
+        streaming=bool(streaming),
+        streaming_stats=streaming_stats,
     )

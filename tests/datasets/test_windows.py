@@ -48,3 +48,26 @@ def test_windowed_dataset_reproducible():
     b = windowed_dataset(signals, window_length=50, seed=3)
     assert np.array_equal(a[0], b[0])
     assert np.array_equal(a[1], b[1])
+
+
+def test_sliding_windows_copy_false_is_readonly_view():
+    series = np.arange(20.0)
+    view = sliding_windows(series, window_length=8, stride=4, copy=False)
+    copied = sliding_windows(series, window_length=8, stride=4, copy=True)
+    assert np.array_equal(view, copied)
+    # The view shares the series' memory (O(1) no matter the overlap)...
+    assert np.shares_memory(view, series)
+    assert not np.shares_memory(copied, series)
+    # ...and is read-only, so consumers cannot corrupt the source series.
+    assert not view.flags.writeable
+    with pytest.raises(ValueError):
+        view[0, 0] = 99.0
+    copied[0, 0] = 99.0  # the copy stays writable (historical behaviour)
+
+
+def test_sliding_windows_copy_matches_legacy_stacking():
+    series = np.sin(np.arange(60.0))
+    got = sliding_windows(series, window_length=15, stride=5)
+    legacy = np.stack([series[s : s + 15] for s in range(0, 60 - 15 + 1, 5)])
+    assert np.array_equal(got, legacy)
+    assert got.flags.c_contiguous and got.flags.writeable

@@ -1,0 +1,155 @@
+"""Tests for the incremental sliding-window geometry (DESIGN.md §13)."""
+
+import numpy as np
+import pytest
+
+from repro.tda.distances import pairwise_distances
+from repro.tda.incremental import (
+    FlagComplexDelta,
+    IncrementalFlagComplex,
+    SlidingDistanceMatrix,
+)
+from repro.tda.incremental import _merge_lex_sorted
+from repro.tda.rips import flag_complex_arrays
+
+
+def _cloud(rng, n, dim=3):
+    return rng.standard_normal((n, dim))
+
+
+# -- SlidingDistanceMatrix ------------------------------------------------------
+
+
+def test_sliding_distances_bit_identical_to_from_scratch():
+    rng = np.random.default_rng(0)
+    points = _cloud(rng, 12)
+    sdm = SlidingDistanceMatrix(points)
+    assert np.array_equal(sdm.distances, pairwise_distances(points))
+    current = points
+    for leave, enter in [(3, 4), (0, 2), (5, 0), (1, 1)]:
+        new = _cloud(rng, enter)
+        dist = sdm.advance(leave, new)
+        current = np.concatenate([current[leave:], new], axis=0)
+        assert np.array_equal(dist, pairwise_distances(current))
+        assert np.array_equal(sdm.points, current)
+        assert sdm.num_points == len(current)
+
+
+def test_sliding_distances_full_replacement():
+    rng = np.random.default_rng(1)
+    sdm = SlidingDistanceMatrix(_cloud(rng, 6))
+    new = _cloud(rng, 8)
+    dist = sdm.advance(6, new)
+    assert np.array_equal(dist, pairwise_distances(new))
+
+
+def test_sliding_distances_1d_points_promoted():
+    sdm = SlidingDistanceMatrix(np.array([0.0, 1.0, 3.0]))
+    dist = sdm.advance(1, np.array([6.0]))
+    assert np.array_equal(dist, pairwise_distances(np.array([[1.0], [3.0], [6.0]])))
+
+
+def test_sliding_distances_validation():
+    rng = np.random.default_rng(2)
+    sdm = SlidingDistanceMatrix(_cloud(rng, 4))
+    with pytest.raises(ValueError):
+        sdm.advance(5, np.zeros((0, 3)))
+    with pytest.raises(ValueError):
+        sdm.advance(1, np.zeros((2, 7)))  # wrong point dimension
+    with pytest.raises(ValueError):
+        SlidingDistanceMatrix(np.zeros((2, 2, 2)))
+
+
+# -- merge helper ---------------------------------------------------------------
+
+
+def test_merge_lex_sorted_splices_in_order():
+    a = np.array([[0, 1], [0, 3], [2, 5]], dtype=np.int64)
+    b = np.array([[0, 2], [1, 4], [3, 6]], dtype=np.int64)
+    merged = _merge_lex_sorted(a, b, num_points=7)
+    expected = np.array(sorted(map(tuple, np.vstack([a, b]))), dtype=np.int64)
+    assert np.array_equal(merged, expected)
+    assert _merge_lex_sorted(a, b[:0], 7) is a
+    assert _merge_lex_sorted(a[:0], b, 7) is b
+
+
+# -- IncrementalFlagComplex -----------------------------------------------------
+
+
+def test_incremental_complex_matches_from_scratch():
+    rng = np.random.default_rng(3)
+    points = _cloud(rng, 14)
+    sdm = SlidingDistanceMatrix(points)
+    epsilon = 1.8
+    inc = IncrementalFlagComplex(sdm.distances, epsilon, max_dimension=2)
+    for leave, enter in [(4, 4), (2, 5), (0, 0), (6, 3)]:
+        dist = sdm.advance(leave, _cloud(rng, enter))
+        delta = inc.advance(leave, dist)
+        expected = flag_complex_arrays(dist, epsilon, 2)
+        got = inc.arrays
+        assert got.num_points == expected.num_points
+        assert np.array_equal(got.edges, expected.edges)
+        assert np.array_equal(got.triangles, expected.triangles)
+        assert got.edges.dtype == expected.edges.dtype
+        assert isinstance(delta, FlagComplexDelta)
+
+
+def test_full_replacement_degenerates_to_from_scratch():
+    rng = np.random.default_rng(4)
+    dist_a = pairwise_distances(_cloud(rng, 8))
+    dist_b = pairwise_distances(_cloud(rng, 10))
+    inc = IncrementalFlagComplex(dist_a, 1.5)
+    delta = inc.advance(8, dist_b)  # leave == num_points: the fallback route
+    expected = flag_complex_arrays(dist_b, 1.5, 2)
+    assert np.array_equal(inc.arrays.edges, expected.edges)
+    assert np.array_equal(inc.arrays.triangles, expected.triangles)
+    assert delta.leave_count == 8 and delta.enter_count == 10
+
+
+def test_delta_counts_and_unchanged_flag():
+    # A bitwise-repeating window: the advance destroys and creates simplices
+    # but lands on identical arrays -> unchanged is True while counts are not 0.
+    points = np.array([[0.0], [1.0], [0.0], [1.0]])
+    dist = pairwise_distances(points)
+    inc = IncrementalFlagComplex(dist, 1.1)
+    before = inc.arrays
+    delta = inc.advance(2, dist)  # drop the first copy, append another
+    assert delta.unchanged
+    assert delta.num_destroyed > 0 and delta.num_created > 0
+    assert np.array_equal(inc.arrays.edges, before.edges)
+
+
+def test_adjacency_contract_violation_raises():
+    rng = np.random.default_rng(5)
+    dist = pairwise_distances(_cloud(rng, 6))
+    inc = IncrementalFlagComplex(dist, float(np.median(dist)))
+    # After advance(1, new) the retained block of `new` must induce the same
+    # ε-graph as dist[1:, 1:]; passing `dist` itself misaligns it by one point.
+    with pytest.raises(ValueError, match="retained points changed adjacency"):
+        inc.advance(1, dist)
+
+
+def test_advance_validation():
+    rng = np.random.default_rng(6)
+    dist = pairwise_distances(_cloud(rng, 5))
+    inc = IncrementalFlagComplex(dist, 1.0)
+    with pytest.raises(ValueError):
+        inc.advance(6, dist)  # more than num_points
+    with pytest.raises(ValueError):
+        inc.advance(1, np.zeros((3, 4)))  # not square
+    with pytest.raises(ValueError):
+        inc.advance(2, np.zeros((2, 2)))  # fewer points than retained
+
+
+def test_max_dimension_bounds_respected():
+    rng = np.random.default_rng(7)
+    points = _cloud(rng, 10)
+    sdm = SlidingDistanceMatrix(points)
+    for max_dim in (0, 1):
+        sdm2 = SlidingDistanceMatrix(points)
+        inc = IncrementalFlagComplex(sdm2.distances, 1.8, max_dimension=max_dim)
+        dist = sdm2.advance(3, _cloud(rng, 3))
+        inc.advance(3, dist)
+        expected = flag_complex_arrays(dist, 1.8, max_dim)
+        assert np.array_equal(inc.arrays.edges, expected.edges)
+        assert np.array_equal(inc.arrays.triangles, expected.triangles)
