@@ -85,6 +85,21 @@ def _add_noise_options(parser) -> None:
         default=0.0,
         help="per-bit readout flip probability applied to measured marginals",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split the circuit engine's batch axis across this many shards "
+            "(bit-identical to unsharded; throughput only)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-backend",
+        choices=("serial", "thread", "process", "device"),
+        default="process",
+        help="where shards run ('device' needs cupy and a visible GPU)",
+    )
 
 
 def _add_batch_options(parser) -> None:
@@ -208,6 +223,12 @@ def _add_timeseries(subparsers) -> None:
         ),
     )
     parser.add_argument("--classical", action="store_true", help="use exact Betti numbers instead of QPE estimates")
+    parser.add_argument(
+        "--signal",
+        choices=("gearbox", "drift"),
+        default="gearbox",
+        help="signal generator: the gearbox rig or the synthetic drift/anomaly stream",
+    )
     parser.add_argument("--seed", type=int, default=7)
     _add_backend_option(parser)
     _add_noise_options(parser)
@@ -285,6 +306,8 @@ def _run_table1(args) -> str:
         "circuit_engine": args.circuit_engine,
         "n_trajectories": args.n_trajectories,
         "readout_error": args.readout_error,
+        "shards": args.shards,
+        "shard_backend": args.shard_backend,
     }
     if args.paper_scale:
         params["paper_scale"] = True
@@ -326,6 +349,8 @@ def _run_appendix(args) -> str:
         "circuit_engine": args.circuit_engine,
         "n_trajectories": args.n_trajectories,
         "readout_error": args.readout_error,
+        "shards": args.shards,
+        "shard_backend": args.shard_backend,
     }
     return _run_experiment("appendix", params, args.json)
 
@@ -348,6 +373,9 @@ def _run_timeseries(args) -> str:
         "circuit_engine": args.circuit_engine,
         "n_trajectories": args.n_trajectories,
         "readout_error": args.readout_error,
+        "shards": args.shards,
+        "shard_backend": args.shard_backend,
+        "signal": args.signal,
     }
     return _run_experiment("timeseries", params, args.json)
 

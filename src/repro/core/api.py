@@ -58,14 +58,16 @@ from repro.utils.validation import check_integer
 #: Version of the request/result wire format.  Bump on any incompatible
 #: change to the dictionaries emitted by ``as_dict`` (consumers validate it
 #: through :meth:`EstimationResult.validate_dict`).
-#: History: 3 — provenance gained required ``n_trajectories``/``noise_spec``
-#: fields and ``QTDAConfig`` gained the :class:`repro.quantum.channels.
-#: NoiseSpec` fields plus ``n_trajectories``/``fuse_purified`` (request
-#: fingerprints changed); 2 — provenance gained required
-#: ``engine_route``/``fused_gates`` fields and ``QTDAConfig`` gained
-#: ``circuit_engine`` (request fingerprints changed); 1 — initial service
-#: wire format.
-SCHEMA_VERSION = 3
+#: History: 4 — provenance gained required ``shards``/``shard_backend``/
+#: ``device`` fields and ``QTDAConfig`` gained ``shards``/``shard_backend``/
+#: ``devices`` (request fingerprints changed); 3 — provenance gained required
+#: ``n_trajectories``/``noise_spec`` fields and ``QTDAConfig`` gained the
+#: :class:`repro.quantum.channels.NoiseSpec` fields plus
+#: ``n_trajectories``/``fuse_purified`` (request fingerprints changed); 2 —
+#: provenance gained required ``engine_route``/``fused_gates`` fields and
+#: ``QTDAConfig`` gained ``circuit_engine`` (request fingerprints changed);
+#: 1 — initial service wire format.
+SCHEMA_VERSION = 4
 
 #: The request kinds the service understands, in dispatch order.
 #: ``observe`` (added within schema version 3 — purely additive) feeds raw
@@ -683,7 +685,10 @@ class Provenance:
     ``density``, DESIGN.md §11–12) and the ensemble engine's post-fusion gate
     count; ``n_trajectories``/``noise_spec`` record the trajectory-route
     repetition count and the resolved noise description the run executed
-    under (``None`` for noiseless runs).
+    under (``None`` for noiseless runs); ``shards``/``shard_backend``/
+    ``device`` record how the engine's batch/trajectory axis was sharded and
+    where the shards ran (:mod:`repro.quantum.sharding`; ``None`` for
+    unsharded runs).
     """
 
     request_kind: str
@@ -700,6 +705,9 @@ class Provenance:
     fused_gates: Optional[int] = None
     n_trajectories: Optional[int] = None
     noise_spec: Optional[Dict[str, Any]] = None
+    shards: Optional[int] = None
+    shard_backend: Optional[str] = None
+    device: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, Any]:
@@ -719,6 +727,9 @@ class Provenance:
             "fused_gates": self.fused_gates,
             "n_trajectories": self.n_trajectories,
             "noise_spec": self.noise_spec,
+            "shards": self.shards,
+            "shard_backend": self.shard_backend,
+            "device": self.device,
         }
 
 
@@ -739,6 +750,9 @@ _PROVENANCE_FIELDS = (
     "fused_gates",
     "n_trajectories",
     "noise_spec",
+    "shards",
+    "shard_backend",
+    "device",
 )
 
 
@@ -875,6 +889,8 @@ def _run_table1(params: Dict[str, Any]) -> Tuple[Dict[str, Any], str, Optional[i
             "circuit_engine",
             "n_trajectories",
             "readout_error",
+            "shards",
+            "shard_backend",
         }
         unknown = set(params) - allowed
         if unknown:
@@ -1046,10 +1062,18 @@ class QTDAService:
         self._pool_lock = threading.Lock()
         self._closed = False
         self.result_cache_hits = 0
+        self._executors: Dict[str, Any] = {}
+        self._executors_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down; pending futures finish first."""
+        """Shut the worker pool down; pending futures finish first.
+
+        Registered shard executors are closed too, and the process-wide
+        shard pools are torn down once no executors remain registered
+        anywhere obvious — closing a service is the "I'm done with sharding"
+        signal (pools recreate on demand, so this is always safe).
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
             self._closed = True
@@ -1057,6 +1081,14 @@ class QTDAService:
             pool.shutdown(wait=True)
         with self._sessions_lock:
             self._sessions.clear()
+        with self._executors_lock:
+            executors, self._executors = dict(self._executors), {}
+        for executor in executors.values():
+            executor.close()
+        if executors:
+            from repro.quantum.sharding import shutdown_shard_pools
+
+            shutdown_shard_pools()
 
     def __enter__(self) -> "QTDAService":
         return self
@@ -1120,6 +1152,57 @@ class QTDAService:
             **spectrum,
         }
 
+    # -- executor registry ----------------------------------------------------
+    def register_executor(self, name: str, executor: Any) -> None:
+        """Register a shard-executor profile under ``name``.
+
+        ``executor`` is a :class:`~repro.quantum.sharding.ShardedExecutor`
+        (or anything exposing ``num_shards``/``backend``/``devices`` and
+        ``close()``).  :meth:`submit`/:meth:`map` can then schedule
+        estimation requests onto it by name: the request's config is
+        rewritten to the executor's shard settings before execution, so one
+        service can spread a stream of requests across, say, a CPU process
+        pool and one profile per GPU.  Registered executors are closed by
+        :meth:`close`.
+        """
+        if not name:
+            raise ValueError("executor name must be non-empty")
+        with self._executors_lock:
+            if name in self._executors:
+                raise ValueError(f"executor {name!r} is already registered")
+            self._executors[name] = executor
+
+    @property
+    def executors(self) -> Tuple[str, ...]:
+        """Names of the registered shard executors (sorted)."""
+        with self._executors_lock:
+            return tuple(sorted(self._executors))
+
+    def _resolve_executor(self, name: str) -> Any:
+        with self._executors_lock:
+            try:
+                return self._executors[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown executor {name!r}; registered: {sorted(self._executors)}"
+                ) from None
+
+    @staticmethod
+    def _request_on_executor(request: Request, executor: Any) -> Request:
+        """The request rewritten to run on ``executor``'s shard settings.
+
+        Only estimation requests carry a circuit-engine config; other kinds
+        pass through unchanged (their work has no shardable batch axis yet).
+        """
+        if not isinstance(request, EstimationRequest):
+            return request
+        config = request.config.replace(
+            shards=int(executor.num_shards),
+            shard_backend=str(executor.backend),
+            devices=getattr(executor, "devices", None),
+        )
+        return replace(request, config=config)
+
     # -- public API -----------------------------------------------------------
     def run(self, request: Request) -> EstimationResult:
         """Execute one request synchronously and return its result envelope.
@@ -1141,17 +1224,7 @@ class QTDAService:
                 return cached
         hits0, misses0 = self._cache_counters()
         start = time.perf_counter()
-        (
-            payload,
-            backend_name,
-            operator_format,
-            seed,
-            betti_std,
-            engine_route,
-            fused_gates,
-            n_trajectories,
-            noise_spec,
-        ) = self._execute(request)
+        payload, backend_name, operator_format, seed, extras = self._execute(request)
         wall = time.perf_counter() - start
         hits1, misses1 = self._cache_counters()
         provenance = Provenance(
@@ -1163,18 +1236,16 @@ class QTDAService:
             wall_time_s=wall,
             cache_hits=hits1 - hits0,
             cache_misses=misses1 - misses0,
-            betti_std=betti_std,
-            engine_route=engine_route,
-            fused_gates=fused_gates,
-            n_trajectories=n_trajectories,
-            noise_spec=noise_spec,
+            **extras,
         )
         result = EstimationResult(request=request, payload=payload, provenance=provenance)
         if fingerprint is not None:
             self._store_result(fingerprint, result)
         return result
 
-    def submit(self, request: Request) -> "Future[EstimationResult]":
+    def submit(
+        self, request: Request, executor: Optional[str] = None
+    ) -> "Future[EstimationResult]":
         """Schedule a request on the worker pool; returns a future.
 
         Results are identical to :meth:`run` — per-request seeds make them
@@ -1183,8 +1254,17 @@ class QTDAService:
         without recomputation.  In-flight duplicates are *not* coalesced
         (each computes; they produce identical results) — see the ROADMAP's
         request-coalescing follow-up.
+
+        ``executor`` names a registered shard executor
+        (:meth:`register_executor`): the request is rewritten to that
+        executor's ``shards``/``shard_backend``/``devices`` before running,
+        so heavy estimations shard across its worker pool.  Sharding never
+        changes numbers (bit-identical to unsharded), so the rewrite only
+        affects provenance and throughput.
         """
         self._check_request(request)
+        if executor is not None:
+            request = self._request_on_executor(request, self._resolve_executor(executor))
         # The pool submission happens under the pool lock so a concurrent
         # close() either waits for it or makes this raise the service's own
         # closed error — never the executor's shutdown exception.
@@ -1197,9 +1277,15 @@ class QTDAService:
                 )
             return self._pool.submit(self.run, request)
 
-    def map(self, requests: Iterable[Request]) -> List[EstimationResult]:
-        """Fan a batch of requests across the pool; results in request order."""
-        futures = [self.submit(request) for request in requests]
+    def map(
+        self, requests: Iterable[Request], executor: Optional[str] = None
+    ) -> List[EstimationResult]:
+        """Fan a batch of requests across the pool; results in request order.
+
+        ``executor`` routes every request onto a registered shard executor,
+        as in :meth:`submit`.
+        """
+        futures = [self.submit(request, executor=executor) for request in requests]
         return [future.result() for future in futures]
 
     def run_dict(self, data: Mapping[str, Any]) -> EstimationResult:
@@ -1370,18 +1456,16 @@ class QTDAService:
 
     def _execute(
         self, request: Request
-    ) -> Tuple[
-        Dict[str, Any],
-        str,
-        str,
-        Optional[int],
-        Optional[float],
-        Optional[str],
-        Optional[int],
-        Optional[int],
-        Optional[Dict[str, Any]],
-    ]:
-        """Dispatch to the legacy execution paths; returns payload + provenance bits."""
+    ) -> Tuple[Dict[str, Any], str, str, Optional[int], Dict[str, Any]]:
+        """Dispatch to the legacy execution paths.
+
+        Returns ``(payload, backend, operator_format, seed, extras)`` where
+        ``extras`` holds whatever optional :class:`Provenance` fields the
+        execution produced (``betti_std``, ``engine_route``,
+        ``shards``/``shard_backend``/``device``, ...) — ``run()`` splats it
+        into the provenance record, so new execution-side provenance only
+        needs to appear here.
+        """
         if isinstance(request, EstimationRequest):
             estimator = QTDABettiEstimator(request.config, spectrum_cache=self.spectrum_cache)
             estimate = estimator.estimate(
@@ -1392,11 +1476,16 @@ class QTDAService:
                 request.config.backend,
                 estimator.operator_format,
                 request.seed,
-                estimate.betti_std,
-                estimate.engine_route,
-                estimate.fused_gates,
-                estimate.n_trajectories,
-                estimate.noise_spec,
+                {
+                    "betti_std": estimate.betti_std,
+                    "engine_route": estimate.engine_route,
+                    "fused_gates": estimate.fused_gates,
+                    "n_trajectories": estimate.n_trajectories,
+                    "noise_spec": estimate.noise_spec,
+                    "shards": estimate.shards,
+                    "shard_backend": estimate.shard_backend,
+                    "device": estimate.device,
+                },
             )
         if isinstance(request, PipelineRequest):
             engine = self._engine(request)
@@ -1429,11 +1518,7 @@ class QTDAService:
                 self._pipeline_backend(request.pipeline),
                 engine.negotiated_operator_format(),
                 request.seed,
-                None,
-                None,
-                None,
-                None,
-                None,
+                {},
             )
         if isinstance(request, SweepRequest):
             engine = self._engine(request)
@@ -1449,11 +1534,7 @@ class QTDAService:
                 self._pipeline_backend(request.pipeline),
                 engine.negotiated_operator_format(),
                 request.seed,
-                None,
-                None,
-                None,
-                None,
-                None,
+                {},
             )
         if isinstance(request, ObserveRequest):
             return self._execute_observe(request)
@@ -1464,7 +1545,7 @@ class QTDAService:
             operator_format = preferred_format(get_backend(backend_name))
         except ValueError:
             operator_format = "dense"
-        return payload, backend_name, operator_format, seed, None, None, None, None, None
+        return payload, backend_name, operator_format, seed, {}
 
     def _session_for(self, request: ObserveRequest) -> _ObserveSession:
         """Get or create the named session; validate the configuration key."""
@@ -1497,17 +1578,7 @@ class QTDAService:
 
     def _execute_observe(
         self, request: ObserveRequest
-    ) -> Tuple[
-        Dict[str, Any],
-        str,
-        str,
-        Optional[int],
-        Optional[float],
-        Optional[str],
-        Optional[int],
-        Optional[int],
-        Optional[Dict[str, Any]],
-    ]:
+    ) -> Tuple[Dict[str, Any], str, str, Optional[int], Dict[str, Any]]:
         session = self._session_for(request)
         with session.lock:
             engine = session.engine
@@ -1539,11 +1610,7 @@ class QTDAService:
             self._pipeline_backend(request.pipeline),
             operator_format,
             request.seed,
-            None,
-            None,
-            None,
-            None,
-            None,
+            {},
         )
 
 

@@ -33,6 +33,7 @@ synthesised and in how noise is injected.
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import Optional
 
 import numpy as np
@@ -43,6 +44,7 @@ from repro.quantum.channels import NoiseSpec, apply_readout_error
 from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
 from repro.quantum.engine import EnsembleExecutor
 from repro.quantum.noise import NoiseModel
+from repro.quantum.sharding import ShardedExecutor
 from repro.quantum.statevector import StatevectorSimulator
 from repro.utils.rng import as_rng
 
@@ -105,6 +107,25 @@ def mixed_initial_state(spec: QTDACircuitSpec) -> DensityMatrix:
     return DensityMatrix(rho)
 
 
+def _resolve_engine_executor(config, fuse: bool = True):
+    """The engine executor a circuit route should run on.
+
+    Returns ``(executor, shard_info)`` where ``shard_info`` is a
+    ``(shards, shard_backend, device)`` provenance triple, all ``None`` for
+    the plain single-executor path.  ``config.shards > 1`` selects a
+    :class:`~repro.quantum.sharding.ShardedExecutor` over the configured
+    backend — sharded results are bit-identical to the unsharded executor's,
+    so routing through here never changes numbers, only throughput.
+    """
+    shards = int(getattr(config, "shards", 1) or 1)
+    if shards <= 1:
+        return EnsembleExecutor(fuse=fuse), (None, None, None)
+    shard_backend = str(getattr(config, "shard_backend", "process"))
+    devices = getattr(config, "devices", None)
+    executor = ShardedExecutor(shards, backend=shard_backend, devices=devices, fuse=fuse)
+    return executor, (executor.num_shards, executor.backend, executor.device_label)
+
+
 def _ensemble_route_result(problem: EstimationProblem, config, synthesis: str) -> BackendResult:
     """Batched-statevector execution of the mixed-state circuit.
 
@@ -126,7 +147,7 @@ def _ensemble_route_result(problem: EstimationProblem, config, synthesis: str) -
         trotter_order=config.trotter_order,
         power_synthesis="spectral" if synthesis == "exact" else "chain",
     )
-    executor = EnsembleExecutor()
+    executor, (shards, shard_backend, device) = _resolve_engine_executor(config)
     plan = executor.gate_plan(circuit)
     distribution = executor.basis_ensemble_distribution(
         circuit,
@@ -140,6 +161,9 @@ def _ensemble_route_result(problem: EstimationProblem, config, synthesis: str) -
         lambda_max=hamiltonian.padded.lambda_max,
         engine_route="ensemble",
         fused_gates=len(plan),
+        shards=shards,
+        shard_backend=shard_backend,
+        device=device,
     )
 
 
@@ -171,7 +195,7 @@ def _trajectory_route_result(
         power_synthesis="spectral" if synthesis == "exact" else "chain",
     )
     n_trajectories = int(getattr(config, "n_trajectories", 8))
-    executor = EnsembleExecutor(fuse=False)
+    executor, (shards, shard_backend, device) = _resolve_engine_executor(config, fuse=False)
     distribution, sem = executor.trajectory_basis_distribution(
         circuit,
         qubits=list(circuit_spec.precision_register),
@@ -188,6 +212,9 @@ def _trajectory_route_result(
         engine_route="trajectory",
         n_trajectories=n_trajectories,
         noise_spec=spec.as_dict(),
+        shards=shards,
+        shard_backend=shard_backend,
+        device=device,
     )
 
 
@@ -234,12 +261,9 @@ def circuit_backend_result(
     if route == "ensemble":
         result = _ensemble_route_result(problem, config, synthesis)
         if spec.readout_error > 0:
-            result = BackendResult(
+            result = dc_replace(
+                result,
                 distribution=apply_readout_error(result.distribution, spec.readout_error),
-                num_system_qubits=result.num_system_qubits,
-                lambda_max=result.lambda_max,
-                engine_route=result.engine_route,
-                fused_gates=result.fused_gates,
                 noise_spec=spec.as_dict(),
             )
         return result

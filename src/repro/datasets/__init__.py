@@ -10,6 +10,11 @@ point clouds with known Betti numbers.
 """
 
 from repro.datasets.gearbox import GearboxDatasetConfig, generate_gearbox_dataset, generate_gearbox_signal
+from repro.datasets.synthetic import (
+    DriftStreamConfig,
+    generate_drift_dataset,
+    generate_drift_signal,
+)
 from repro.datasets.features import (
     condition_features,
     feature_matrix,
@@ -30,6 +35,9 @@ __all__ = [
     "GearboxDatasetConfig",
     "generate_gearbox_dataset",
     "generate_gearbox_signal",
+    "DriftStreamConfig",
+    "generate_drift_dataset",
+    "generate_drift_signal",
     "condition_features",
     "feature_matrix",
     "feature_row_to_point_cloud",

@@ -1,0 +1,148 @@
+"""Synthetic drift/anomaly streams for the streaming (sliding-window) path.
+
+The gearbox generator (:mod:`repro.datasets.gearbox`) models a *stationary*
+machine in one of two health states.  Streaming topological monitoring is
+most interesting on signals whose statistics change mid-stream, so this
+module synthesises a second workload:
+
+* a slow **concept drift** — the carrier frequency wobbles sinusoidally
+  around its base value, so consecutive windows are similar but never
+  identical (the incremental sweep engine's favourable regime);
+* a hard **regime switch** partway through the stream — the carrier jumps to
+  a new frequency and amplitude, the "new operating point" scenario where a
+  window-by-window monitor should see its features move;
+* an optional **injected transient** class — short decaying resonance bursts
+  at random positions, the anomaly signature (a local scatter of the
+  delay-embedded attractor, topologically analogous to the gearbox fault
+  impulses).
+
+``anomalous=False`` streams carry the drift + regime switch only;
+``anomalous=True`` adds the transients, giving a two-class problem that
+plugs into the existing timeseries experiment
+(``repro-experiments timeseries --signal drift``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_integer, check_positive_integer
+
+
+@dataclass
+class DriftStreamConfig:
+    """Parameters of the synthetic drift/anomaly stream generator.
+
+    Defaults match the gearbox rig's sampling rate so windowing parameters
+    carry over; the carrier is slower than the gear mesh (a rotor-speed
+    scale) because the interesting structure here is the drift, not the
+    harmonics.
+    """
+
+    sampling_rate: float = 5000.0
+    base_frequency: float = 40.0
+    shifted_frequency: float = 62.0
+    regime_switch_fraction: float = 0.5
+    amplitude_step: float = 0.5
+    drift_depth: float = 0.08
+    drift_frequency: float = 0.5
+    transient_amplitude: float = 2.5
+    transient_decay: float = 90.0
+    transient_resonance_frequency: float = 700.0
+    transients_per_signal: int = 3
+    noise_std: float = 0.2
+
+    def __post_init__(self):
+        if self.sampling_rate <= 0 or self.base_frequency <= 0 or self.shifted_frequency <= 0:
+            raise ValueError("frequencies and sampling rate must be positive")
+        if not 0.0 < self.regime_switch_fraction < 1.0:
+            raise ValueError("regime_switch_fraction must lie in (0, 1)")
+        if not 0.0 <= self.drift_depth < 1.0:
+            raise ValueError("drift_depth must lie in [0, 1)")
+        self.transients_per_signal = check_integer(
+            self.transients_per_signal, "transients_per_signal", minimum=0
+        )
+
+
+def generate_drift_signal(
+    num_samples: int,
+    anomalous: bool,
+    config: DriftStreamConfig | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """One drift/regime-switch stream of ``num_samples`` samples.
+
+    The instantaneous carrier frequency is integrated into a phase (so the
+    waveform is continuous through both the drift and the switch):
+    ``f(t) = f_base·(1 + depth·sin(2π f_drift t))`` before the switch, the
+    same wobble around ``shifted_frequency`` after it, with the amplitude
+    stepping up by ``amplitude_step``.  ``anomalous`` injects
+    ``transients_per_signal`` decaying resonance bursts at random positions.
+
+    Signature mirrors :func:`repro.datasets.gearbox.generate_gearbox_signal`
+    (length, class flag, config, seed) so experiment drivers can switch
+    generators uniformly.
+    """
+    n = check_positive_integer(num_samples, "num_samples")
+    cfg = config if config is not None else DriftStreamConfig()
+    rng = as_rng(seed)
+    t = np.arange(n) / cfg.sampling_rate
+    switch = int(n * cfg.regime_switch_fraction)
+
+    carrier_frequency = np.where(np.arange(n) < switch, cfg.base_frequency, cfg.shifted_frequency)
+    wobble = 1.0 + cfg.drift_depth * np.sin(
+        2.0 * np.pi * cfg.drift_frequency * t + rng.uniform(0.0, 2.0 * np.pi)
+    )
+    instantaneous = carrier_frequency * wobble
+    phase = 2.0 * np.pi * np.cumsum(instantaneous) / cfg.sampling_rate
+    amplitude = np.where(np.arange(n) < switch, 1.0, 1.0 + cfg.amplitude_step)
+    signal = amplitude * np.sin(phase + rng.uniform(0.0, 2.0 * np.pi))
+
+    if anomalous and cfg.transients_per_signal > 0:
+        # Bursts land anywhere in the stream (drawn first so the draw count
+        # is independent of burst placement), each a decaying resonance.
+        starts = np.sort(rng.integers(0, max(n - 1, 1), size=cfg.transients_per_signal))
+        for start_idx in starts:
+            length = min(n - int(start_idx), int(cfg.sampling_rate / cfg.drift_frequency) // 50 + 1)
+            local_t = np.arange(length) / cfg.sampling_rate
+            burst = (
+                cfg.transient_amplitude
+                * np.exp(-cfg.transient_decay * local_t)
+                * np.sin(2.0 * np.pi * cfg.transient_resonance_frequency * local_t)
+            )
+            signal[int(start_idx) : int(start_idx) + length] += burst
+
+    signal += rng.normal(scale=cfg.noise_std, size=n)
+    return signal
+
+
+def generate_drift_dataset(
+    num_samples_per_class: int = 60,
+    window_length: int = 500,
+    config: DriftStreamConfig | None = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Windowed two-class drift dataset (clean vs transient-injected).
+
+    Mirrors :func:`repro.datasets.gearbox.generate_gearbox_dataset`: each
+    window is an independently seeded stream, classes are balanced and rows
+    are shuffled.  Label 0 = drift + regime switch only; label 1 = the same
+    plus injected transients.
+    """
+    per_class = check_positive_integer(num_samples_per_class, "num_samples_per_class")
+    length = check_positive_integer(window_length, "window_length")
+    rng = as_rng(seed)
+    windows = np.empty((2 * per_class, length))
+    labels = np.empty(2 * per_class, dtype=int)
+    row = 0
+    for label, anomalous in ((0, False), (1, True)):
+        for _ in range(per_class):
+            windows[row] = generate_drift_signal(length, anomalous=anomalous, config=config, seed=rng)
+            labels[row] = label
+            row += 1
+    permutation = rng.permutation(2 * per_class)
+    return windows[permutation], labels[permutation]

@@ -70,6 +70,9 @@ class GearboxExperimentConfig:
     circuit_engine: str = "auto"
     n_trajectories: int = 8
     readout_error: float = 0.0
+    #: Circuit-engine sharding (QTDAConfig fields; bit-identical, throughput only).
+    shards: int = 1
+    shard_backend: str = "process"
     gearbox: GearboxDatasetConfig = field(default_factory=GearboxDatasetConfig)
     batch: BatchConfig = field(default_factory=BatchConfig)
 
@@ -238,6 +241,8 @@ def run_gearbox_table1(config: GearboxExperimentConfig | None = None) -> Table1R
             circuit_engine=cfg.circuit_engine,
             n_trajectories=cfg.n_trajectories,
             readout_error=cfg.readout_error,
+            shards=cfg.shards,
+            shard_backend=cfg.shard_backend,
             seed=derive_seed(cfg.seed, precision),
         )
         estimated, exact = _betti_features(
@@ -301,6 +306,8 @@ class TimeseriesClassificationResult:
     streaming: bool = False
     #: Engine delta counters per class label when ``streaming`` (else empty).
     streaming_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Which synthetic workload produced the windows (``"gearbox"``/``"drift"``).
+    signal: str = "gearbox"
 
     def as_dict(self) -> Dict[str, object]:
         """Machine-readable view (the service API's experiment payload)."""
@@ -313,6 +320,7 @@ class TimeseriesClassificationResult:
             "window_stride": self.window_stride,
             "streaming": self.streaming,
             "streaming_stats": {k: dict(v) for k, v in self.streaming_stats.items()},
+            "signal": self.signal,
         }
 
 
@@ -336,8 +344,11 @@ def run_timeseries_classification(
     circuit_engine: str = "auto",
     n_trajectories: int = 8,
     readout_error: float = 0.0,
+    shards: int = 1,
+    shard_backend: str = "process",
     window_stride: Optional[int] = None,
     streaming: bool = False,
+    signal: str = "gearbox",
 ) -> TimeseriesClassificationResult:
     """Classify healthy vs faulty gearbox windows from Betti-number features.
 
@@ -354,26 +365,46 @@ def run_timeseries_classification(
     incremental :class:`~repro.core.batch.StreamingFeatureEngine`
     (DESIGN.md §13) instead of rebuilding every window from scratch; it
     requires ``window_stride``.
+
+    ``signal`` selects the workload: ``"gearbox"`` (the paper's healthy vs
+    surface-fault vibration) or ``"drift"`` (the
+    :mod:`repro.datasets.synthetic` drift/anomaly stream — regime switch in
+    both classes, injected transients in class 1).  ``shards``/
+    ``shard_backend`` shard the circuit engine's batch axis per estimate
+    (:mod:`repro.quantum.sharding`; bit-identical, throughput only).
     """
     if streaming and window_stride is None:
         raise ValueError("streaming=True requires window_stride (overlapping windows)")
+    if signal not in ("gearbox", "drift"):
+        raise ValueError(f"signal must be 'gearbox' or 'drift', got {signal!r}")
     signals: Optional[Dict[int, np.ndarray]] = None
     if window_stride is None:
-        windows, labels = generate_gearbox_dataset(
-            num_samples_per_class=num_samples_per_class,
-            window_length=window_length,
-            seed=seed,
-        )
+        if signal == "drift":
+            from repro.datasets.synthetic import generate_drift_dataset
+
+            windows, labels = generate_drift_dataset(
+                num_samples_per_class=num_samples_per_class,
+                window_length=window_length,
+                seed=seed,
+            )
+        else:
+            windows, labels = generate_gearbox_dataset(
+                num_samples_per_class=num_samples_per_class,
+                window_length=window_length,
+                seed=seed,
+            )
     else:
         from repro.datasets.gearbox import generate_gearbox_signal
+        from repro.datasets.synthetic import generate_drift_signal
         from repro.datasets.windows import sliding_windows
 
+        generate_signal = generate_drift_signal if signal == "drift" else generate_gearbox_signal
         # One continuous signal per class, long enough for exactly
         # num_samples_per_class overlapping windows at the requested stride.
         series_length = window_length + int(window_stride) * (num_samples_per_class - 1)
         signals = {
-            label: generate_gearbox_signal(
-                series_length, faulty=bool(label), seed=derive_seed(seed, label + 1)
+            label: generate_signal(
+                series_length, bool(label), seed=derive_seed(seed, label + 1)
             )
             for label in (0, 1)
         }
@@ -394,6 +425,8 @@ def run_timeseries_classification(
             circuit_engine=circuit_engine,
             n_trajectories=n_trajectories,
             readout_error=readout_error,
+            shards=shards,
+            shard_backend=shard_backend,
             seed=derive_seed(seed, 3),
         )
         if use_quantum
@@ -433,4 +466,5 @@ def run_timeseries_classification(
         window_stride=None if window_stride is None else int(window_stride),
         streaming=bool(streaming),
         streaming_stats=streaming_stats,
+        signal=signal,
     )

@@ -13,6 +13,10 @@ scratch on NumPy:
   one ``(2^n, B)`` array behind an array-module seam (NumPy/CuPy), plus a
   gate-fusion pass cached per circuit fingerprint
   (:mod:`repro.quantum.engine`, :mod:`repro.quantum.fusion`);
+* a sharded execution layer that splits the ensemble batch axis (and the
+  trajectory axis) across CPU processes or CuPy device contexts while
+  staying bit-identical to the unsharded engine
+  (:mod:`repro.quantum.sharding`);
 * measurement / shot sampling (:mod:`repro.quantum.measurement`);
 * the quantum Fourier transform and quantum phase estimation circuit
   builders (:mod:`repro.quantum.qft`, :mod:`repro.quantum.qpe`);
@@ -57,7 +61,20 @@ from repro.quantum.engine import (
     EnsembleExecutor,
     apply_gate_to_ensemble,
     array_module,
+    derive_trajectory_seeds,
     sample_channel_branches,
+    trajectory_mean_and_sem,
+)
+from repro.quantum.sharding import (
+    SHARD_BACKENDS,
+    ShardPlan,
+    ShardedExecutor,
+    device_backend_available,
+    get_shard_pool,
+    merge_moments,
+    moments_from_rows,
+    moments_mean_and_sem,
+    shutdown_shard_pools,
 )
 from repro.quantum.channels import (
     NOISE_CHANNELS,
@@ -72,6 +89,7 @@ from repro.quantum.fusion import fuse_circuit, fusion_cache_info
 from repro.quantum.measurement import (
     born_probabilities,
     ensemble_marginal_probabilities,
+    ensemble_member_marginal_probabilities,
     marginal_probabilities,
     sample_counts,
     counts_to_probabilities,
@@ -130,7 +148,18 @@ __all__ = [
     "EnsembleExecutor",
     "apply_gate_to_ensemble",
     "array_module",
+    "derive_trajectory_seeds",
     "sample_channel_branches",
+    "trajectory_mean_and_sem",
+    "SHARD_BACKENDS",
+    "ShardPlan",
+    "ShardedExecutor",
+    "device_backend_available",
+    "get_shard_pool",
+    "merge_moments",
+    "moments_from_rows",
+    "moments_mean_and_sem",
+    "shutdown_shard_pools",
     "NOISE_CHANNELS",
     "TWO_QUBIT_NOISE_CHANNELS",
     "NoiseSpec",
@@ -142,6 +171,7 @@ __all__ = [
     "fusion_cache_info",
     "born_probabilities",
     "ensemble_marginal_probabilities",
+    "ensemble_member_marginal_probabilities",
     "marginal_probabilities",
     "sample_counts",
     "counts_to_probabilities",

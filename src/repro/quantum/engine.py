@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.quantum.channels import NoiseSpec, QuantumChannel, apply_readout_error
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.measurement import ensemble_marginal_probabilities
+from repro.quantum.measurement import ensemble_member_marginal_probabilities
 from repro.quantum.operations import Barrier, Gate, Measurement
 
 #: Default ceiling on the bytes a single ensemble chunk may occupy
@@ -50,6 +50,15 @@ DEFAULT_MEMORY_BUDGET_BYTES = 256 * 1024 * 1024
 
 #: Default fusion window (see :func:`repro.quantum.fusion.fuse_circuit`).
 DEFAULT_MAX_FUSE_QUBITS = 3
+
+#: Pinned column-block width of the ensemble readout routes.  BLAS GEMM
+#: kernels pick different micro-kernel tails for different operand widths, so
+#: the same column evolved in a 6-wide and a 16-wide batch can differ by one
+#: ulp; evolving every ensemble in fixed blocks of this many columns makes
+#: the readout bit-identical under any block-aligned partition of the batch
+#: axis — the invariant the sharded executor's split points rely on.  16
+#: columns keeps the contraction wide enough to amortise per-gate overhead.
+DEFAULT_COLUMN_BLOCK = 16
 
 _ARRAY_MODULE_OVERRIDE = None
 _DETECTED_MODULE = None
@@ -106,6 +115,56 @@ def to_host(array) -> np.ndarray:
     if getter is not None and not isinstance(array, np.ndarray):
         return np.asarray(getter())
     return np.asarray(array)
+
+
+def derive_trajectory_seeds(rng: np.random.Generator, n_trajectories: int) -> Tuple[int, ...]:
+    """Deterministic per-trajectory integer seeds drawn from ``rng``.
+
+    One bulk draw (``rng.integers(0, 2**63 - 1, size=n)`` — the same
+    derivation :func:`repro.utils.rng.spawn_rngs` uses) seeds every
+    trajectory up front, so trajectory ``i``'s random stream depends only on
+    the estimator seed and ``i`` — never on how the trajectories are batched
+    or scheduled.  This is what lets the sharded executor
+    (:mod:`repro.quantum.sharding`) split the trajectory axis across workers
+    while staying bit-identical to the serial run.
+    """
+    n_trajectories = int(n_trajectories)
+    if n_trajectories < 1:
+        raise ValueError("n_trajectories must be >= 1")
+    return tuple(int(s) for s in rng.integers(0, 2**63 - 1, size=n_trajectories))
+
+
+def _normalised_weights(weights, count: int) -> np.ndarray:
+    """Validate and normalise ensemble member weights (uniform when ``None``)."""
+    if weights is None:
+        return np.full(count, 1.0 / count)
+    w = np.asarray(list(weights), dtype=float)
+    if w.shape != (count,):
+        raise ValueError("weights must match basis_states in length")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total_weight = w.sum()
+    if total_weight <= 0:
+        # Caught here rather than as NaNs three layers downstream.
+        raise ValueError("weights must have a positive sum")
+    return w / total_weight
+
+
+def trajectory_mean_and_sem(rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean distribution and per-outcome standard error of trajectory rows.
+
+    The single reduction both the serial and the sharded trajectory paths
+    share: given the stacked ``(T, out_dim)`` per-trajectory distributions it
+    returns ``(mean, std(ddof=1)/sqrt(T))`` (zeros for a single trajectory).
+    """
+    rows = np.asarray(rows, dtype=float)
+    n_trajectories, out_dim = rows.shape
+    mean = rows.mean(axis=0)
+    if n_trajectories > 1:
+        sem = rows.std(axis=0, ddof=1) / np.sqrt(n_trajectories)
+    else:
+        sem = np.zeros(out_dim)
+    return mean, sem
 
 
 def apply_gate_to_ensemble(
@@ -246,6 +305,9 @@ class EnsembleExecutor:
     memory_budget_bytes:
         Ceiling on one chunk's state memory; :meth:`basis_ensemble_distribution`
         splits wider ensembles into column chunks that fit.
+    column_block:
+        Pinned evolution width of the ensemble readout routes (defaults to
+        :data:`DEFAULT_COLUMN_BLOCK`); see :meth:`evolution_block`.
     xp:
         Array module override; defaults to :func:`array_module`.
     """
@@ -255,11 +317,15 @@ class EnsembleExecutor:
         fuse: bool = True,
         max_fuse_qubits: int = DEFAULT_MAX_FUSE_QUBITS,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+        column_block: Optional[int] = None,
         xp=None,
     ):
         self.fuse = bool(fuse)
         self.max_fuse_qubits = int(max_fuse_qubits)
         self.memory_budget_bytes = int(memory_budget_bytes)
+        self.column_block = int(column_block) if column_block is not None else DEFAULT_COLUMN_BLOCK
+        if self.column_block < 1:
+            raise ValueError("column_block must be >= 1")
         self.xp = xp if xp is not None else array_module()
 
     # -- planning -------------------------------------------------------------
@@ -275,6 +341,17 @@ class EnsembleExecutor:
         """Widest batch whose ``(2^n, B)`` complex array fits the memory budget."""
         bytes_per_state = (2**num_qubits) * 16  # complex128
         return max(1, self.memory_budget_bytes // bytes_per_state)
+
+    def evolution_block(self, num_qubits: int) -> int:
+        """The pinned column width the ensemble readout routes evolve at.
+
+        The memory budget caps it, ``column_block`` pins it: GEMM results for
+        one column depend (at the ulp level) on the operand width, so a fixed
+        width — rather than "whatever fits" — is what makes the readout
+        reproducible across machines with different budgets and across the
+        sharded executor's block-aligned splits.
+        """
+        return max(1, min(self.max_batch(num_qubits), self.column_block))
 
     # -- execution ------------------------------------------------------------
     def run(self, circuit: QuantumCircuit, initial_states) -> np.ndarray:
@@ -330,57 +407,78 @@ class EnsembleExecutor:
         Evolves the ensemble ``{|basis_states[b]>}`` through ``circuit`` and
         returns the weighted average of each member's marginal probabilities
         on ``qubits`` (uniform weights by default — the maximally mixed
-        ensemble).  The ensemble is processed in column chunks sized to the
-        memory budget, and the readout reduction happens on the ``(2^n, B)``
-        array directly (one reshape-and-sum per chunk), so no per-member
-        probability vector over the full register is ever materialised.
-        ``plan`` lets callers that already obtained :meth:`gate_plan` for
-        this circuit skip re-fingerprinting it.
+        ensemble).  The ensemble is processed in fixed column blocks
+        (:meth:`evolution_block`); each block reduces to its per-member
+        marginal matrix (:func:`~repro.quantum.measurement.
+        ensemble_member_marginal_probabilities`) which is then contracted
+        with the block's weights — so no per-member probability vector over
+        the full register is ever materialised, and because every block is
+        evolved at the same pinned width the result is bit-identical under
+        any block-aligned partition of the batch axis (the invariant the
+        sharded executor relies on).  ``plan`` lets callers that already
+        obtained :meth:`gate_plan` for this circuit skip re-fingerprinting it.
         """
         n = circuit.num_qubits
-        dim = 2**n
+        basis = self._validated_basis(circuit, basis_states)
+        w = _normalised_weights(weights, len(basis))
+        xp = self.xp
+        prepared = self._prepare(plan if plan is not None else self.gate_plan(circuit))
+        chunk = self.evolution_block(n)
+        total: Optional[np.ndarray] = None
+        for start in range(0, len(basis), chunk):
+            block = basis[start : start + chunk]
+            marginals = self._member_marginal_block(block, prepared, n, qubits)
+            partial = to_host(marginals @ xp.asarray(w[start : start + len(block)]))
+            total = partial if total is None else total + partial
+        assert total is not None
+        return total / total.sum()
+
+    def basis_ensemble_member_marginals(
+        self,
+        circuit: QuantumCircuit,
+        qubits: Sequence[int],
+        basis_states: Sequence[int],
+        plan: Optional[Tuple[Gate, ...]] = None,
+    ) -> np.ndarray:
+        """Per-member marginal readouts: an ``(out_dim, B)`` host matrix.
+
+        Column ``b`` is the marginal distribution of ensemble member
+        ``|basis_states[b]>`` on ``qubits`` after ``circuit``.  The batch is
+        evolved in the same fixed column blocks as
+        :meth:`basis_ensemble_distribution`; because the width of every
+        evolution is pinned (:meth:`evolution_block`), the result is
+        bit-identical under any block-aligned split of the members across
+        workers — which is exactly how
+        :class:`repro.quantum.sharding.ShardedExecutor` uses this method.
+        """
+        n = circuit.num_qubits
+        basis = self._validated_basis(circuit, basis_states)
+        prepared = self._prepare(plan if plan is not None else self.gate_plan(circuit))
+        chunk = self.evolution_block(n)
+        blocks = []
+        for start in range(0, len(basis), chunk):
+            block = basis[start : start + chunk]
+            blocks.append(to_host(self._member_marginal_block(block, prepared, n, qubits)))
+        return np.hstack(blocks)
+
+    def _validated_basis(self, circuit: QuantumCircuit, basis_states) -> list:
+        dim = 2**circuit.num_qubits
         basis = [int(b) for b in basis_states]
         if not basis:
             raise ValueError("basis_states must be non-empty")
         for b in basis:
             if not 0 <= b < dim:
-                raise ValueError(f"basis state {b} out of range for {n} qubits")
-        if weights is None:
-            w = np.full(len(basis), 1.0 / len(basis))
-        else:
-            w = np.asarray(list(weights), dtype=float)
-            if w.shape != (len(basis),):
-                raise ValueError("weights must match basis_states in length")
-            if np.any(w < 0):
-                raise ValueError("weights must be non-negative")
-            total_weight = w.sum()
-            if total_weight <= 0:
-                # Caught here rather than as NaNs three layers downstream.
-                raise ValueError("weights must have a positive sum")
-            w = w / total_weight
+                raise ValueError(f"basis state {b} out of range for {circuit.num_qubits} qubits")
+        return basis
 
+    def _member_marginal_block(self, block, prepared, num_qubits: int, qubits):
+        """Evolve one chunk of basis columns and reduce to ``(out_dim, len(block))``."""
         xp = self.xp
-        prepared = self._prepare(plan if plan is not None else self.gate_plan(circuit))
-        chunk = self.max_batch(n)
-        total: Optional[np.ndarray] = None
-        for start in range(0, len(basis), chunk):
-            block = basis[start : start + chunk]
-            states = xp.zeros((dim, len(block)), dtype=complex)
-            for column, b in enumerate(block):
-                states[b, column] = 1.0
-            states = self._evolve(states, prepared, n)
-            partial = ensemble_marginal_probabilities(
-                states,
-                n,
-                qubits,
-                weights=xp.asarray(w[start : start + len(block)]),
-                normalize=False,
-                xp=xp,
-            )
-            partial = to_host(partial)
-            total = partial if total is None else total + partial
-        assert total is not None
-        return total / total.sum()
+        states = xp.zeros((2**num_qubits, len(block)), dtype=complex)
+        for column, b in enumerate(block):
+            states[b, column] = 1.0
+        states = self._evolve(states, prepared, num_qubits)
+        return ensemble_member_marginal_probabilities(states, num_qubits, qubits, xp=xp)
 
     def trajectory_basis_distribution(
         self,
@@ -409,40 +507,49 @@ class EnsembleExecutor:
         composition.  Readout error is applied to each trajectory's marginal
         as the exact per-bit confusion contraction.
 
+        Each trajectory runs under its own seed derived from ``rng``
+        (:func:`derive_trajectory_seeds`): trajectory ``i``'s branch draws
+        depend only on ``seeds[i]``, never on the other trajectories, so the
+        trajectory axis can be split across shard workers bit-identically.
+
         Returns ``(mean_distribution, standard_error)`` as host arrays.
+        """
+        seeds = derive_trajectory_seeds(rng, n_trajectories)
+        rows = self.trajectory_rows(circuit, qubits, basis_states, noise_spec, seeds, weights)
+        return trajectory_mean_and_sem(rows)
+
+    def trajectory_rows(
+        self,
+        circuit: QuantumCircuit,
+        qubits: Sequence[int],
+        basis_states: Sequence[int],
+        noise_spec: NoiseSpec,
+        seeds: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """One readout distribution per trajectory seed: a ``(T, out_dim)`` matrix.
+
+        Row ``i`` is the (readout-error-adjusted) ensemble-averaged marginal
+        of one full stochastic Kraus unravelling driven by
+        ``default_rng(seeds[i])``.  Because every row depends only on its own
+        seed, any slicing of ``seeds`` across workers reproduces exactly the
+        corresponding rows — :class:`repro.quantum.sharding.ShardedExecutor`
+        splits here.  :meth:`trajectory_basis_distribution` is the
+        ``derive_trajectory_seeds`` + mean/SEM composition of this method.
         """
         n = circuit.num_qubits
         dim = 2**n
-        basis = [int(b) for b in basis_states]
-        if not basis:
-            raise ValueError("basis_states must be non-empty")
-        for b in basis:
-            if not 0 <= b < dim:
-                raise ValueError(f"basis state {b} out of range for {n} qubits")
-        n_trajectories = int(n_trajectories)
-        if n_trajectories < 1:
-            raise ValueError("n_trajectories must be >= 1")
-        if weights is None:
-            w = np.full(len(basis), 1.0 / len(basis))
-        else:
-            w = np.asarray(list(weights), dtype=float)
-            if w.shape != (len(basis),):
-                raise ValueError("weights must match basis_states in length")
-            if np.any(w < 0):
-                raise ValueError("weights must be non-negative")
-            total_weight = w.sum()
-            if total_weight <= 0:
-                raise ValueError("weights must have a positive sum")
-            w = w / total_weight
-
+        basis = self._validated_basis(circuit, basis_states)
+        w = _normalised_weights(weights, len(basis))
         xp = self.xp
         gates = [g for g in circuit.gates if not isinstance(g, (Measurement, Barrier))]
         prepared = [(xp.asarray(g.matrix, dtype=complex), g.qubits) for g in gates]
         noise_plan = [noise_spec.channels_for_gate(g) for g in gates]
         chunk = self.max_batch(n)
         out_dim = 2 ** len(list(qubits))
-        per_trajectory = np.zeros((n_trajectories, out_dim))
-        for trajectory in range(n_trajectories):
+        per_trajectory = np.zeros((len(seeds), out_dim))
+        for trajectory, seed in enumerate(seeds):
+            trajectory_rng = np.random.default_rng(int(seed))
             total: Optional[np.ndarray] = None
             for start in range(0, len(basis), chunk):
                 block = basis[start : start + chunk]
@@ -453,26 +560,14 @@ class EnsembleExecutor:
                     states = apply_gate_to_ensemble(states, matrix, gate_qubits, n, xp=xp)
                     for channel, targets in placed:
                         states = sample_channel_branches(
-                            channel, states, targets, n, rng, xp=xp
+                            channel, states, targets, n, trajectory_rng, xp=xp
                         )
-                partial = ensemble_marginal_probabilities(
-                    states,
-                    n,
-                    qubits,
-                    weights=xp.asarray(w[start : start + len(block)]),
-                    normalize=False,
-                    xp=xp,
-                )
-                partial = to_host(partial)
+                marginals = ensemble_member_marginal_probabilities(states, n, qubits, xp=xp)
+                partial = to_host(marginals @ xp.asarray(w[start : start + len(block)]))
                 total = partial if total is None else total + partial
             assert total is not None
             distribution = total / total.sum()
             if noise_spec.readout_error > 0:
                 distribution = apply_readout_error(distribution, noise_spec.readout_error)
             per_trajectory[trajectory] = distribution
-        mean = per_trajectory.mean(axis=0)
-        if n_trajectories > 1:
-            sem = per_trajectory.std(axis=0, ddof=1) / np.sqrt(n_trajectories)
-        else:
-            sem = np.zeros(out_dim)
-        return mean, sem
+        return per_trajectory

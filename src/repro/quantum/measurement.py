@@ -112,6 +112,42 @@ def ensemble_marginal_probabilities(
     return probs
 
 
+def ensemble_member_marginal_probabilities(
+    states: np.ndarray,
+    num_qubits: int,
+    qubits: Sequence[int],
+    xp=np,
+) -> np.ndarray:
+    """Per-member marginal readouts of a ``(2^n, B)`` ensemble: an ``(out_dim, B)`` matrix.
+
+    Column ``b`` is member ``b``'s marginal distribution on ``qubits`` (first
+    listed qubit = most significant bit of the outcome index) — the
+    *uncontracted* form of :func:`ensemble_marginal_probabilities`, which is
+    its weighted column average.
+
+    The reduction is deliberately **batch-major**: the probability tensor is
+    transposed to ``[B] + [2]*n`` before the traced axes are summed, so every
+    member's reduction runs over a contiguous block with strides that do not
+    depend on the batch width.  That makes the result *bit-identical under
+    any partition of the batch axis* — computing columns ``[s:e]`` from the
+    sliced ensemble yields exactly the bytes of ``result[:, s:e]`` — which is
+    the invariant the sharded executor (:mod:`repro.quantum.sharding`) builds
+    on.  (The batch-last layout of :func:`ensemble_marginal_probabilities`
+    does not have this property: NumPy's pairwise-summation tree over strided
+    axes changes with the trailing batch width.)
+    """
+    batch = states.shape[-1]
+    keep, drop, order = _marginal_axes(num_qubits, qubits)
+    probs = states.real**2 + states.imag**2
+    probs = xp.ascontiguousarray(probs.T).reshape([batch] + [2] * num_qubits)
+    if drop:
+        probs = probs.sum(axis=tuple(axis + 1 for axis in drop))
+    # Surviving axes sit in increasing qubit order after the batch axis;
+    # permute them into the caller's qubit order and put the batch axis last.
+    probs = xp.transpose(probs, [axis + 1 for axis in order] + [0])
+    return xp.ascontiguousarray(probs).reshape(-1, batch)
+
+
 def sample_counts(
     probabilities: np.ndarray,
     shots: int,

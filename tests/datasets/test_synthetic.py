@@ -1,0 +1,67 @@
+"""Tests for the synthetic drift/anomaly stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    DriftStreamConfig,
+    generate_drift_dataset,
+    generate_drift_signal,
+)
+
+
+def test_signal_shape_and_determinism():
+    a = generate_drift_signal(1000, anomalous=False, seed=5)
+    b = generate_drift_signal(1000, anomalous=False, seed=5)
+    c = generate_drift_signal(1000, anomalous=False, seed=6)
+    assert a.shape == (1000,)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_regime_switch_changes_amplitude_and_frequency():
+    cfg = DriftStreamConfig(noise_std=0.0, drift_depth=0.0)
+    signal = generate_drift_signal(4000, anomalous=False, config=cfg, seed=1)
+    switch = int(4000 * cfg.regime_switch_fraction)
+    before, after = signal[:switch], signal[switch:]
+    # Amplitude steps up by amplitude_step at the switch...
+    assert np.abs(after).max() == pytest.approx(1.0 + cfg.amplitude_step, rel=0.05)
+    assert np.abs(before).max() == pytest.approx(1.0, rel=0.05)
+    # ...and the dominant frequency jumps from base to shifted.
+    for segment, expected in ((before, cfg.base_frequency), (after, cfg.shifted_frequency)):
+        spectrum = np.abs(np.fft.rfft(segment - segment.mean()))
+        freqs = np.fft.rfftfreq(len(segment), d=1.0 / cfg.sampling_rate)
+        assert freqs[spectrum.argmax()] == pytest.approx(expected, abs=2.0)
+
+
+def test_anomalous_signals_carry_extra_transient_energy():
+    cfg = DriftStreamConfig(noise_std=0.0)
+    clean = generate_drift_signal(2000, anomalous=False, config=cfg, seed=2)
+    dirty = generate_drift_signal(2000, anomalous=True, config=cfg, seed=2)
+    assert np.abs(dirty).max() > np.abs(clean).max()
+    assert (dirty**2).sum() > (clean**2).sum()
+
+
+def test_dataset_is_balanced_shuffled_and_deterministic():
+    windows, labels = generate_drift_dataset(num_samples_per_class=10, window_length=64, seed=3)
+    windows_again, labels_again = generate_drift_dataset(
+        num_samples_per_class=10, window_length=64, seed=3
+    )
+    assert windows.shape == (20, 64)
+    assert sorted(np.bincount(labels)) == [10, 10]
+    assert not np.array_equal(labels, np.sort(labels))  # actually shuffled
+    np.testing.assert_array_equal(windows, windows_again)
+    np.testing.assert_array_equal(labels, labels_again)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DriftStreamConfig(sampling_rate=0.0)
+    with pytest.raises(ValueError):
+        DriftStreamConfig(regime_switch_fraction=1.5)
+    with pytest.raises(ValueError):
+        DriftStreamConfig(drift_depth=1.0)
+    with pytest.raises(ValueError):
+        DriftStreamConfig(transients_per_signal=-1)
+    with pytest.raises(ValueError):
+        generate_drift_signal(0, anomalous=False)
