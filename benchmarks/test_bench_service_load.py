@@ -1,0 +1,250 @@
+"""Benchmark S1 — service load: the QTDA HTTP endpoint under mixed traffic.
+
+Two phases, both over real loopback sockets (DESIGN.md §15):
+
+1. **Mixed load** — ≥1,000 requests spanning every served route (duplicate-
+   heavy estimates, rotating high-dimensional cloud estimates, classical
+   pipeline/sweep batches, a streaming observe session) against a
+   default-configured server.  Gate: **zero errors**; client-side
+   p50/p95/p99 latencies, throughput, and per-class breakdowns are recorded,
+   and the server's ``/v1/stats`` payload must satisfy
+   :func:`repro.serve.validate_stats_dict`.
+2. **Coalescing ablation** — the same duplicate-heavy estimate workload
+   against two servers with *all caches disabled* (result + spectrum), one
+   with request coalescing, one without, so coalescing is the only
+   deduplication in play.  Gate: coalescing lifts throughput **≥2×** at full
+   scale (must not regress below 1× at smoke scale).
+
+Results land in ``BENCH_service_load.json``.  Scale knobs: the CI
+``load-smoke`` job sets ``REPRO_LOAD_SMOKE=1`` for a reduced run;
+``REPRO_PAPER_SCALE=1`` has no effect here (network load is not a paper
+figure).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.api import (
+    EstimationRequest,
+    ObserveRequest,
+    PipelineRequest,
+    SweepRequest,
+)
+from repro.core.pipeline import PipelineConfig
+from repro.datasets import HighDimStreamConfig, generate_highdim_cloud_stream
+from repro.datasets.point_clouds import circle_cloud
+from repro.serve import (
+    QTDAServer,
+    RequestClass,
+    ServeConfig,
+    run_load,
+    validate_stats_dict,
+)
+
+SEED = 11
+
+
+def smoke_scale_requested() -> bool:
+    return os.environ.get("REPRO_LOAD_SMOKE", "0") not in ("", "0", "false", "False")
+
+
+# -- workload construction ----------------------------------------------------
+
+
+def _estimate_docs(num_docs: int, num_points: int, epsilon: float) -> list:
+    """Seeded (so coalescable) estimate documents over distinct circle clouds."""
+    return [
+        EstimationRequest(
+            points=circle_cloud(num_points, seed=seed),
+            epsilon=epsilon,
+            k=1,
+            max_dimension=2,
+            config={"precision_qubits": 6, "shots": 4096, "seed": SEED},
+        ).as_dict()
+        for seed in range(num_docs)
+    ]
+
+
+def _highdim_docs(num_docs: int) -> list:
+    """One estimate document per frame of a rotating high-dimensional stream."""
+    frames = generate_highdim_cloud_stream(
+        num_docs,
+        HighDimStreamConfig(shape="circle", ambient_dim=6, num_points=14, noise_std=0.01),
+        seed=SEED,
+    )
+    return [
+        EstimationRequest(
+            points=frame,
+            epsilon=0.6,
+            k=1,
+            config={"precision_qubits": 5, "shots": 2048, "seed": SEED},
+        ).as_dict()
+        for frame in frames
+    ]
+
+
+def _mixed_classes() -> list:
+    classical = PipelineConfig(use_quantum=False)
+    clouds = [circle_cloud(10, seed=s) for s in (0, 1, 2)]
+    return [
+        RequestClass(
+            name="estimate-duplicates",
+            kind="estimate",
+            documents=_estimate_docs(4, num_points=12, epsilon=0.8),
+            weight=4.0,
+        ),
+        RequestClass(
+            name="estimate-highdim",
+            kind="estimate",
+            documents=_highdim_docs(6),
+            weight=2.0,
+        ),
+        RequestClass(
+            name="pipeline",
+            kind="pipeline",
+            documents=[
+                PipelineRequest(point_clouds=clouds, epsilon=0.8, pipeline=classical).as_dict(),
+                PipelineRequest(point_clouds=clouds[:1], epsilon=0.9, pipeline=classical).as_dict(),
+            ],
+            weight=2.0,
+        ),
+        RequestClass(
+            name="sweep",
+            kind="sweep",
+            documents=[
+                SweepRequest(
+                    point_clouds=clouds[:2], epsilons=(0.5, 0.8), pipeline=classical
+                ).as_dict()
+            ],
+            weight=1.0,
+        ),
+        RequestClass(
+            name="observe",
+            kind="observe",
+            documents=[
+                ObserveRequest(
+                    samples=tuple(float(x) / 7.0 for x in range(16)),
+                    session="bench-load",
+                    window_length=64,
+                    stride=32,
+                    epsilons=(0.5,),
+                    pipeline=classical,
+                ).as_dict()
+            ],
+            weight=1.0,
+        ),
+    ]
+
+
+def _duplicate_heavy_classes() -> list:
+    """~4 distinct expensive estimates, cycled: the coalescer's best case."""
+    return [
+        RequestClass(
+            name="dup-estimate",
+            kind="estimate",
+            documents=_estimate_docs(4, num_points=32, epsilon=0.9),
+            weight=1.0,
+        )
+    ]
+
+
+# -- the benchmark ------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="service-load")
+def test_service_under_mixed_load(bench_json):
+    smoke = smoke_scale_requested()
+    mixed_total = 150 if smoke else 1000
+    ablation_total = 80 if smoke else 320
+    workers = 8 if smoke else 16
+
+    # Phase 1: mixed traffic against a default (caches + coalescing) server.
+    with QTDAServer(ServeConfig(port=0, max_pending=256)) as server:
+        mixed = run_load(
+            server.host,
+            server.port,
+            _mixed_classes(),
+            total_requests=mixed_total,
+            workers=workers,
+            seed=SEED,
+        )
+    assert mixed.total_requests == mixed_total
+    assert mixed.errors == 0, f"mixed load saw errors: {mixed.status_counts}"
+    assert mixed.server_stats is not None
+    validate_stats_dict(mixed.server_stats)
+    assert mixed.server_stats["requests"]["total"] >= mixed_total
+
+    # Phase 2: coalescing on/off with every cache disabled, duplicate-heavy.
+    ablation = {}
+    for label, coalesce in (("coalesce_on", True), ("coalesce_off", False)):
+        config = ServeConfig(
+            port=0,
+            coalesce=coalesce,
+            result_cache_size=0,
+            spectrum_cache_size=0,
+            max_pending=256,
+        )
+        with QTDAServer(config) as server:
+            ablation[label] = run_load(
+                server.host,
+                server.port,
+                _duplicate_heavy_classes(),
+                total_requests=ablation_total,
+                workers=workers,
+                seed=SEED,
+            )
+        assert ablation[label].errors == 0, f"{label}: {ablation[label].status_counts}"
+
+    speedup = ablation["coalesce_on"].throughput_rps / ablation["coalesce_off"].throughput_rps
+    assert ablation["coalesce_on"].coalesced > 0, "no request was ever coalesced"
+
+    on_stats = ablation["coalesce_on"].server_stats
+    coalescer = on_stats["coalescer"] if on_stats else {}
+    hit_rate = (
+        coalescer["hits"] / (coalescer["hits"] + coalescer["leaders"])
+        if coalescer.get("hits") is not None and (coalescer["hits"] + coalescer["leaders"])
+        else None
+    )
+
+    print("\nService load (S1):")
+    print(
+        f"  mixed     : {mixed.total_requests} requests, 0 errors, "
+        f"{mixed.throughput_rps:.1f} req/s, p50={mixed.latency['p50_ms']:.1f}ms "
+        f"p95={mixed.latency['p95_ms']:.1f}ms p99={mixed.latency['p99_ms']:.1f}ms"
+    )
+    print(
+        f"  coalescing: {speedup:.2f}x throughput "
+        f"({ablation['coalesce_on'].throughput_rps:.1f} vs "
+        f"{ablation['coalesce_off'].throughput_rps:.1f} req/s), "
+        f"hit rate {hit_rate:.2f}" if hit_rate is not None else "  coalescing: no stats"
+    )
+
+    bench_json(
+        "service_load",
+        {
+            "smoke_scale": smoke,
+            "workers": workers,
+            "mixed": mixed.as_dict(),
+            "coalescing_ablation": {
+                "coalesce_on": ablation["coalesce_on"].as_dict(),
+                "coalesce_off": ablation["coalesce_off"].as_dict(),
+                "speedup": speedup,
+                "coalesce_hit_rate": hit_rate,
+            },
+            "gates": {
+                "mixed_error_free": mixed.errors == 0,
+                "coalescing_speedup_minimum": 1.0 if smoke else 2.0,
+                "coalescing_speedup": speedup,
+            },
+        },
+    )
+
+    # The tentpole perf gate: coalescing must at least double throughput on a
+    # duplicate-heavy workload at full scale (and never make things slower).
+    minimum = 1.0 if smoke else 2.0
+    assert speedup >= minimum, (
+        f"coalescing speedup {speedup:.2f}x below the {minimum:.1f}x gate"
+    )

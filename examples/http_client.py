@@ -1,0 +1,125 @@
+"""HTTP client tour: the network-deployable QTDA service (DESIGN.md §15).
+
+Spins up a `QTDAServer` on an ephemeral loopback port (exactly what
+`python -m repro.cli serve` does behind a real port) and walks the wire
+API with the stdlib-only `ServiceClient`:
+
+1. `GET /v1/health` — liveness and schema-version negotiation;
+2. `POST /v1/estimate` — one Betti-number estimate, the same versioned
+   envelope `QTDAService.run` returns in-process, plus a `coalesced` flag;
+3. concurrent duplicate requests — the in-flight coalescer folds them into
+   one computation (watch the `coalesced` flags);
+4. per-caller quotas — a too-chatty caller gets a structured 429 with
+   `Retry-After`;
+5. `GET /v1/stats` — counters, queue depth, coalescer hit rates and
+   per-route latency histograms, schema-checked by `validate_stats_dict`.
+
+Run with:  python examples/http_client.py
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.api import EstimationRequest
+from repro.serve import (
+    QTDAServer,
+    ServeConfig,
+    ServiceClient,
+    ServiceError,
+    validate_stats_dict,
+)
+
+TRIANGLE = ((0,), (1,), (2,), (0, 1), (0, 2), (1, 2))
+
+
+def main() -> None:
+    config = ServeConfig(
+        port=0,              # ephemeral; read the bound port back from the server
+        quota_rate=5.0,      # 5 requests/second per caller...
+        quota_burst=5.0,     # ...with a burst of 5 — easy to trip for the demo
+        max_pending=32,
+        result_cache_size=0,  # demo only: let the coalescer (not the result
+                              # cache) absorb the duplicate burst below
+    )
+    with QTDAServer(config) as server:
+        print(f"QTDA service listening on {server.base_url}")
+
+        with ServiceClient(server.host, server.port, caller="tour") as client:
+            # 1. Health: the server names the wire schema version it speaks.
+            health = client.health()
+            print(f"health: {health['status']}, schema v{health['schema_version']}, "
+                  f"routes {health['kinds']}")
+
+            # 2. One estimate over the wire.  `ServiceClient` serialises any
+            #    request object (or a plain dict in the wire format).
+            request = EstimationRequest(
+                simplices=TRIANGLE, k=1,
+                config={"precision_qubits": 5, "shots": 2000, "seed": 7},
+            )
+            envelope = client.estimate(request)
+            payload = envelope["payload"]
+            print(f"\nestimate: beta~_1 = {payload['betti_estimate']:.3f} "
+                  f"(rounded {payload['betti_rounded']}) "
+                  f"[coalesced={envelope['coalesced']}]")
+
+        # 3. Coalescing: several threads fire the *same* expensive request at
+        #    once; one computes, the rest ride along (deterministic requests
+        #    only — a seed makes the computation replayable, hence shareable).
+        from repro.datasets.point_clouds import circle_cloud
+
+        heavy = EstimationRequest(
+            points=circle_cloud(32, seed=1), epsilon=0.9, k=1, max_dimension=2,
+            config={"precision_qubits": 6, "shots": 4096, "seed": 7},
+        )
+        flags = []
+        flags_lock = threading.Lock()
+
+        def fire(index: int) -> None:
+            with ServiceClient(server.host, server.port, caller=f"burst-{index}") as c:
+                result = c.estimate(heavy)
+                with flags_lock:
+                    flags.append(result["coalesced"])
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        print(f"\nburst of {len(flags)} identical requests -> "
+              f"{sum(flags)} coalesced, {len(flags) - sum(flags)} computed")
+
+        # 4. Quotas: the "tour" caller above has 5 tokens/burst — drain them
+        #    and the next request bounces with 429 + Retry-After.
+        with ServiceClient(server.host, server.port, caller="greedy") as client:
+            rejected = None
+            for attempt in range(10):
+                try:
+                    client.estimate(request)
+                except ServiceError as exc:
+                    rejected = exc
+                    break
+            if rejected is not None:
+                print(f"\nquota tripped after {attempt} requests: HTTP {rejected.status} "
+                      f"({rejected.reason}), retry after {rejected.retry_after_s:.2f}s")
+                print("error envelope:", json.dumps(rejected.envelope, indent=2))
+
+        # 5. Stats: the documented observability snapshot.
+        with ServiceClient(server.host, server.port) as client:
+            stats = client.stats()
+        validate_stats_dict(stats)  # raises if the contract is broken
+        requests = stats["requests"]
+        coalescer = stats["coalescer"]
+        estimate_latency = requests["by_route"]["estimate"]["latency_ms"]
+        print(f"\nstats: {requests['total']} requests "
+              f"({requests['errors']} errors), "
+              f"coalescer hits {coalescer['hits']} / leaders {coalescer['leaders']}, "
+              f"estimate p50 {estimate_latency['p50_ms']:.1f} ms "
+              f"p99 {estimate_latency['p99_ms']:.1f} ms")
+
+    print("\nserver drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -128,6 +128,29 @@ def main() -> None:
     print("\nFig. 2-style maximally mixed state preparation (3 system qubits):")
     print(draw_circuit(maximally_mixed_state_circuit(3)))
 
+    # 7. Serve it.  The same request/envelope wire format deploys over HTTP
+    #    (DESIGN.md §15) — `python -m repro.cli serve` from a shell, or
+    #    in-process as below.  Identical concurrent requests coalesce into
+    #    one computation and per-caller quotas shed overload with 429s; see
+    #    examples/http_client.py for the full client tour.
+    from repro.serve import QTDAServer, ServeConfig, ServiceClient
+
+    with QTDAServer(ServeConfig(port=0)) as server:
+        with ServiceClient(server.host, server.port) as client:
+            served = client.estimate(
+                EstimationRequest(
+                    points=points,
+                    epsilon=epsilon,
+                    max_dimension=2,
+                    k=1,
+                    config={"precision_qubits": 6, "shots": 4000, "seed": 11},
+                )
+            )
+    print(
+        f"\nVia HTTP ({server.base_url}): beta~_1 = {served['payload']['betti_estimate']:.3f} "
+        f"[schema v{served['schema_version']}, coalesced={served['coalesced']}]"
+    )
+
 
 if __name__ == "__main__":
     main()

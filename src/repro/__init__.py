@@ -15,6 +15,9 @@ algorithm:
   (``EstimationRequest``, ``PipelineRequest``, ``SweepRequest``,
   ``ExperimentRequest``), the ``EstimationResult`` envelope with provenance,
   and the concurrent ``QTDAService`` executor (DESIGN.md §10).
+* :mod:`repro.serve` — the network deployment of that service: a stdlib
+  HTTP/JSON adapter with request coalescing, per-caller quotas, metrics on
+  ``GET /v1/stats`` and a load-test client (DESIGN.md §15).
 * :mod:`repro.ml` — minimal classical ML (logistic regression, kNN, scaling,
   splitting, metrics) used for the Section 5 classification experiments.
 * :mod:`repro.datasets` — synthetic gearbox vibration data and reference
@@ -81,6 +84,12 @@ _LAZY_EXPORTS = {
         "Provenance",
         "QTDAService",
         "request_from_dict",
+        "deterministic_request",
+    ),
+    "repro.serve": (
+        "QTDAServer",
+        "ServeConfig",
+        "ServiceClient",
     ),
     "repro.tda": (
         "RipsComplex",

@@ -24,6 +24,7 @@ from repro.core.api import (
     SweepRequest,
     canonical_json,
     describe_backends,
+    deterministic_request,
     request_from_dict,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "ObserveRequest",
     "Request",
     "request_from_dict",
+    "deterministic_request",
     "Provenance",
     "EstimationResult",
     "QTDAService",

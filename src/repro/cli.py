@@ -12,6 +12,7 @@ paper's experiments be regenerated without writing any Python:
     repro-experiments fig4 --scales 7             # accuracy vs grouping scale
     repro-experiments timeseries --windows 12     # Section 5 time-series route
     repro-experiments timeseries --window-stride 64 --stream   # incremental streaming sweep
+    repro-experiments serve --port 8080           # HTTP/JSON QTDA service (Ctrl-C drains)
 
 Every subcommand prints the same report the corresponding benchmark prints;
 ``--paper-scale`` switches to the full grids described in EXPERIMENTS.md.
@@ -242,6 +243,44 @@ def _add_list_backends(subparsers) -> None:
     )
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the network QTDA service over HTTP/JSON (DESIGN.md §15)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    parser.add_argument("--port", type=int, default=8080, help="TCP port (0 picks a free port)")
+    parser.add_argument(
+        "--max-pending", type=int, default=64, help="bound on concurrently admitted requests"
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        help="per-caller request quota in requests/second (default: no quotas)",
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        help="per-caller burst capacity (default: max(1, quota rate))",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable in-flight coalescing of identical deterministic requests",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="service worker-pool size")
+    parser.add_argument(
+        "--result-cache-size", type=int, default=256, help="service result-cache entries (0 disables)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then drain (default: until Ctrl-C)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -256,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fig4(subparsers)
     _add_appendix(subparsers)
     _add_timeseries(subparsers)
+    _add_serve(subparsers)
     return parser
 
 
@@ -380,6 +420,50 @@ def _run_timeseries(args) -> str:
     return _run_experiment("timeseries", params, args.json)
 
 
+def _run_serve(args) -> str:
+    """Serve until Ctrl-C (or ``--duration``), then drain and report stats.
+
+    The final ``/v1/stats`` snapshot is returned as the report, so a serve
+    run always ends with the same machine-readable summary the live
+    endpoint exposes.
+    """
+    import json
+    import time
+
+    from repro.serve import QTDAServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        coalesce=not args.no_coalesce,
+        max_workers=args.workers,
+        result_cache_size=args.result_cache_size,
+    )
+    server = QTDAServer(config)
+    server.start()
+    print(
+        f"serving QTDA at {server.base_url} "
+        "(POST /v1/{estimate,pipeline,sweep,observe}; GET /v1/health, /v1/stats) "
+        "— Ctrl-C drains and exits",
+        flush=True,
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:  # pragma: no cover - interactive loop
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("interrupt received — draining in-flight requests", flush=True)
+    finally:
+        stats = server.stats()
+        server.stop()
+    return json.dumps(stats, indent=2)
+
+
 _COMMANDS = {
     "list-backends": _run_list_backends,
     "fig3": _run_fig3,
@@ -387,6 +471,7 @@ _COMMANDS = {
     "fig4": _run_fig4,
     "appendix": _run_appendix,
     "timeseries": _run_timeseries,
+    "serve": _run_serve,
 }
 
 

@@ -32,11 +32,13 @@ tests in ``tests/core/test_api.py`` pin that equivalence.
 
 from __future__ import annotations
 
+import atexit
 import copy
 import hashlib
 import json
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -283,6 +285,27 @@ class EstimationRequest(_RequestBase):
         return RipsComplex.from_points(
             np.asarray(self.points, dtype=float), self.epsilon, max_dimension=self.max_dimension
         ).complex()
+
+    def geometry_fingerprint(self) -> str:
+        """Stable hash of the *geometry only* (complex/cloud, not the config).
+
+        Two requests share a geometry fingerprint exactly when they build the
+        same simplicial complex and hence the same Laplacians — the serving
+        layer groups such requests so one execution warms the shared
+        :class:`~repro.core.hamiltonian.SpectrumCache` for the others.
+        Memoised like :meth:`fingerprint` (requests are frozen).
+        """
+        cached = getattr(self, "_geometry_fingerprint_cache", None)
+        if cached is None:
+            document = {
+                "simplices": self.simplices,
+                "points": self.points,
+                "epsilon": self.epsilon,
+                "max_dimension": self.max_dimension,
+            }
+            cached = hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_geometry_fingerprint_cache", cached)
+        return cached
 
     def as_dict(self) -> Dict[str, Any]:
         return self._envelope(
@@ -667,6 +690,30 @@ def request_from_dict(data: Mapping[str, Any]) -> Request:
     return cls.from_dict(data)
 
 
+def deterministic_request(request: Request) -> bool:
+    """Whether two runs of ``request`` are guaranteed to produce equal results.
+
+    This is the shared reuse predicate: the service result cache and the
+    serving layer's in-flight coalescer (:mod:`repro.serve.coalescer`) both
+    refuse to substitute one execution's result for another unless it holds.
+
+    * ``observe`` requests are stateful by design — the response depends on
+      the session's buffered samples — so they are never deterministic here.
+    * Pipeline/sweep requests expose their own :attr:`~PipelineRequest.
+      deterministic` (classical-only, or quantum with a fixed seed).
+    * Experiment driver seeds all default to fixed integers; only an
+      explicit ``None`` (or generator) seed makes a run non-reproducible.
+    * Single estimations are deterministic exactly when seeded.
+    """
+    if isinstance(request, ObserveRequest):
+        return False
+    if isinstance(request, (PipelineRequest, SweepRequest)):
+        return request.deterministic
+    if isinstance(request, ExperimentRequest):
+        return request.param_dict.get("seed", 0) is not None
+    return request.seed is not None
+
+
 # ---------------------------------------------------------------------------
 # Results
 # ---------------------------------------------------------------------------
@@ -992,6 +1039,37 @@ _EXPERIMENT_RUNNERS = {
 # The service
 # ---------------------------------------------------------------------------
 
+#: Live (not yet closed) services, tracked weakly so tracking never extends a
+#: service's lifetime.  The interpreter-exit hook closes whatever is left —
+#: a service abandoned without ``close()`` must not leave shard worker
+#: processes behind — then tears down the process-wide shard pools.
+_LIVE_SERVICES: "weakref.WeakSet[QTDAService]" = weakref.WeakSet()
+_ATEXIT_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def _close_live_services() -> None:
+    """Interpreter-exit hook: close leaked services, then the shard pools."""
+    for service in list(_LIVE_SERVICES):
+        try:
+            service.close()
+        except Exception:  # pragma: no cover - nothing to do at exit
+            pass
+    from repro.quantum.sharding import shutdown_shard_pools
+
+    shutdown_shard_pools()
+
+
+def _track_service(service: "QTDAService") -> None:
+    global _ATEXIT_REGISTERED
+    with _ATEXIT_LOCK:
+        # Lazy registration keeps import side-effect free: the hook exists
+        # only once the first service does.
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_live_services)
+            _ATEXIT_REGISTERED = True
+        _LIVE_SERVICES.add(service)
+
 
 class _ObserveSession:
     """Server-side state of one named streaming session.
@@ -1064,19 +1142,26 @@ class QTDAService:
         self.result_cache_hits = 0
         self._executors: Dict[str, Any] = {}
         self._executors_lock = threading.Lock()
+        _track_service(self)
 
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool down; pending futures finish first.
 
+        Idempotent — the second and later calls return immediately, so the
+        interpreter-exit hook (every service is registered with ``atexit``
+        on construction) can close a service the caller already closed.
         Registered shard executors are closed too, and the process-wide
         shard pools are torn down once no executors remain registered
         anywhere obvious — closing a service is the "I'm done with sharding"
         signal (pools recreate on demand, so this is always safe).
         """
         with self._pool_lock:
+            if self._closed:
+                return
             pool, self._pool = self._pool, None
             self._closed = True
+        _LIVE_SERVICES.discard(self)
         if pool is not None:
             pool.shutdown(wait=True)
         with self._sessions_lock:
@@ -1251,9 +1336,10 @@ class QTDAService:
         Results are identical to :meth:`run` — per-request seeds make them
         independent of scheduling order — and land in the shared result
         cache, so repeating a request after a prior completion is served
-        without recomputation.  In-flight duplicates are *not* coalesced
-        (each computes; they produce identical results) — see the ROADMAP's
-        request-coalescing follow-up.
+        without recomputation.  In-flight duplicates are *not* merged at
+        this layer; deploy behind :class:`repro.serve.RequestCoalescer`
+        (what the HTTP server does) to deduplicate identical concurrent
+        deterministic requests.
 
         ``executor`` names a registered shard executor
         (:meth:`register_executor`): the request is rewritten to that
@@ -1397,20 +1483,7 @@ class QTDAService:
         return self.spectrum_cache.hits, self.spectrum_cache.misses
 
     def _cacheable(self, request: Request) -> bool:
-        if self.result_cache_size <= 0:
-            return False
-        if isinstance(request, ObserveRequest):
-            # Stateful by design: the response depends on the session's
-            # buffered samples, so identical requests legitimately differ.
-            return False
-        if isinstance(request, (PipelineRequest, SweepRequest)):
-            return request.deterministic
-        if isinstance(request, ExperimentRequest):
-            # Driver seeds all default to fixed integers; only an explicit
-            # None (or generator) seed makes the run non-reproducible.
-            params = request.param_dict
-            return params.get("seed", 0) is not None
-        return request.seed is not None
+        return self.result_cache_size > 0 and deterministic_request(request)
 
     @staticmethod
     def _fingerprint_or_none(request: Request) -> Optional[str]:
@@ -1632,6 +1705,7 @@ __all__ = [
     "ObserveRequest",
     "Request",
     "request_from_dict",
+    "deterministic_request",
     "Provenance",
     "EstimationResult",
     "QTDAService",

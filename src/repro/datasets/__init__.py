@@ -12,8 +12,10 @@ point clouds with known Betti numbers.
 from repro.datasets.gearbox import GearboxDatasetConfig, generate_gearbox_dataset, generate_gearbox_signal
 from repro.datasets.synthetic import (
     DriftStreamConfig,
+    HighDimStreamConfig,
     generate_drift_dataset,
     generate_drift_signal,
+    generate_highdim_cloud_stream,
 )
 from repro.datasets.features import (
     condition_features,
@@ -36,8 +38,10 @@ __all__ = [
     "generate_gearbox_dataset",
     "generate_gearbox_signal",
     "DriftStreamConfig",
+    "HighDimStreamConfig",
     "generate_drift_dataset",
     "generate_drift_signal",
+    "generate_highdim_cloud_stream",
     "condition_features",
     "feature_matrix",
     "feature_row_to_point_cloud",

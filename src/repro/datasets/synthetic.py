@@ -20,6 +20,16 @@ module synthesises a second workload:
 ``anomalous=True`` adds the transients, giving a two-class problem that
 plugs into the existing timeseries experiment
 (``repro-experiments timeseries --signal drift``).
+
+The module also provides a **higher-dimensional point-cloud stream**
+(:func:`generate_highdim_cloud_stream`): a known low-dimensional shape
+(circle, sphere or torus — reference Betti numbers in hand) embedded in a
+random subspace of :math:`\\mathbb{R}^d` and slowly rotated through a random
+plane frame by frame, plus ambient Gaussian noise.  Topology is invariant
+under the rotation, so every frame should report the same Betti numbers
+while the raw coordinates differ — the service load tests use these frames
+as a realistic "streaming telemetry" request class whose geometry never
+repeats exactly (defeats caches, exercises the real compute path).
 """
 
 from __future__ import annotations
@@ -146,3 +156,119 @@ def generate_drift_dataset(
             row += 1
     permutation = rng.permutation(2 * per_class)
     return windows[permutation], labels[permutation]
+
+
+#: Intrinsic embedding dimension of each supported stream shape.
+_SHAPE_DIMS = {"circle": 2, "sphere": 3, "torus": 3}
+
+
+@dataclass
+class HighDimStreamConfig:
+    """Parameters of the rotating high-dimensional point-cloud stream.
+
+    A ``shape`` with known topology (circle: β₀=1, β₁=1; sphere: β₂=1;
+    torus: β₁=2) is embedded into a random ``ambient_dim``-dimensional
+    subspace and rotated by ``rotation_per_frame`` radians per frame through
+    a random 2-plane of the ambient space; ``noise_std`` Gaussian noise is
+    re-drawn every frame.
+    """
+
+    ambient_dim: int = 8
+    num_points: int = 24
+    shape: str = "circle"
+    radius: float = 1.0
+    tube_radius: float = 0.35
+    rotation_per_frame: float = 0.15
+    noise_std: float = 0.02
+
+    def __post_init__(self):
+        if self.shape not in _SHAPE_DIMS:
+            raise ValueError(
+                f"shape must be one of {sorted(_SHAPE_DIMS)}, got {self.shape!r}"
+            )
+        self.num_points = check_positive_integer(self.num_points, "num_points")
+        self.ambient_dim = check_integer(
+            self.ambient_dim, "ambient_dim", minimum=_SHAPE_DIMS[self.shape]
+        )
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        if self.shape == "torus" and not 0.0 < self.tube_radius < self.radius:
+            raise ValueError("torus requires 0 < tube_radius < radius")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+def _intrinsic_cloud(cfg: HighDimStreamConfig) -> np.ndarray:
+    """The noiseless shape in its intrinsic 2-D/3-D coordinates.
+
+    Points are placed deterministically (even angles / Fibonacci lattice /
+    golden-ratio torus winding) so the sampled topology is as clean as the
+    point budget allows — randomness enters only through the embedding,
+    rotation and noise.
+    """
+    n = cfg.num_points
+    index = np.arange(n)
+    golden = (1.0 + np.sqrt(5.0)) / 2.0
+    if cfg.shape == "circle":
+        angle = 2.0 * np.pi * index / n
+        return cfg.radius * np.column_stack([np.cos(angle), np.sin(angle)])
+    if cfg.shape == "sphere":
+        # Fibonacci sphere: near-uniform without clustering at the poles.
+        z = 1.0 - 2.0 * (index + 0.5) / n
+        ring = np.sqrt(np.maximum(0.0, 1.0 - z**2))
+        angle = 2.0 * np.pi * index / golden
+        return cfg.radius * np.column_stack([ring * np.cos(angle), ring * np.sin(angle), z])
+    # Torus: a single golden-ratio winding covers both cycles evenly.
+    major = 2.0 * np.pi * index / n
+    minor = 2.0 * np.pi * index / golden
+    ring = cfg.radius + cfg.tube_radius * np.cos(minor)
+    return np.column_stack(
+        [ring * np.cos(major), ring * np.sin(major), cfg.tube_radius * np.sin(minor)]
+    )
+
+
+def generate_highdim_cloud_stream(
+    num_frames: int,
+    config: HighDimStreamConfig | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Stream of rotating high-dimensional clouds, shape ``(frames, points, d)``.
+
+    Frame ``f`` is the intrinsic shape embedded into a random orthonormal
+    subspace of :math:`\\mathbb{R}^d`, rotated by ``f·rotation_per_frame``
+    radians in a random 2-plane, with fresh Gaussian noise.  Every frame has
+    the same topology (rotations are isometries; the noise is small), so a
+    streaming monitor should see constant Betti numbers over coordinates
+    that never repeat — the service load tests rely on exactly that.
+    """
+    frames = check_positive_integer(num_frames, "num_frames")
+    cfg = config if config is not None else HighDimStreamConfig()
+    rng = as_rng(seed)
+    d = cfg.ambient_dim
+    intrinsic = _intrinsic_cloud(cfg)
+    m = intrinsic.shape[1]
+
+    # One QR draw gives the embedding basis (first m columns) and the
+    # rotation plane.  The plane must intersect the embedding subspace —
+    # a plane fully orthogonal to it would rotate nothing the points span,
+    # leaving every frame identical — so one axis comes from inside the
+    # embedding (u) and the other is a fresh direction when one exists (v).
+    basis = np.linalg.qr(rng.normal(size=(d, d)))[0]
+    embedding = basis[:, :m]
+    u = basis[:, 0]
+    v = basis[:, m] if d > m else basis[:, 1]
+
+    stream = np.empty((frames, cfg.num_points, d))
+    for frame in range(frames):
+        theta = frame * cfg.rotation_per_frame
+        # Rodrigues-style plane rotation: identity outside span(u, v).
+        rotation = (
+            np.eye(d)
+            + (np.cos(theta) - 1.0) * (np.outer(u, u) + np.outer(v, v))
+            + np.sin(theta) * (np.outer(u, v) - np.outer(v, u))
+        )
+        embedded = intrinsic @ (rotation @ embedding).T
+        if cfg.noise_std > 0:
+            embedded = embedded + rng.normal(scale=cfg.noise_std, size=embedded.shape)
+        stream[frame] = embedded
+    return stream

@@ -309,7 +309,10 @@ def _normalise_gate_strengths(value) -> Dict[str, float]:
     out: Dict[str, float] = {}
     for name, strength in items:
         out[str(name)] = check_probability(strength, f"gate_strengths[{name!r}]")
-    return out
+    # Sorted by gate name so the dict (and hence every serialisation of it)
+    # is canonical: ``{"h": .., "cp": ..}`` and ``(("cp", ..), ("h", ..))``
+    # normalise to byte-identical wire documents.
+    return {name: out[name] for name in sorted(out)}
 
 
 @dataclass(frozen=True)

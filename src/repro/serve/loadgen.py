@@ -1,0 +1,362 @@
+"""Load-generation client for the QTDA HTTP service.
+
+Two layers:
+
+* :class:`ServiceClient` — a thin, dependency-free HTTP/JSON client over
+  ``http.client.HTTPConnection`` with keep-alive (one persistent connection
+  per client; **not** thread-safe — give each worker thread its own).
+  Accepts typed requests (anything with ``as_dict``) or plain wire dicts,
+  returns the decoded result envelope, and raises :class:`ServiceError`
+  carrying the structured error envelope on non-200 responses.
+* :func:`run_load` — the reusable load harness behind
+  ``benchmarks/test_bench_service_load.py``: a seeded, weighted mix of
+  request classes is scheduled up front (deterministic per seed), fanned
+  across worker threads over real sockets, and summarised as a
+  :class:`LoadReport` with exact client-side latency percentiles, throughput
+  and per-class/status breakdowns.
+
+Duplicate-heavy workloads are expressed naturally: a request class holds a
+*pool* of documents and the scheduler cycles through the pool, so a class
+with 4 documents and 200 scheduled requests sends each document ~50 times —
+exactly the traffic shape request coalescing (DESIGN.md §15) deduplicates.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ServiceError",
+    "ServiceClient",
+    "RequestClass",
+    "LoadReport",
+    "run_load",
+]
+
+#: Anything the client can serialise into a request document.
+Document = Union[Mapping[str, Any], Any]
+
+
+class ServiceError(RuntimeError):
+    """A non-200 response; carries the server's structured error envelope."""
+
+    def __init__(self, status: int, envelope: Mapping[str, Any]):
+        error = envelope.get("error", {}) if isinstance(envelope, Mapping) else {}
+        super().__init__(
+            f"HTTP {status}: {error.get('reason', 'error')}: {error.get('message', envelope)}"
+        )
+        self.status = int(status)
+        self.envelope = dict(envelope) if isinstance(envelope, Mapping) else {"raw": envelope}
+        self.reason = error.get("reason")
+        self.retry_after_s = error.get("retry_after_s")
+
+
+def _as_document(request: Document) -> Dict[str, Any]:
+    if isinstance(request, Mapping):
+        return dict(request)
+    as_dict = getattr(request, "as_dict", None)
+    if callable(as_dict):
+        return as_dict()
+    raise TypeError(f"cannot serialise {type(request).__name__} into a request document")
+
+
+class ServiceClient:
+    """Keep-alive HTTP/JSON client for one server; one instance per thread."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        caller: Optional[str] = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.caller = caller
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _round_trip(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, Any]]:
+        headers = {"Content-Type": "application/json"}
+        if self.caller is not None:
+            headers["X-Caller"] = self.caller
+        # One retry on a stale keep-alive socket: the server may close an
+        # idle persistent connection between requests, which surfaces as
+        # RemoteDisconnected/BrokenPipe on the *next* use — reconnect once.
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            document = {"raw": raw.decode("utf-8", "replace")}
+        return response.status, document
+
+    def request(self, method: str, path: str, document: Optional[Document] = None) -> Dict[str, Any]:
+        """One HTTP round trip; raises :class:`ServiceError` on non-200."""
+        body = None
+        if document is not None:
+            body = json.dumps(_as_document(document)).encode("utf-8")
+        status, payload = self._round_trip(method, path, body)
+        if status != 200:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- the service API -------------------------------------------------------
+    def estimate(self, request: Document) -> Dict[str, Any]:
+        return self.request("POST", "/v1/estimate", request)
+
+    def pipeline(self, request: Document) -> Dict[str, Any]:
+        return self.request("POST", "/v1/pipeline", request)
+
+    def sweep(self, request: Document) -> Dict[str, Any]:
+        return self.request("POST", "/v1/sweep", request)
+
+    def observe(self, request: Document) -> Dict[str, Any]:
+        return self.request("POST", "/v1/observe", request)
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/stats")
+
+
+# ---------------------------------------------------------------------------
+# The load harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RequestClass:
+    """One traffic class of the mixed workload.
+
+    ``documents`` is the pool of wire documents this class draws from; the
+    scheduler cycles through it, so ``len(documents)`` controls how
+    duplicate-heavy the class is.  ``kind`` must be a served route
+    (``estimate``/``pipeline``/``sweep``/``observe``).
+    """
+
+    name: str
+    kind: str
+    documents: Sequence[Dict[str, Any]]
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.documents:
+            raise ValueError(f"request class {self.name!r} has an empty document pool")
+        if self.weight <= 0:
+            raise ValueError(f"request class {self.name!r} must have positive weight")
+
+
+@dataclass
+class _Observation:
+    class_name: str
+    status: int
+    latency_s: float
+    coalesced: bool
+
+
+def _percentiles(latencies: Sequence[float]) -> Dict[str, Optional[float]]:
+    """Exact client-side percentiles (milliseconds), ``None`` when empty."""
+    if not latencies:
+        return {"p50_ms": None, "p95_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
+    values = np.sort(np.asarray(latencies, dtype=float)) * 1000.0
+    def _q(q: float) -> float:
+        return float(np.percentile(values, q))
+
+    return {
+        "p50_ms": _q(50.0),
+        "p95_ms": _q(95.0),
+        "p99_ms": _q(99.0),
+        "mean_ms": float(values.mean()),
+        "max_ms": float(values[-1]),
+    }
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one :func:`run_load` run (JSON-safe via ``as_dict``)."""
+
+    total_requests: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    latency: Dict[str, Optional[float]]
+    by_class: Dict[str, Dict[str, Any]]
+    status_counts: Dict[str, int]
+    coalesced: int
+    workers: int
+    server_stats: Optional[Dict[str, Any]] = field(default=None)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total_requests": self.total_requests,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency": dict(self.latency),
+            "by_class": {name: dict(record) for name, record in self.by_class.items()},
+            "status_counts": dict(self.status_counts),
+            "coalesced": self.coalesced,
+            "workers": self.workers,
+            "server_stats": self.server_stats,
+        }
+
+
+def run_load(
+    host: str,
+    port: int,
+    classes: Sequence[RequestClass],
+    total_requests: int,
+    workers: int = 8,
+    seed: int = 0,
+    timeout: float = 60.0,
+    collect_server_stats: bool = True,
+) -> LoadReport:
+    """Drive a seeded mixed workload over real sockets; return the report.
+
+    The schedule — which class and which pool document each of the
+    ``total_requests`` slots uses — is drawn up front from a seeded RNG
+    (weighted by class, round-robin within a class's pool) and then consumed
+    from a shared cursor by ``workers`` threads, each with its own keep-alive
+    :class:`ServiceClient`.  Every response is timed individually; errors are
+    recorded (status code or ``0`` for transport failures), never raised, so
+    a load run always yields a complete report.
+    """
+    if total_requests < 1:
+        raise ValueError(f"total_requests must be positive, got {total_requests}")
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    for request_class in classes:
+        if request_class.kind not in ("estimate", "pipeline", "sweep", "observe"):
+            raise ValueError(f"request class {request_class.name!r} has unserved kind {request_class.kind!r}")
+
+    rng = np.random.default_rng(seed)
+    weights = np.asarray([c.weight for c in classes], dtype=float)
+    weights /= weights.sum()
+    class_choices = rng.choice(len(classes), size=total_requests, p=weights)
+    pool_cursors = [0] * len(classes)
+    schedule: List[Tuple[RequestClass, Dict[str, Any]]] = []
+    for class_index in class_choices:
+        request_class = classes[class_index]
+        document = request_class.documents[pool_cursors[class_index] % len(request_class.documents)]
+        pool_cursors[class_index] += 1
+        schedule.append((request_class, document))
+
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    observations: List[List[_Observation]] = [[] for _ in range(workers)]
+
+    def _worker(worker_index: int) -> None:
+        client = ServiceClient(host, port, timeout=timeout, caller=f"loadgen-{worker_index}")
+        records = observations[worker_index]
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(schedule):
+                        return
+                    cursor["next"] = index + 1
+                request_class, document = schedule[index]
+                start = time.perf_counter()
+                try:
+                    envelope = client.request("POST", f"/v1/{request_class.kind}", document)
+                    status, coalesced = 200, bool(envelope.get("coalesced"))
+                except ServiceError as exc:
+                    status, coalesced = exc.status, False
+                except (OSError, http.client.HTTPException):
+                    status, coalesced = 0, False
+                records.append(
+                    _Observation(
+                        request_class.name, status, time.perf_counter() - start, coalesced
+                    )
+                )
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_worker, args=(index,), name=f"loadgen-{index}", daemon=True)
+        for index in range(workers)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+
+    flat = [record for worker_records in observations for record in worker_records]
+    ok = [r for r in flat if r.status == 200]
+    status_counts: Dict[str, int] = {}
+    for record in flat:
+        key = str(record.status)
+        status_counts[key] = status_counts.get(key, 0) + 1
+    by_class: Dict[str, Dict[str, Any]] = {}
+    for request_class in classes:
+        class_records = [r for r in flat if r.class_name == request_class.name]
+        class_ok = [r.latency_s for r in class_records if r.status == 200]
+        by_class[request_class.name] = {
+            "kind": request_class.kind,
+            "count": len(class_records),
+            "errors": len(class_records) - len(class_ok),
+            "coalesced": sum(r.coalesced for r in class_records),
+            **_percentiles(class_ok),
+        }
+
+    server_stats = None
+    if collect_server_stats:
+        try:
+            with ServiceClient(host, port, timeout=timeout) as client:
+                server_stats = client.stats()
+        except (ServiceError, OSError, http.client.HTTPException):
+            server_stats = None
+
+    return LoadReport(
+        total_requests=len(flat),
+        errors=len(flat) - len(ok),
+        duration_s=duration,
+        throughput_rps=len(flat) / duration if duration > 0 else float("inf"),
+        latency=_percentiles([r.latency_s for r in ok]),
+        by_class=by_class,
+        status_counts=status_counts,
+        coalesced=sum(r.coalesced for r in flat),
+        workers=workers,
+        server_stats=server_stats,
+    )

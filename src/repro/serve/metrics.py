@@ -1,0 +1,233 @@
+"""Thread-safe serving metrics — counters, gauges, latency histograms.
+
+The serving layer (DESIGN.md §15) needs cheap, lock-light observability:
+how deep is the admission queue, how often does the coalescer deduplicate,
+what do per-route latencies look like at the tail.  This module provides the
+three primitive instruments plus a :class:`MetricsRegistry` that owns them by
+name and renders one JSON-safe snapshot for ``GET /v1/stats`` and the CLI
+``serve`` logs.
+
+Design notes
+------------
+* Every instrument is thread-safe; recording is a couple of integer adds
+  under a per-instrument lock (no allocation on the hot path).
+* :class:`LatencyHistogram` uses fixed log-spaced buckets (100 µs … ~2 min)
+  rather than reservoir sampling: percentile estimates are computed from
+  cumulative bucket counts with linear interpolation inside the bucket, so
+  memory stays O(1) per route no matter how many requests are recorded.
+  Client-side harnesses that want *exact* percentiles (the load generator)
+  keep their own raw samples instead.
+* ``as_dict()`` snapshots are self-consistent per instrument but not across
+  instruments (no global lock) — fine for monitoring, documented here so
+  nobody builds an invariant on cross-counter exactness.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for +/- values")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, in-flight requests)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = int(value)
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+def _default_bounds() -> List[float]:
+    """Log-spaced latency bucket upper bounds in seconds: 100 µs … ~2 min.
+
+    Ten buckets per decade keeps interpolated percentiles within a few per
+    cent of exact over the whole range a local QTDA service can plausibly
+    produce; the final +inf bucket catches pathological stalls.
+    """
+    bounds = [10 ** (exponent / 10.0) for exponent in range(-40, 22)]  # 1e-4 .. ~125 s
+    bounds.append(math.inf)
+    return bounds
+
+
+#: Shared bucket bounds — identical for every histogram so snapshots are
+#: comparable across routes and across runs.
+BUCKET_BOUNDS = _default_bounds()
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated percentiles.
+
+    ``record(seconds)`` is O(log buckets) (bisect); ``percentile(q)`` walks
+    the cumulative counts and interpolates linearly inside the landing
+    bucket, using the bucket's lower/upper bound as the value range.  The
+    first bucket interpolates from 0.
+    """
+
+    __slots__ = ("_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * len(BUCKET_BOUNDS)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        value = float(seconds)
+        if value < 0:
+            raise ValueError(f"latency must be non-negative, got {value}")
+        import bisect
+
+        index = bisect.bisect_left(BUCKET_BOUNDS, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-th percentile in seconds (``None`` when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return None
+            target = q / 100.0 * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= target:
+                    lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                    upper = BUCKET_BOUNDS[index]
+                    if math.isinf(upper):
+                        # The overflow bucket has no upper edge; the recorded
+                        # maximum is the honest estimate.
+                        return self._max
+                    fraction = (target - previous) / bucket_count
+                    fraction = min(max(fraction, 0.0), 1.0)
+                    return lower + fraction * (upper - lower)
+            return self._max  # pragma: no cover - cumulative >= target always hits
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """JSON-safe summary in milliseconds (the unit `/v1/stats` documents)."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            minimum = self._min
+            maximum = self._max
+        def _ms(seconds: Optional[float]) -> Optional[float]:
+            return None if seconds is None else seconds * 1000.0
+
+        return {
+            "count": count,
+            "mean_ms": _ms(total / count) if count else None,
+            "p50_ms": _ms(self.percentile(50.0)),
+            "p95_ms": _ms(self.percentile(95.0)),
+            "p99_ms": _ms(self.percentile(99.0)),
+            "min_ms": _ms(minimum),
+            "max_ms": _ms(maximum),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as one dict.
+
+    One registry per server.  Names are free-form dotted strings
+    (``requests.estimate.latency``); the snapshot groups instruments by type
+    so the `/v1/stats` schema stays stable as routes come and go.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = LatencyHistogram()
+            return instrument
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.as_dict() for name, h in sorted(histograms.items())},
+        }

@@ -17,9 +17,11 @@ from repro.api import (
     EstimationRequest,
     EstimationResult,
     ExperimentRequest,
+    ObserveRequest,
     PipelineRequest,
     QTDAService,
     SweepRequest,
+    deterministic_request,
     request_from_dict,
 )
 from repro.core.batch import BatchConfig, BatchFeatureEngine
@@ -128,15 +130,88 @@ class TestRequestHashingAndRoundTrip:
             experiment="timeseries",
             params={"num_samples_per_class": 2, "batch": BatchConfig().as_dict()},
         ),
+        lambda: ObserveRequest(
+            samples=np.sin(np.linspace(0.0, 4.0, 32)),
+            session="wire-test",
+            window_length=16,
+            stride=4,
+            epsilons=(0.3, 0.6),
+            pipeline=PipelineConfig(estimator=QTDAConfig(seed=5)),
+        ),
+        # Noise-rich config: per-gate strength overrides (pairs on the wire),
+        # two-qubit channel, readout error, trajectory count.
+        lambda: EstimationRequest(
+            simplices=TRIANGLE,
+            k=1,
+            config=QTDAConfig(
+                precision_qubits=2,
+                shots=20,
+                backend="statevector",
+                circuit_engine="trajectory",
+                noise_channel="depolarizing",
+                noise_strength=0.01,
+                noise_gate_strengths=(("h", 0.02), ("cp", 0.005)),
+                noise_two_qubit_channel="two-qubit-depolarizing",
+                noise_two_qubit_strength=0.03,
+                readout_error=0.01,
+                n_trajectories=4,
+                seed=2,
+            ),
+        ),
+        # Sharded/device config: the devices tuple must survive the wire.
+        lambda: EstimationRequest(
+            simplices=TRIANGLE,
+            k=1,
+            config=QTDAConfig(shards=2, shard_backend="device", devices=(0, 1), seed=3),
+        ),
     ])
     def test_wire_format_round_trip(self, build):
-        """as_dict -> JSON -> from_dict preserves equality and fingerprint."""
+        """as_dict -> actual JSON bytes -> from_dict preserves equality and fingerprint.
+
+        The serialisation goes through real ``bytes`` (encode/decode), the
+        path an HTTP body takes — not just ``json.dumps``/``loads`` — so any
+        type JSON cannot represent fails here rather than in production.
+        """
         request = build()
-        data = json.loads(json.dumps(request.as_dict()))
+        wire = json.dumps(request.as_dict()).encode("utf-8")
+        data = json.loads(wire.decode("utf-8"))
         assert data["schema_version"] == SCHEMA_VERSION
         rebuilt = request_from_dict(data)
         assert rebuilt == request
         assert rebuilt.fingerprint() == request.fingerprint()
+        # And the round trip is idempotent: re-serialising produces the
+        # byte-identical document (canonical field ordering, exact floats).
+        assert json.dumps(rebuilt.as_dict()).encode("utf-8") == wire
+
+    def test_float64_values_survive_json_bytes_exactly(self):
+        """Awkward float64s (1/3, 1e-17, big magnitudes) round-trip exactly —
+        JSON's repr-based emission is shortest-round-trip, so byte-level
+        equality over HTTP is a sound assertion for the serve layer."""
+        cloud = np.array(
+            [[1.0 / 3.0, 2.0 / 7.0], [1e-17, 1e17], [np.pi, -np.e], [0.1 + 0.2, 0.0]]
+        )
+        request = EstimationRequest(points=cloud, epsilon=1.0 / 3.0, k=1)
+        wire = json.dumps(request.as_dict()).encode("utf-8")
+        rebuilt = request_from_dict(json.loads(wire.decode("utf-8")))
+        assert rebuilt.points == request.points  # exact, not approximate
+        assert rebuilt.epsilon == request.epsilon
+
+    def test_noise_gate_strengths_normalise_identically_from_wire(self):
+        """Mapping and pair-sequence spellings of noise_gate_strengths are the
+        same request (same fingerprint) and survive JSON, which only has the
+        pair-free object spelling."""
+        as_pairs = EstimationRequest(
+            simplices=TRIANGLE,
+            config=QTDAConfig(noise_channel="depolarizing", noise_gate_strengths=(("h", 0.02),), seed=1),
+        )
+        as_mapping = EstimationRequest(
+            simplices=TRIANGLE,
+            config=QTDAConfig(noise_channel="depolarizing", noise_gate_strengths={"h": 0.02}, seed=1),
+        )
+        assert as_pairs == as_mapping
+        assert as_pairs.fingerprint() == as_mapping.fingerprint()
+        rebuilt = request_from_dict(json.loads(json.dumps(as_pairs.as_dict())))
+        assert rebuilt.config.noise_gate_strengths == {"h": 0.02}
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="kind"):
@@ -534,3 +609,119 @@ def test_stream_sweep_validates_eagerly():
     with QTDAService() as service:
         with pytest.raises(TypeError, match="SweepRequest"):
             service.stream_sweep(EstimationRequest(simplices=TRIANGLE))
+
+
+# -- reuse predicate, geometry fingerprint, service lifecycle -------------------
+
+
+class TestDeterministicRequest:
+    def test_seeded_estimation_is_deterministic(self):
+        assert deterministic_request(EstimationRequest(simplices=TRIANGLE, config={"seed": 1}))
+
+    def test_unseeded_estimation_is_not(self):
+        assert not deterministic_request(EstimationRequest(simplices=TRIANGLE, config={"seed": None}))
+
+    def test_classical_pipeline_is_deterministic_without_seed(self, clouds):
+        request = PipelineRequest(
+            point_clouds=clouds, pipeline=PipelineConfig(epsilon=0.8, use_quantum=False)
+        )
+        assert deterministic_request(request)
+
+    def test_observe_is_never_deterministic(self):
+        request = ObserveRequest(
+            session="s", window_length=8, epsilons=(0.5,),
+            pipeline=PipelineConfig(estimator=QTDAConfig(seed=1)),
+        )
+        assert not deterministic_request(request)
+
+    def test_experiment_with_explicit_none_seed_is_not(self):
+        assert not deterministic_request(
+            ExperimentRequest(experiment="fig3", params={"seed": None})
+        )
+        assert deterministic_request(ExperimentRequest(experiment="fig3", params={}))
+
+    def test_matches_service_result_cache_behaviour(self):
+        """The predicate and the result cache must never disagree."""
+        seeded = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 20, "seed": 9})
+        unseeded = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 20, "seed": None})
+        with QTDAService() as service:
+            service.run(seeded)
+            service.run(unseeded)
+            assert service.run(seeded).provenance.result_cache_hit == deterministic_request(seeded)
+            assert (
+                service.run(unseeded).provenance.result_cache_hit
+                == deterministic_request(unseeded)
+            )
+
+
+class TestGeometryFingerprint:
+    def test_same_geometry_different_config_share_fingerprint(self):
+        a = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 10, "seed": 1})
+        b = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 9999, "seed": 2})
+        assert a.fingerprint() != b.fingerprint()
+        assert a.geometry_fingerprint() == b.geometry_fingerprint()
+
+    def test_different_geometry_differs(self):
+        a = EstimationRequest(simplices=TRIANGLE)
+        b = EstimationRequest(simplices=APPENDIX_SIMPLICES)
+        c = EstimationRequest(points=circle_cloud(8, seed=1), epsilon=0.9)
+        assert len({a.geometry_fingerprint(), b.geometry_fingerprint(), c.geometry_fingerprint()}) == 3
+
+    def test_unserialisable_config_does_not_break_geometry_hash(self):
+        """The geometry fingerprint ignores the config, so requests whose
+        config cannot serialise still group by geometry."""
+        from repro.quantum.noise import NoiseModel
+
+        config = QTDAConfig(
+            backend="noisy-density", noise_model=NoiseModel.from_channel("depolarizing", 0.01)
+        )
+        request = EstimationRequest(simplices=TRIANGLE, config=config)
+        assert request.geometry_fingerprint() == EstimationRequest(simplices=TRIANGLE).geometry_fingerprint()
+
+    def test_memoised(self):
+        request = EstimationRequest(simplices=TRIANGLE)
+        assert request.geometry_fingerprint() is request.geometry_fingerprint()
+
+
+class TestServiceLifecycle:
+    def test_close_is_idempotent(self):
+        service = QTDAService()
+        service.run(EstimationRequest(simplices=TRIANGLE, k=1, config={"seed": 1}))
+        service.close()
+        service.close()  # second close must be a no-op, not an error
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(EstimationRequest(simplices=TRIANGLE))
+
+    def test_services_registered_for_atexit_until_closed(self):
+        import repro.core.api as api_module
+
+        service = QTDAService()
+        # The hook is registered lazily, on first service construction.
+        assert api_module._ATEXIT_REGISTERED
+        assert service in api_module._LIVE_SERVICES
+        service.close()
+        assert service not in api_module._LIVE_SERVICES
+
+    def test_atexit_hook_closes_leaked_services(self):
+        from repro.core.api import _LIVE_SERVICES, _close_live_services
+
+        service = QTDAService()
+        try:
+            _close_live_services()  # what the interpreter-exit hook runs
+            assert service not in _LIVE_SERVICES
+            with pytest.raises(RuntimeError, match="closed"):
+                service.submit(EstimationRequest(simplices=TRIANGLE))
+        finally:
+            service.close()
+
+
+def test_result_envelope_through_json_bytes():
+    """The full envelope survives actual JSON bytes and re-validates."""
+    request = EstimationRequest(simplices=TRIANGLE, k=1, config={"shots": 50, "seed": 5})
+    with QTDAService() as service:
+        result = service.run(request)
+    wire = json.dumps(result.as_dict()).encode("utf-8")
+    data = json.loads(wire.decode("utf-8"))
+    EstimationResult.validate_dict(data)
+    assert data["payload"]["betti_estimate"] == result.payload["betti_estimate"]
+    assert data["provenance"]["request_fingerprint"] == request.fingerprint()

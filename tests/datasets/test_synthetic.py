@@ -65,3 +65,80 @@ def test_config_validation():
         DriftStreamConfig(transients_per_signal=-1)
     with pytest.raises(ValueError):
         generate_drift_signal(0, anomalous=False)
+
+
+# ---------------------------------------------------------------------------
+# Rotating high-dimensional point-cloud streams
+# ---------------------------------------------------------------------------
+
+from repro.datasets.synthetic import HighDimStreamConfig, generate_highdim_cloud_stream  # noqa: E402
+from repro.tda.homology import betti_number_gf2  # noqa: E402
+from repro.tda.rips import rips_complex  # noqa: E402
+
+
+def test_highdim_stream_shape_and_determinism():
+    cfg = HighDimStreamConfig(ambient_dim=7, num_points=12)
+    a = generate_highdim_cloud_stream(4, cfg, seed=1)
+    b = generate_highdim_cloud_stream(4, cfg, seed=1)
+    c = generate_highdim_cloud_stream(4, cfg, seed=2)
+    assert a.shape == (4, 12, 7)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_highdim_rotation_is_an_isometry():
+    """Without noise, pairwise distances are identical across frames: the
+    frames differ only by a rigid rotation of the ambient space."""
+    cfg = HighDimStreamConfig(ambient_dim=9, num_points=16, noise_std=0.0)
+    stream = generate_highdim_cloud_stream(3, cfg, seed=4)
+
+    def pairwise(points):
+        deltas = points[:, None, :] - points[None, :, :]
+        return np.sqrt((deltas**2).sum(axis=-1))
+
+    reference = pairwise(stream[0])
+    for frame in stream[1:]:
+        np.testing.assert_allclose(pairwise(frame), reference, atol=1e-10)
+        assert not np.allclose(frame, stream[0])  # coordinates actually moved
+
+
+def test_highdim_frames_are_genuinely_high_dimensional():
+    """The embedded circle spans the ambient space's random 2-plane, not the
+    first two coordinate axes."""
+    cfg = HighDimStreamConfig(ambient_dim=8, num_points=20, shape="circle", noise_std=0.0)
+    stream = generate_highdim_cloud_stream(1, cfg, seed=7)
+    spread = stream[0].std(axis=0)
+    assert (spread > 1e-3).sum() >= 3  # variance leaks into many coordinates
+
+
+def test_highdim_circle_keeps_its_betti_numbers_across_frames():
+    """Every frame of a rotating circle stream has β₀ = 1 and β₁ = 1."""
+    cfg = HighDimStreamConfig(ambient_dim=6, num_points=14, shape="circle", noise_std=0.01)
+    stream = generate_highdim_cloud_stream(3, cfg, seed=5)
+    for frame in stream:
+        complex_ = rips_complex(frame, epsilon=0.6, max_dimension=2)
+        assert betti_number_gf2(complex_, 0) == 1
+        assert betti_number_gf2(complex_, 1) == 1
+
+
+@pytest.mark.parametrize("shape,intrinsic_dim", [("circle", 2), ("sphere", 3), ("torus", 3)])
+def test_highdim_all_shapes_generate(shape, intrinsic_dim):
+    cfg = HighDimStreamConfig(ambient_dim=max(4, intrinsic_dim + 1), num_points=18, shape=shape)
+    stream = generate_highdim_cloud_stream(2, cfg, seed=0)
+    assert stream.shape == (2, 18, cfg.ambient_dim)
+    assert np.isfinite(stream).all()
+
+
+def test_highdim_config_validation():
+    with pytest.raises(ValueError, match="shape"):
+        HighDimStreamConfig(shape="klein-bottle")
+    with pytest.raises(ValueError, match="ambient_dim"):
+        HighDimStreamConfig(shape="sphere", ambient_dim=2)  # below intrinsic dim
+    with pytest.raises(ValueError, match="radius"):
+        HighDimStreamConfig(radius=0.0)
+    with pytest.raises(ValueError, match="tube_radius"):
+        HighDimStreamConfig(shape="torus", tube_radius=2.0)
+    with pytest.raises(ValueError, match="noise_std"):
+        HighDimStreamConfig(noise_std=-0.1)
+    with pytest.raises(ValueError):
+        generate_highdim_cloud_stream(0)

@@ -1,0 +1,167 @@
+"""Tests for admission control (repro.serve.quotas).
+
+The load-bearing guarantees: rejections are stateless (quota exhaustion
+never consumes capacity), every admit/release pair balances, and drain
+waits for exactly the in-flight requests.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.quotas import AdmissionController, AdmissionRejected, TokenBucket
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        retry_after = bucket.try_acquire()
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refusal_does_not_consume(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        before = bucket.tokens
+        bucket.try_acquire()  # refused
+        assert bucket.tokens == before
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        clock.advance(0.5)  # one token back at 2/s
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_admit_release_tracks_depth(self):
+        controller = AdmissionController(max_pending=2)
+        controller.admit("a")
+        controller.admit("b")
+        assert controller.depth == 2
+        controller.release()
+        assert controller.depth == 1
+
+    def test_capacity_rejection(self):
+        controller = AdmissionController(max_pending=1)
+        controller.admit("a")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit("b")
+        assert excinfo.value.reason == "capacity"
+        assert excinfo.value.retry_after_s > 0
+
+    def test_quota_rejection_does_not_enqueue(self):
+        """The satellite guarantee: a 429 must never consume capacity."""
+        clock = FakeClock()
+        controller = AdmissionController(max_pending=10, quota_rate=1.0, quota_burst=1.0, clock=clock)
+        controller.admit("caller")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit("caller")
+        assert excinfo.value.reason == "quota"
+        # Depth unchanged: the rejected request was never admitted, so no
+        # release is owed and capacity is untouched.
+        assert controller.depth == 1
+        assert controller.stats()["rejected_quota"] == 1
+
+    def test_quotas_are_per_caller(self):
+        clock = FakeClock()
+        controller = AdmissionController(quota_rate=1.0, quota_burst=1.0, clock=clock)
+        controller.admit("alice")
+        controller.admit("bob")  # bob has his own bucket
+        with pytest.raises(AdmissionRejected):
+            controller.admit("alice")
+
+    def test_quota_recovers_with_time(self):
+        clock = FakeClock()
+        controller = AdmissionController(quota_rate=2.0, quota_burst=1.0, clock=clock)
+        controller.admit("caller")
+        with pytest.raises(AdmissionRejected):
+            controller.admit("caller")
+        clock.advance(0.5)
+        controller.admit("caller")  # refilled
+
+    def test_caller_map_is_bounded(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=1000, quota_rate=100.0, max_callers=4, clock=clock
+        )
+        for index in range(10):
+            controller.admit(f"caller-{index}")
+        assert controller.stats()["tracked_callers"] == 4
+
+    def test_release_without_admit_raises(self):
+        with pytest.raises(RuntimeError, match="matching admit"):
+            AdmissionController().release()
+
+    def test_draining_rejects_new_requests(self):
+        controller = AdmissionController()
+        controller.admit("a")
+        controller.begin_drain()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit("b")
+        assert excinfo.value.reason == "draining"
+        assert controller.depth == 1  # the in-flight request is unaffected
+
+    def test_drain_waits_for_in_flight(self):
+        controller = AdmissionController()
+        controller.admit("a")
+        done = threading.Event()
+
+        def finish_later():
+            done.wait(5.0)
+            controller.release()
+
+        worker = threading.Thread(target=finish_later)
+        worker.start()
+        assert not controller.drain(timeout=0.05)  # still in flight
+        done.set()
+        assert controller.drain(timeout=5.0)
+        worker.join()
+
+    def test_drain_empty_returns_immediately(self):
+        assert AdmissionController().drain(timeout=0.0)
+
+    def test_quota_burst_defaults_to_rate(self):
+        controller = AdmissionController(quota_rate=5.0)
+        assert controller.quota_burst == 5.0
+        low = AdmissionController(quota_rate=0.25)
+        assert low.quota_burst == 1.0  # at least one request is always possible
+
+    def test_stats_shape(self):
+        stats = AdmissionController(max_pending=3, quota_rate=2.0).stats()
+        assert stats["max_pending"] == 3
+        assert stats["quota_rate"] == 2.0
+        for key in ("depth", "admitted", "rejected_quota", "rejected_capacity",
+                    "rejected_draining", "tracked_callers", "draining"):
+            assert key in stats

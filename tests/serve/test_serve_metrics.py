@@ -1,0 +1,117 @@
+"""Tests for the serving metrics primitives (repro.serve.metrics)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import BUCKET_BOUNDS, Counter, Gauge, LatencyHistogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestLatencyHistogram:
+    def test_empty_percentiles_are_none(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(50.0) is None
+        summary = histogram.as_dict()
+        assert summary["count"] == 0
+        assert summary["p99_ms"] is None
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LatencyHistogram().record(-0.1)
+
+    def test_rejects_out_of_range_percentile(self):
+        with pytest.raises(ValueError, match="lie in"):
+            LatencyHistogram().percentile(101.0)
+
+    def test_percentiles_approximate_exact_values(self):
+        """Interpolated bucket percentiles track exact ones within bucket width
+        (10 buckets/decade => ~26% upper bound; observed much tighter)."""
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-4.0, sigma=1.0, size=5000)  # ~ms-scale latencies
+        histogram = LatencyHistogram()
+        for value in samples:
+            histogram.record(float(value))
+        for q in (50.0, 95.0, 99.0):
+            exact = float(np.percentile(samples, q))
+            estimate = histogram.percentile(q)
+            assert estimate == pytest.approx(exact, rel=0.30)
+
+    def test_min_max_mean_are_exact(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.004, 0.010):
+            histogram.record(value)
+        summary = histogram.as_dict()
+        assert summary["min_ms"] == pytest.approx(1.0)
+        assert summary["max_ms"] == pytest.approx(10.0)
+        assert summary["mean_ms"] == pytest.approx(5.0)
+        assert summary["count"] == 3
+
+    def test_overflow_bucket_reports_recorded_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(10_000.0)  # beyond the last finite bound
+        assert histogram.percentile(99.0) == 10_000.0
+
+    def test_bounds_are_sorted_and_terminated(self):
+        assert BUCKET_BOUNDS == sorted(BUCKET_BOUNDS)
+        assert BUCKET_BOUNDS[-1] == float("inf")
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_groups_by_type(self):
+        registry = MetricsRegistry()
+        registry.counter("requests.total").inc(3)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("lat").record(0.01)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"requests.total": 3}
+        assert snapshot["gauges"] == {"queue.depth": 2}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("lat").record(0.25)
+        json.dumps(registry.as_dict())  # must not raise
