@@ -6,10 +6,11 @@ full QTDA circuit for the Appendix A complex and reports how p(0) and the
 Betti estimate drift.  The expected shape: the estimate degrades smoothly
 towards the fully-mixed value as noise grows.
 
-The noisy rows run on the ``trajectory`` route (the ``auto`` resolution for
-declarative noise since DESIGN.md §12) — stochastic Kraus unravelling whose
-repetition spread is reported as the ± column; the noiseless row stays on
-the ``ensemble`` route.
+The noisy rows run on the exact fused-PTM route (the ``auto`` resolution
+for declarative noise since DESIGN.md §16) — the noise column is the true
+expectation of the noisy circuit, no sampling spread — while the noiseless
+row stays on the ``ensemble`` route.  The fused-superoperator count shows
+gate-and-channel fusion at work on each noisy row.
 """
 
 from __future__ import annotations
@@ -22,7 +23,6 @@ from repro.quantum.noise import NoiseModel
 from repro.utils.ascii_plots import render_table
 
 SEED = 17
-N_TRAJECTORIES = 32
 
 
 def _run_noise_sweep(strengths=(0.0, 0.002, 0.01, 0.05)):
@@ -39,17 +39,15 @@ def _run_noise_sweep(strengths=(0.0, 0.002, 0.01, 0.05)):
             delta=6.0,
             use_purification=False,
             noise_model=noise,
-            n_trajectories=N_TRAJECTORIES,
             seed=SEED,
         )
         estimate = estimator.estimate(complex_, 1)
-        spread = f"±{estimate.betti_std:.3f}" if estimate.betti_std is not None else "—"
         rows.append(
             [
                 p,
                 f"{estimate.p_zero:.4f}",
                 f"{estimate.betti_estimate:.3f}",
-                spread,
+                estimate.fused_gates if estimate.fused_gates is not None else "—",
                 estimate.betti_rounded,
                 estimate.engine_route,
             ]
@@ -65,7 +63,7 @@ def test_bench_ablation_depolarising_noise(benchmark):
     print()
     print(
         render_table(
-            ["depolarising p", "p(0)", "beta_1 estimate", "spread", "rounded", "route"],
+            ["depolarising p", "p(0)", "beta_1 estimate", "fused superops", "rounded", "route"],
             rows,
             title="Ablation A3 — per-gate depolarising noise on the QTDA circuit (Appendix A complex)",
         )
@@ -73,7 +71,7 @@ def test_bench_ablation_depolarising_noise(benchmark):
     # Noiseless run recovers the Appendix A answer on the ensemble route.
     assert rows[0][-2] == 1
     assert routes[0] == "ensemble"
-    # Every noisy row resolves to the trajectory route.
-    assert all(route == "trajectory" for route in routes[1:])
+    # Every noisy row resolves to the exact fused-PTM route.
+    assert all(route == "ptm" for route in routes[1:])
     # Noise changes the estimate but small noise keeps it near the true value.
     assert abs(estimates[1] - estimates[0]) < 0.5

@@ -85,7 +85,8 @@ def main() -> None:
     print("ensemble wins structurally: gate fusion shortens the circuit, there is no")
     print("2q-qubit monolithic vector (the batch chunks to a memory budget), no Bell-")
     print("pair preparation, and the batch axis feeds one GEMM instead of a longer")
-    print("contraction.  density alone supports noise channels —")
+    print("contraction.  Noise channels run on the ptm, trajectory, or density")
+    print("routes instead (see examples/noise_routes.py) —")
     print("QTDAConfig(circuit_engine=...) picks the route.")
 
 

@@ -1,12 +1,15 @@
-"""Zero-noise extrapolation on the trajectory route.
+"""Zero-noise extrapolation on the fused-PTM route.
 
-The trajectory engine (``circuit_engine="trajectory"``, the automatic route
-for noisy runs) makes a noise-strength *sweep* affordable — and a sweep is
-exactly what zero-noise extrapolation needs: estimate β̃_k at several
-multiples of the base noise strength, Richardson-fit p(0) against strength,
-and read off the fit at strength zero.  On the paper's appendix complex the
-extrapolated Betti number recovers the noiseless answer from runs that are
-individually biased by depolarising noise.
+The fast noisy engines make a noise-strength *sweep* affordable — and a
+sweep is exactly what zero-noise extrapolation needs: estimate β̃_k at
+several multiples of the base noise strength, Richardson-fit p(0) against
+strength, and read off the fit at strength zero.  Declarative noise
+resolves to the exact fused-PTM route (DESIGN.md §16), so every fit point
+is the true expectation of its noisy circuit — no Monte-Carlo scatter in
+the fit (set ``circuit_engine="trajectory"`` to sweep with sampled points
+and ± bars instead).  On the paper's appendix complex the extrapolated
+Betti number recovers the noiseless answer from runs that are individually
+biased by depolarising noise.
 
 Run with:  python examples/zne_extrapolation.py
 """

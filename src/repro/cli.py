@@ -67,11 +67,12 @@ def _add_noise_options(parser) -> None:
     )
     parser.add_argument(
         "--circuit-engine",
-        choices=("auto", "ensemble", "trajectory", "purified", "density"),
+        choices=("auto", "ensemble", "ptm", "trajectory", "purified", "density"),
         default="auto",
         help=(
             "circuit execution route for the statevector/noisy backends "
-            "('auto' picks ensemble when noise-free, trajectory when noisy)"
+            "('auto' picks ensemble when noise-free, the exact ptm route for "
+            "declarative noise on small registers, trajectory above)"
         ),
     )
     parser.add_argument(
@@ -226,9 +227,13 @@ def _add_timeseries(subparsers) -> None:
     parser.add_argument("--classical", action="store_true", help="use exact Betti numbers instead of QPE estimates")
     parser.add_argument(
         "--signal",
-        choices=("gearbox", "drift"),
+        choices=("gearbox", "drift", "adversarial"),
         default="gearbox",
-        help="signal generator: the gearbox rig or the synthetic drift/anomaly stream",
+        help=(
+            "signal generator: the gearbox rig, the synthetic drift/anomaly "
+            "stream, or the drift stream under adversarial corruption "
+            "(heavy-tailed impulses + sensor occlusion)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=7)
     _add_backend_option(parser)

@@ -728,9 +728,10 @@ class Provenance:
     best-effort attribution (the counters are shared), while totals remain
     exact through :attr:`QTDAService.stats`.  ``engine_route``/``fused_gates``
     record, for single-estimate requests on circuit backends, the concrete
-    circuit-execution route taken (``ensemble``/``trajectory``/``purified``/
-    ``density``, DESIGN.md §11–12) and the ensemble engine's post-fusion gate
-    count; ``n_trajectories``/``noise_spec`` record the trajectory-route
+    circuit-execution route taken (``ensemble``/``ptm``/``trajectory``/
+    ``purified``/``density``, DESIGN.md §11–12, §16) and the post-fusion
+    block count (fused gates on the ensemble engine, fused superoperators on
+    the PTM route); ``n_trajectories``/``noise_spec`` record the trajectory-route
     repetition count and the resolved noise description the run executed
     under (``None`` for noiseless runs); ``shards``/``shard_backend``/
     ``device`` record how the engine's batch/trajectory axis was sharded and

@@ -111,13 +111,15 @@ class BackendResult:
         :attr:`BettiEstimate.betti_std`.
     engine_route:
         For circuit backends, the concrete execution route taken
-        (``"ensemble"``, ``"trajectory"``, ``"purified"`` or ``"density"`` —
-        see ``QTDAConfig.circuit_engine`` and DESIGN.md §11–12); ``None`` for
-        non-circuit backends.  Surfaced through
+        (``"ensemble"``, ``"ptm"``, ``"trajectory"``, ``"purified"`` or
+        ``"density"`` — see ``QTDAConfig.circuit_engine`` and DESIGN.md
+        §11–12, §16); ``None`` for non-circuit backends.  Surfaced through
         :attr:`BettiEstimate.engine_route` into service provenance.
     fused_gates:
-        Number of gates actually executed after the fusion pass (``ensemble``
-        route only); ``None`` when no fusion ran.
+        Number of fused blocks actually executed after the fusion pass: the
+        post-fusion gate count on the ``ensemble`` route, the fused
+        superoperator count on the ``ptm`` route; ``None`` when no fusion
+        ran.
     n_trajectories:
         Number of stochastic Kraus-trajectory repetitions run (``trajectory``
         route only); ``None`` otherwise.

@@ -13,11 +13,17 @@ DESIGN.md §11):
   Mathematically identical to evolving ``|0><0| ⊗ I/2^q`` but
   ``O(2^(t+q) · 2^q)`` flops per gate on a flat array instead of a squared
   density matrix, with no purification qubits.
-* ``trajectory`` (the default for noisy runs) — the same batched ensemble,
-  unravelled through the configured noise channels by stochastic
-  Kraus-branch sampling (one branch per ensemble member after each gate),
-  repeated ``n_trajectories`` times; the mean estimates the density result
-  and the spread becomes ``p_zero_std``.
+* ``ptm`` (the default for noisy runs up to ``PTM_AUTO_QUBIT_THRESHOLD``
+  total qubits) — the circuit and its noise channels are lowered to
+  Pauli-transfer matrices and fused into single superoperators
+  (:mod:`repro.quantum.ptm`, DESIGN.md §16); a single real ``4^(t+q)``
+  Pauli vector evolves through the fused program, so the result is *exact*
+  (agrees with ``density`` to floating point) at gate-fusion speed.
+* ``trajectory`` (the default for noisy runs above the PTM threshold) — the
+  same batched ensemble, unravelled through the configured noise channels by
+  stochastic Kraus-branch sampling (one branch per ensemble member after
+  each gate), repeated ``n_trajectories`` times; the mean estimates the
+  density result and the spread becomes ``p_zero_std``.
 * ``purified`` — the Fig. 2 construction: auxiliary qubits and Bell pairs,
   statevector simulation on ``t + 2q`` qubits (legacy route,
   bit-identity-pinned; opt-in gate fusion via ``QTDAConfig.fuse_purified``).
@@ -44,24 +50,37 @@ from repro.quantum.channels import NoiseSpec, apply_readout_error
 from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
 from repro.quantum.engine import EnsembleExecutor
 from repro.quantum.noise import NoiseModel
+from repro.quantum.ptm import PTMExecutor
 from repro.quantum.sharding import ShardedExecutor
 from repro.quantum.statevector import StatevectorSimulator
 from repro.utils.rng import as_rng
 
 #: Concrete circuit-execution routes (``"auto"`` resolves to one of these).
-CIRCUIT_ROUTES = ("ensemble", "trajectory", "purified", "density")
+CIRCUIT_ROUTES = ("ensemble", "trajectory", "ptm", "purified", "density")
+
+#: Largest ``t + q`` for which ``auto`` prefers the exact ``ptm`` route for
+#: declarative noise.  The PTM state is a real ``4^(t+q)`` vector (8 bytes an
+#: entry: 134 MB at 12 qubits, 2 GB at 14), so above the threshold ``auto``
+#: falls back to stochastic trajectories, whose state stays ``2^(t+q)``.
+PTM_AUTO_QUBIT_THRESHOLD = 12
 
 
-def resolve_circuit_route(config, noise_model: Optional[NoiseModel]) -> str:
+def resolve_circuit_route(
+    config, noise_model: Optional[NoiseModel], total_qubits: Optional[int] = None
+) -> str:
     """Resolve ``config.circuit_engine`` to a concrete route.
 
     Gate noise excludes the pure-state routes (an *explicit* ``ensemble`` or
     ``purified`` choice combined with noise raises instead of silently
-    dropping either) and ``"auto"`` resolves it to the ``trajectory`` route —
-    stochastic Kraus unravelling at ensemble speed — whenever the noise model
-    is expressible as a :class:`~repro.quantum.channels.NoiseSpec`.
+    dropping either).  ``"auto"`` resolves declarative noise (any model
+    expressible as a :class:`~repro.quantum.channels.NoiseSpec`) to the exact
+    ``ptm`` route while the register fits the Pauli-vector budget
+    (``total_qubits`` is the circuit's ``t + q``; ``None`` — callers that
+    cannot know the size — counts as fitting), and to the stochastic
+    ``trajectory`` route above :data:`PTM_AUTO_QUBIT_THRESHOLD`.
     Hand-built Kraus lists and gate-filtered models fall back to the exact
-    ``density`` contraction (and reject an explicit ``trajectory`` request).
+    ``density`` contraction (and reject an explicit ``trajectory`` or
+    ``ptm`` request — neither can place noise without a spec).
     Noise-free runs resolve ``"auto"`` to ``ensemble``; a zero-strength
     channel counts as noise-free.
     """
@@ -76,21 +95,26 @@ def resolve_circuit_route(config, noise_model: Optional[NoiseModel]) -> str:
         if engine in ("ensemble", "purified"):
             raise ValueError(
                 f"circuit_engine={engine!r} cannot simulate noise channels; "
-                "use 'trajectory', 'density' (or 'auto')"
+                "use 'ptm', 'trajectory', 'density' (or 'auto')"
             )
         if engine == "density":
             return "density"
         if spec is None:
             # Hand-built Kraus operators / gate filters have no NoiseSpec
-            # form, so trajectory sampling cannot place them.
-            if engine == "trajectory":
+            # form, so neither PTM lowering nor trajectory sampling can
+            # place them.
+            if engine in ("trajectory", "ptm"):
                 raise ValueError(
-                    "circuit_engine='trajectory' requires declarative noise "
+                    f"circuit_engine={engine!r} requires declarative noise "
                     "(noise_channel & friends); explicit NoiseModel objects "
                     "run on the density route"
                 )
             return "density"
-        return "trajectory"
+        if engine in ("trajectory", "ptm"):
+            return engine
+        if total_qubits is not None and total_qubits > PTM_AUTO_QUBIT_THRESHOLD:
+            return "trajectory"
+        return "ptm"
     if engine == "auto":
         return "ensemble"
     return engine
@@ -218,6 +242,56 @@ def _trajectory_route_result(
     )
 
 
+def _ptm_route_result(
+    problem: EstimationProblem, config, synthesis: str, spec: NoiseSpec
+) -> BackendResult:
+    """Exact noisy execution on the fused Pauli-transfer-matrix route.
+
+    The circuit construction mirrors :func:`_ensemble_route_result` (no
+    purification, ``t + q`` qubits, spectral controlled powers for the exact
+    synthesis); gates and their attached noise channels are lowered to PTMs
+    and fused into single superoperators
+    (:func:`~repro.quantum.fusion.fuse_ptm_program`, cached per
+    circuit+NoiseSpec fingerprint), then a single real ``4^(t+q)`` Pauli
+    vector evolves through the program.  No sampling: the readout equals the
+    density route's to floating point, and ``fused_gates`` carries the fused
+    superoperator count.  The Pauli state is one column, so ``config.shards``
+    has no batch axis to split here — the route runs unsharded (provenance
+    ``shards=None``) regardless.
+    """
+    hamiltonian = problem.dense_hamiltonian(config)
+    circuit, circuit_spec = qtda_circuit(
+        hamiltonian,
+        precision_qubits=config.precision_qubits,
+        use_purification=False,
+        synthesis=synthesis,
+        trotter_steps=config.trotter_steps,
+        trotter_order=config.trotter_order,
+        power_synthesis="spectral" if synthesis == "exact" else "chain",
+    )
+    executor = PTMExecutor()
+    gate_spec = spec if spec.has_gate_noise else None
+    program = executor.program(circuit, noise_spec=gate_spec)
+    distribution = executor.qtda_distribution(
+        circuit,
+        precision_qubits=list(circuit_spec.precision_register),
+        precision_count=circuit_spec.precision_qubits,
+        system_count=circuit_spec.system_qubits,
+        noise_spec=gate_spec,
+        program=program,
+    )
+    if spec.readout_error > 0:
+        distribution = apply_readout_error(distribution, spec.readout_error)
+    return BackendResult(
+        distribution=distribution,
+        num_system_qubits=hamiltonian.num_qubits,
+        lambda_max=hamiltonian.padded.lambda_max,
+        engine_route="ptm",
+        fused_gates=program.num_superops,
+        noise_spec=spec.as_dict() if not spec.is_noiseless else None,
+    )
+
+
 def _executed_noise_spec(config, noise_model: Optional[NoiseModel]) -> NoiseSpec:
     """The :class:`NoiseSpec` a run executes under: the model's spec form (if
     any) with the config's declarative ``readout_error`` folded in."""
@@ -250,10 +324,15 @@ def circuit_backend_result(
     distribution on every route (exact per-bit confusion contraction).
     """
     if use_purification is None:
-        route = resolve_circuit_route(config, noise_model)
+        # The auto PTM-vs-trajectory threshold needs the register size; the
+        # padded Hamiltonian (a Gershgorin bound, no eigensolve) is cheap.
+        total_qubits = config.precision_qubits + problem.dense_hamiltonian(config).num_qubits
+        route = resolve_circuit_route(config, noise_model, total_qubits=total_qubits)
     else:
         route = "purified" if (use_purification and noise_model is None) else "density"
     spec = _executed_noise_spec(config, noise_model)
+    if route == "ptm":
+        return _ptm_route_result(problem, config, synthesis, spec)
     if route == "trajectory":
         if rng is None:
             rng = as_rng(getattr(config, "seed", None))
@@ -302,7 +381,7 @@ class StatevectorBackend:
     """Explicit Fig. 6 circuit with exact controlled powers of ``U``."""
 
     name = "statevector"
-    description = "explicit Fig. 6 circuit with exact controlled powers of U (ensemble, trajectory, purified or density route)"
+    description = "explicit Fig. 6 circuit with exact controlled powers of U (ensemble, ptm, trajectory, purified or density route)"
     prefers_sparse = False
     supported_formats = ("dense",)
     supports_noise = True

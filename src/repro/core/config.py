@@ -77,6 +77,11 @@ class QTDAConfig:
           basis states as one ``(2^(t+q), B)`` array (chunked to a memory
           budget, gates fused) and average the readout; no auxiliary qubits,
           no density matrix.
+        * ``"ptm"`` — the *exact* noise route (DESIGN.md §16): gates and
+          their attached channels are lowered to Pauli-transfer matrices,
+          fused into single superoperators, and a real ``4^(t+q)`` Pauli
+          vector evolves through the fused program.  Deterministic; agrees
+          with ``density`` to floating point at gate-fusion speed.
         * ``"trajectory"`` — the noisy counterpart of ``ensemble``:
           stochastic Kraus-branch trajectories on the same ``(2^(t+q), B)``
           array, one sampled branch per ensemble member after each gate,
@@ -87,9 +92,12 @@ class QTDAConfig:
         * ``"density"`` — density-matrix evolution of ``|0><0| ⊗ I/2^q`` on
           ``t + q`` qubits (legacy, bit-identity-pinned; exact Kraus
           contraction for noise).
-        * ``"auto"`` (default) — ``trajectory`` when declarative gate noise
-          is configured, ``density`` for explicit ``noise_model`` objects
-          the spec cannot express, ``ensemble`` otherwise.
+        * ``"auto"`` (default) — for declarative gate noise, ``ptm`` while
+          ``t + q`` stays within
+          :data:`repro.core.backends.statevector.PTM_AUTO_QUBIT_THRESHOLD`
+          and ``trajectory`` above it; ``density`` for explicit
+          ``noise_model`` objects the spec cannot express; ``ensemble``
+          otherwise.
 
         All noise-free routes agree to better than ``1e-10``; only the
         legacy two are pinned bit-exactly across releases.
@@ -272,7 +280,7 @@ class QTDAConfig:
             # classical post-processing and composes with every route.)
             raise ValueError(
                 f"circuit_engine={self.circuit_engine!r} cannot simulate noise "
-                "channels; use circuit_engine='trajectory', 'density' (or 'auto')"
+                "channels; use circuit_engine='ptm', 'trajectory', 'density' (or 'auto')"
             )
         if self.noise_strength > 0 and self.noise_channel is None and self.noise_model is None:
             # Without this check the strength would be silently ignored and a

@@ -1,19 +1,21 @@
 """Zero-noise extrapolation (ZNE) for the QPE Betti-number estimator.
 
-The trajectory route makes noisy runs cheap enough to *sweep*: run the same
+The fast noisy routes make noisy runs cheap enough to *sweep*: run the same
 estimation at several noise strengths, fit the response of ``p(0)`` (or of
 ``β̃_k``) to the strength, and extrapolate to zero — Richardson
 extrapolation, the standard NISQ error-mitigation technique.  With the
 depolarising channel the leading dependence of ``p(0)`` on the per-gate error
-probability is smooth (each trajectory branch multiplies in one more Pauli
+probability is smooth (each channel application mixes in one more Pauli
 with probability ``∝ p``), so a low-order polynomial fit captures it well at
 the strengths of interest (``p ≲ 0.05``).
 
 The helper is deliberately declarative: it takes a noisy
 :class:`~repro.core.config.QTDAConfig` (any config with a ``noise_channel``),
 re-runs it at scaled strengths via ``config.replace(noise_strength=s)`` on
-whichever route the config resolves to (``trajectory`` by default for
-declarative noise), and Richardson-fits the results.  See
+whichever route the config resolves to (the exact fused-``ptm`` route by
+default for declarative noise, so every fit point is an exact expectation;
+``circuit_engine="trajectory"`` sweeps with Monte-Carlo error bars
+instead), and Richardson-fits the results.  See
 ``examples/zne_extrapolation.py`` for an end-to-end run.
 """
 
@@ -107,10 +109,10 @@ def zero_noise_extrapolation(
     """Estimate ``β_k`` at zero noise by Richardson extrapolation of a strength sweep.
 
     Runs the estimator at ``config.noise_strength`` multiplied by each of
-    ``scale_factors`` (all on the route the config resolves to — the
-    ``trajectory`` route for declarative noise, which is what makes the sweep
-    affordable) and extrapolates ``p(0)`` to strength zero.  The Betti
-    extrapolation is ``2^q`` times the extrapolated ``p(0)``.
+    ``scale_factors`` (all on the route the config resolves to — the exact
+    fused-``ptm`` route for declarative noise, which is what makes the
+    sweep affordable) and extrapolates ``p(0)`` to strength zero.  The
+    Betti extrapolation is ``2^q`` times the extrapolated ``p(0)``.
 
     ``config`` must carry declarative noise (``noise_channel`` with
     ``noise_strength > 0``); each sweep point reuses the config's seed, so

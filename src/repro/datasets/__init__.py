@@ -11,8 +11,12 @@ point clouds with known Betti numbers.
 
 from repro.datasets.gearbox import GearboxDatasetConfig, generate_gearbox_dataset, generate_gearbox_signal
 from repro.datasets.synthetic import (
+    AdversarialStreamConfig,
     DriftStreamConfig,
     HighDimStreamConfig,
+    corrupt_signal,
+    generate_adversarial_dataset,
+    generate_adversarial_signal,
     generate_drift_dataset,
     generate_drift_signal,
     generate_highdim_cloud_stream,
@@ -37,8 +41,12 @@ __all__ = [
     "GearboxDatasetConfig",
     "generate_gearbox_dataset",
     "generate_gearbox_signal",
+    "AdversarialStreamConfig",
     "DriftStreamConfig",
     "HighDimStreamConfig",
+    "corrupt_signal",
+    "generate_adversarial_dataset",
+    "generate_adversarial_signal",
     "generate_drift_dataset",
     "generate_drift_signal",
     "generate_highdim_cloud_stream",

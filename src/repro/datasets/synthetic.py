@@ -21,6 +21,13 @@ module synthesises a second workload:
 plugs into the existing timeseries experiment
 (``repro-experiments timeseries --signal drift``).
 
+An **adversarial corruption wrapper** (:class:`AdversarialStreamConfig`,
+:func:`corrupt_signal`) layers heavy-tailed Student-t impulses and sensor
+occlusions (stuck-at-hold or dropped-to-zero runs) on top of any signal;
+:func:`generate_adversarial_signal` / :func:`generate_adversarial_dataset`
+apply it to the drift stream, giving the ``--signal adversarial`` workload —
+the same two-class task seen through a misbehaving sensor.
+
 The module also provides a **higher-dimensional point-cloud stream**
 (:func:`generate_highdim_cloud_stream`): a known low-dimensional shape
 (circle, sphere or torus — reference Betti numbers in hand) embedded in a
@@ -35,6 +42,7 @@ repeats exactly (defeats caches, exercises the real compute path).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 from typing import Tuple
 
 import numpy as np
@@ -152,6 +160,132 @@ def generate_drift_dataset(
     for label, anomalous in ((0, False), (1, True)):
         for _ in range(per_class):
             windows[row] = generate_drift_signal(length, anomalous=anomalous, config=config, seed=rng)
+            labels[row] = label
+            row += 1
+    permutation = rng.permutation(2 * per_class)
+    return windows[permutation], labels[permutation]
+
+
+# ---------------------------------------------------------------------------
+# Adversarially noisy streams: heavy-tailed impulses + sensor occlusion
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AdversarialStreamConfig:
+    """Corruption parameters layered on top of the drift stream.
+
+    Two failure modes that Gaussian-noise robustness says nothing about:
+
+    * **heavy-tailed impulses** — a random ``impulse_fraction`` of samples
+      receives additive Student-t shocks with ``impulse_df`` degrees of
+      freedom (``df < 2`` has infinite variance, so single samples can dwarf
+      the carrier) scaled by ``impulse_scale``;
+    * **occlusion** — ``occlusions_per_signal`` contiguous runs of
+      ``occlusion_length`` samples are blanked, either frozen at the last
+      pre-occlusion value (``"hold"``, a stuck sensor) or zeroed
+      (``"zero"``, a dropped feed).
+
+    ``base`` is the underlying :class:`DriftStreamConfig`; the class-1
+    transients are injected *before* corruption, so the classification task
+    is "find the anomaly signature through the corruption".
+    """
+
+    base: DriftStreamConfig = dataclass_field(default_factory=lambda: DriftStreamConfig())
+    impulse_fraction: float = 0.02
+    impulse_df: float = 1.5
+    impulse_scale: float = 0.8
+    occlusions_per_signal: int = 2
+    occlusion_length: int = 40
+    occlusion_mode: str = "hold"
+
+    def __post_init__(self):
+        if not 0.0 <= self.impulse_fraction <= 1.0:
+            raise ValueError("impulse_fraction must lie in [0, 1]")
+        if self.impulse_df <= 0:
+            raise ValueError("impulse_df must be positive")
+        if self.impulse_scale < 0:
+            raise ValueError("impulse_scale must be non-negative")
+        self.occlusions_per_signal = check_integer(
+            self.occlusions_per_signal, "occlusions_per_signal", minimum=0
+        )
+        self.occlusion_length = check_positive_integer(
+            self.occlusion_length, "occlusion_length"
+        )
+        if self.occlusion_mode not in ("hold", "zero"):
+            raise ValueError(
+                f"occlusion_mode must be 'hold' or 'zero', got {self.occlusion_mode!r}"
+            )
+
+
+def corrupt_signal(
+    signal: np.ndarray,
+    config: AdversarialStreamConfig | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """A corrupted copy of ``signal`` (impulses then occlusions; input unchanged)."""
+    cfg = config if config is not None else AdversarialStreamConfig()
+    rng = as_rng(seed)
+    out = np.array(signal, dtype=float, copy=True)
+    n = out.size
+
+    num_impulses = int(round(cfg.impulse_fraction * n))
+    if num_impulses > 0 and cfg.impulse_scale > 0:
+        positions = rng.choice(n, size=min(num_impulses, n), replace=False)
+        out[positions] += cfg.impulse_scale * rng.standard_t(cfg.impulse_df, size=positions.size)
+
+    for _ in range(cfg.occlusions_per_signal):
+        length = min(cfg.occlusion_length, n)
+        start = int(rng.integers(0, max(n - length, 0) + 1))
+        if cfg.occlusion_mode == "hold":
+            held = out[start - 1] if start > 0 else out[start]
+            out[start : start + length] = held
+        else:
+            out[start : start + length] = 0.0
+    return out
+
+
+def generate_adversarial_signal(
+    num_samples: int,
+    anomalous: bool,
+    config: AdversarialStreamConfig | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """One drift stream pushed through the adversarial corruption wrapper.
+
+    Signature mirrors :func:`generate_drift_signal` (length, class flag,
+    config, seed) so the experiment drivers swap generators uniformly; one
+    seeded RNG covers both the clean stream and its corruption.
+    """
+    cfg = config if config is not None else AdversarialStreamConfig()
+    rng = as_rng(seed)
+    clean = generate_drift_signal(num_samples, anomalous, config=cfg.base, seed=rng)
+    return corrupt_signal(clean, config=cfg, seed=rng)
+
+
+def generate_adversarial_dataset(
+    num_samples_per_class: int = 60,
+    window_length: int = 500,
+    config: AdversarialStreamConfig | None = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Windowed two-class adversarial dataset (both classes corrupted).
+
+    Label 0 = corrupted drift stream; label 1 = the same plus injected
+    transients (also corrupted) — :func:`generate_drift_dataset` behind
+    :func:`corrupt_signal`, with balanced classes and shuffled rows.
+    """
+    per_class = check_positive_integer(num_samples_per_class, "num_samples_per_class")
+    length = check_positive_integer(window_length, "window_length")
+    rng = as_rng(seed)
+    windows = np.empty((2 * per_class, length))
+    labels = np.empty(2 * per_class, dtype=int)
+    row = 0
+    for label, anomalous in ((0, False), (1, True)):
+        for _ in range(per_class):
+            windows[row] = generate_adversarial_signal(
+                length, anomalous=anomalous, config=config, seed=rng
+            )
             labels[row] = label
             row += 1
     permutation = rng.permutation(2 * per_class)

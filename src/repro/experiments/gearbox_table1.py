@@ -367,22 +367,34 @@ def run_timeseries_classification(
     requires ``window_stride``.
 
     ``signal`` selects the workload: ``"gearbox"`` (the paper's healthy vs
-    surface-fault vibration) or ``"drift"`` (the
+    surface-fault vibration), ``"drift"`` (the
     :mod:`repro.datasets.synthetic` drift/anomaly stream — regime switch in
-    both classes, injected transients in class 1).  ``shards``/
+    both classes, injected transients in class 1) or ``"adversarial"`` (the
+    drift stream pushed through the heavy-tailed-impulse + sensor-occlusion
+    corruption wrapper — the robustness stress test).  ``shards``/
     ``shard_backend`` shard the circuit engine's batch axis per estimate
     (:mod:`repro.quantum.sharding`; bit-identical, throughput only).
     """
     if streaming and window_stride is None:
         raise ValueError("streaming=True requires window_stride (overlapping windows)")
-    if signal not in ("gearbox", "drift"):
-        raise ValueError(f"signal must be 'gearbox' or 'drift', got {signal!r}")
+    if signal not in ("gearbox", "drift", "adversarial"):
+        raise ValueError(
+            f"signal must be 'gearbox', 'drift' or 'adversarial', got {signal!r}"
+        )
     signals: Optional[Dict[int, np.ndarray]] = None
     if window_stride is None:
         if signal == "drift":
             from repro.datasets.synthetic import generate_drift_dataset
 
             windows, labels = generate_drift_dataset(
+                num_samples_per_class=num_samples_per_class,
+                window_length=window_length,
+                seed=seed,
+            )
+        elif signal == "adversarial":
+            from repro.datasets.synthetic import generate_adversarial_dataset
+
+            windows, labels = generate_adversarial_dataset(
                 num_samples_per_class=num_samples_per_class,
                 window_length=window_length,
                 seed=seed,
@@ -395,10 +407,14 @@ def run_timeseries_classification(
             )
     else:
         from repro.datasets.gearbox import generate_gearbox_signal
-        from repro.datasets.synthetic import generate_drift_signal
+        from repro.datasets.synthetic import generate_adversarial_signal, generate_drift_signal
         from repro.datasets.windows import sliding_windows
 
-        generate_signal = generate_drift_signal if signal == "drift" else generate_gearbox_signal
+        generate_signal = {
+            "gearbox": generate_gearbox_signal,
+            "drift": generate_drift_signal,
+            "adversarial": generate_adversarial_signal,
+        }[signal]
         # One continuous signal per class, long enough for exactly
         # num_samples_per_class overlapping windows at the requested stride.
         series_length = window_length + int(window_stride) * (num_samples_per_class - 1)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.quantum.channels import NoiseSpec
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.operations import Gate
 
@@ -193,3 +194,209 @@ def fuse_circuit(circuit: QuantumCircuit, max_fuse_qubits: int = 3) -> Tuple[Gat
         # still get the fusion win for the current run without the cache
         # pinning a giant matrix set.
     return plan
+
+
+# --- PTM-program fusion (the noisy twin of fuse_circuit) --------------------
+#
+# In the Pauli-transfer representation (repro.quantum.ptm, DESIGN.md §16)
+# noise channels compose exactly like gates: both are real superoperator
+# matrices that left-multiply.  The greedy walk below is therefore the same
+# algorithm as fuse_circuit, run over the interleaved stream of gate-PTMs and
+# their attached channel-PTMs (NoiseSpec.channels_for_gate, the placement the
+# density route uses), so an entire gate+noise run collapses into one fused
+# superoperator per `max_fuse_qubits` window.  Wide controlled powers cannot
+# have explicit PTMs (4^(1+q) blows up); they pass through as unitaries with
+# a precomputed controlled-block fast path and act as block boundaries — but
+# their *noise* is small and keeps fusing on either side.
+
+PTM_CACHE_MAX_BYTES = 256 * 1024 * 1024
+
+PTM_CACHE_MAXSIZE = 64
+
+_PTM_CACHE: "OrderedDict[Tuple[str, str, int], object]" = OrderedDict()
+_PTM_CACHE_BYTES: Dict[Tuple[str, str, int], int] = {}
+_PTM_CACHE_LOCK = threading.Lock()
+_PTM_CACHE_HITS = 0
+_PTM_CACHE_MISSES = 0
+_PTM_CACHE_TOTAL_BYTES = 0
+
+
+def ptm_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the fused PTM-program cache."""
+    with _PTM_CACHE_LOCK:
+        return {
+            "hits": _PTM_CACHE_HITS,
+            "misses": _PTM_CACHE_MISSES,
+            "entries": len(_PTM_CACHE),
+            "bytes": _PTM_CACHE_TOTAL_BYTES,
+        }
+
+
+def clear_ptm_cache() -> None:
+    """Drop every cached PTM program and reset the counters (tests)."""
+    global _PTM_CACHE_HITS, _PTM_CACHE_MISSES, _PTM_CACHE_TOTAL_BYTES
+    with _PTM_CACHE_LOCK:
+        _PTM_CACHE.clear()
+        _PTM_CACHE_BYTES.clear()
+        _PTM_CACHE_HITS = 0
+        _PTM_CACHE_MISSES = 0
+        _PTM_CACHE_TOTAL_BYTES = 0
+
+
+def _noise_spec_key(noise_spec: Optional[NoiseSpec]) -> str:
+    """Canonical cache-key form of the spec's *gate* noise.
+
+    ``readout_error`` is applied to the readout distribution, not the
+    program, so strength sweeps that only vary it share one program.
+    """
+    if noise_spec is None or not noise_spec.has_gate_noise:
+        return "noise-free"
+    data = dict(noise_spec.as_dict())
+    data.pop("readout_error", None)
+    return repr(sorted((k, repr(v)) for k, v in data.items()))
+
+
+def _embed_ptm(matrix: np.ndarray, qubits: Tuple[int, ...], support: Tuple[int, ...]) -> np.ndarray:
+    """Expand a PTM on ``qubits`` to the full ``support`` register.
+
+    The dim-4 twin of :func:`_embed_matrix`: applying the superoperator to
+    the ``4^s`` Pauli basis vectors (the identity matrix viewed as an
+    ensemble) produces the embedded matrix column by column.
+    """
+    if tuple(qubits) == tuple(support):
+        return np.asarray(matrix, dtype=float)
+    from repro.quantum.ptm import apply_ptm_to_ensemble
+
+    positions = [support.index(q) for q in qubits]
+    s = len(support)
+    identity = np.eye(4**s)
+    return apply_ptm_to_ensemble(identity, np.asarray(matrix, dtype=float), positions, s)
+
+
+def _ptm_op_stream(circuit: QuantumCircuit, noise_spec: Optional[NoiseSpec]):
+    """Yield ``(qubits, gate_or_channel_ptm, is_gate)`` in execution order.
+
+    Mirrors the density simulator's op walk: each gate, then the channels
+    :meth:`NoiseSpec.channels_for_gate` attaches to it (channels arrive
+    already lowered to their memoised PTMs).
+    """
+    from repro.quantum.ptm import channel_ptm
+
+    noisy = noise_spec is not None and noise_spec.has_gate_noise
+    for gate in circuit.gates:
+        yield gate.qubits, gate, True
+        if noisy:
+            for channel, qubits in noise_spec.channels_for_gate(gate):
+                yield qubits, channel_ptm(channel), False
+
+
+def fuse_ptm_program(
+    circuit: QuantumCircuit,
+    noise_spec: Optional[NoiseSpec] = None,
+    max_fuse_qubits: int = 3,
+):
+    """The circuit + noise lowered to a fused :class:`~repro.quantum.ptm.
+    PTMProgram` (cached per circuit fingerprint + NoiseSpec + window).
+
+    Gates within the window and every attached noise channel become PTMs and
+    fuse greedily into single superoperators; wider gates pass through as
+    :class:`~repro.quantum.ptm.WideUnitaryOp` boundaries.  Applying the
+    returned ops in order equals the density route's gate-then-Kraus walk
+    exactly (up to floating-point association inside each fused product).
+    """
+    from repro.quantum.ptm import (
+        PTMOp,
+        PTMProgram,
+        WideUnitaryOp,
+        controlled_block,
+        gate_ptm,
+    )
+
+    if max_fuse_qubits < 1:
+        raise ValueError(f"max_fuse_qubits must be >= 1, got {max_fuse_qubits}")
+    key = (circuit.fingerprint(), _noise_spec_key(noise_spec), int(max_fuse_qubits))
+    global _PTM_CACHE_HITS, _PTM_CACHE_MISSES
+    with _PTM_CACHE_LOCK:
+        cached = _PTM_CACHE.get(key)
+        if cached is not None:
+            _PTM_CACHE.move_to_end(key)
+            _PTM_CACHE_HITS += 1
+            return cached
+
+    ops: List[object] = []
+    support: Optional[Tuple[int, ...]] = None
+    matrix: Optional[np.ndarray] = None
+    sources = 0
+    source_ops = 0
+
+    def flush() -> None:
+        nonlocal support, matrix, sources
+        if support is None:
+            return
+        ops.append(
+            PTMOp(
+                qubits=support,
+                matrix=matrix,
+                sources=sources,
+                name=f"ptm[{sources}]",
+            )
+        )
+        support, matrix, sources = None, None, 0
+
+    for qubits, payload, is_gate in _ptm_op_stream(circuit, noise_spec):
+        if is_gate and payload.num_qubits > max_fuse_qubits:
+            flush()
+            wide = np.asarray(payload.matrix, dtype=complex)
+            ops.append(
+                WideUnitaryOp(
+                    qubits=payload.qubits,
+                    matrix=wide,
+                    name=payload.name,
+                    block=controlled_block(wide),
+                )
+            )
+            source_ops += 1
+            continue
+        ptm = gate_ptm(payload.matrix) if is_gate else payload
+        source_ops += 1
+        if support is None:
+            support = tuple(sorted(qubits))
+            matrix = _embed_ptm(ptm, qubits, support)
+            sources = 1
+            continue
+        union = tuple(sorted(set(support) | set(qubits)))
+        if len(union) <= max_fuse_qubits:
+            if union != support:
+                matrix = _embed_ptm(matrix, support, union)
+            # Later op acts after the block: left-multiply its embedding.
+            matrix = _embed_ptm(ptm, qubits, union) @ matrix
+            support = union
+            sources += 1
+        else:
+            flush()
+            support = tuple(sorted(qubits))
+            matrix = _embed_ptm(ptm, qubits, support)
+            sources = 1
+    flush()
+
+    program = PTMProgram(
+        num_qubits=circuit.num_qubits, ops=tuple(ops), source_ops=source_ops
+    )
+    program_bytes = program.nbytes()
+    global _PTM_CACHE_TOTAL_BYTES
+    with _PTM_CACHE_LOCK:
+        _PTM_CACHE_MISSES += 1
+        # Same double-miss guard as the gate-fusion cache: only the first
+        # concurrent insert may account bytes.
+        if program_bytes <= PTM_CACHE_MAX_BYTES and key not in _PTM_CACHE:
+            _PTM_CACHE[key] = program
+            _PTM_CACHE_BYTES[key] = program_bytes
+            _PTM_CACHE_TOTAL_BYTES += program_bytes
+            _PTM_CACHE.move_to_end(key)
+            while (
+                len(_PTM_CACHE) > PTM_CACHE_MAXSIZE
+                or _PTM_CACHE_TOTAL_BYTES > PTM_CACHE_MAX_BYTES
+            ):
+                evicted, _ = _PTM_CACHE.popitem(last=False)
+                _PTM_CACHE_TOTAL_BYTES -= _PTM_CACHE_BYTES.pop(evicted)
+    return program

@@ -7,7 +7,11 @@ Two layers:
   per client; **not** thread-safe — give each worker thread its own).
   Accepts typed requests (anything with ``as_dict``) or plain wire dicts,
   returns the decoded result envelope, and raises :class:`ServiceError`
-  carrying the structured error envelope on non-200 responses.
+  carrying the structured error envelope on non-200 responses.  Opt-in
+  retries (``max_retries > 0``) re-send requests rejected with 429/503
+  backpressure, honouring the server's ``Retry-After`` hint under a capped,
+  jittered exponential backoff — the polite-client loop the admission
+  controller's hints are designed for.
 * :func:`run_load` — the reusable load harness behind
   ``benchmarks/test_bench_service_load.py``: a seeded, weighted mix of
   request classes is scheduled up front (deterministic per seed), fanned
@@ -67,8 +71,23 @@ def _as_document(request: Document) -> Dict[str, Any]:
     raise TypeError(f"cannot serialise {type(request).__name__} into a request document")
 
 
+#: Backpressure statuses the retry loop may re-send (quota / capacity /
+#: draining rejections are transient by construction; everything else —
+#: validation errors, execution failures — is not).
+RETRYABLE_STATUSES = (429, 503)
+
+
 class ServiceClient:
-    """Keep-alive HTTP/JSON client for one server; one instance per thread."""
+    """Keep-alive HTTP/JSON client for one server; one instance per thread.
+
+    Retries are strictly opt-in: with the default ``max_retries=0`` every
+    non-200 raises immediately, exactly as before.  With ``max_retries=N``
+    a 429/503 response is retried up to ``N`` times; each wait is the larger
+    of the server's ``retry_after_s`` hint and the capped exponential
+    backoff ``backoff_base_s * 2^attempt``, stretched by up to
+    ``backoff_jitter`` of itself (seeded — deterministic under test).
+    ``sleep`` is injectable so tests never wall-clock wait.
+    """
 
     def __init__(
         self,
@@ -76,11 +95,31 @@ class ServiceClient:
         port: int,
         timeout: float = 30.0,
         caller: Optional[str] = None,
+        max_retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 5.0,
+        backoff_jitter: float = 0.1,
+        seed: Optional[int] = None,
+        sleep=time.sleep,
     ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff_base_s and backoff_cap_s must be >= 0")
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError(f"backoff_jitter must lie in [0, 1], got {backoff_jitter}")
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
         self.caller = caller
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_jitter = float(backoff_jitter)
+        self._sleep = sleep
+        self._jitter_rng = np.random.default_rng(seed)
+        #: Running count of backpressure retries this client has performed.
+        self.retries_total = 0
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -- transport -------------------------------------------------------------
@@ -128,15 +167,42 @@ class ServiceClient:
             document = {"raw": raw.decode("utf-8", "replace")}
         return response.status, document
 
+    def retry_delay(self, attempt: int, retry_after_s: Optional[float]) -> float:
+        """The wait before retry ``attempt`` (0-based).
+
+        The server's ``Retry-After`` hint is a *floor* — backing off less
+        than it would just earn another rejection; the capped exponential
+        keeps repeated hints from synchronising clients, and the jitter
+        spreads herds that started together.
+        """
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
+        if retry_after_s is not None:
+            delay = max(delay, float(retry_after_s))
+        if self.backoff_jitter > 0.0:
+            delay *= 1.0 + self.backoff_jitter * float(self._jitter_rng.random())
+        return delay
+
     def request(self, method: str, path: str, document: Optional[Document] = None) -> Dict[str, Any]:
-        """One HTTP round trip; raises :class:`ServiceError` on non-200."""
+        """One HTTP round trip; raises :class:`ServiceError` on non-200.
+
+        With ``max_retries > 0``, 429/503 rejections are re-sent after
+        :meth:`retry_delay`; the last rejection is raised once the budget is
+        spent.
+        """
         body = None
         if document is not None:
             body = json.dumps(_as_document(document)).encode("utf-8")
-        status, payload = self._round_trip(method, path, body)
-        if status != 200:
-            raise ServiceError(status, payload)
-        return payload
+        attempt = 0
+        while True:
+            status, payload = self._round_trip(method, path, body)
+            if status == 200:
+                return payload
+            error = ServiceError(status, payload)
+            if status not in RETRYABLE_STATUSES or attempt >= self.max_retries:
+                raise error
+            self._sleep(self.retry_delay(attempt, error.retry_after_s))
+            self.retries_total += 1
+            attempt += 1
 
     # -- the service API -------------------------------------------------------
     def estimate(self, request: Document) -> Dict[str, Any]:
@@ -223,6 +289,7 @@ class LoadReport:
     status_counts: Dict[str, int]
     coalesced: int
     workers: int
+    retries: int = 0
     server_stats: Optional[Dict[str, Any]] = field(default=None)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -236,6 +303,7 @@ class LoadReport:
             "status_counts": dict(self.status_counts),
             "coalesced": self.coalesced,
             "workers": self.workers,
+            "retries": self.retries,
             "server_stats": self.server_stats,
         }
 
@@ -249,6 +317,7 @@ def run_load(
     seed: int = 0,
     timeout: float = 60.0,
     collect_server_stats: bool = True,
+    max_retries: int = 0,
 ) -> LoadReport:
     """Drive a seeded mixed workload over real sockets; return the report.
 
@@ -259,6 +328,11 @@ def run_load(
     :class:`ServiceClient`.  Every response is timed individually; errors are
     recorded (status code or ``0`` for transport failures), never raised, so
     a load run always yields a complete report.
+
+    ``max_retries`` turns on the clients' 429/503 backoff loop, so a
+    quota-limited run exercises rejection *recovery*: requests that would
+    have been terminal errors wait out the server's ``Retry-After`` hint and
+    land, and the report's ``retries`` counts the waits that happened.
     """
     if total_requests < 1:
         raise ValueError(f"total_requests must be positive, got {total_requests}")
@@ -283,9 +357,17 @@ def run_load(
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
     observations: List[List[_Observation]] = [[] for _ in range(workers)]
+    retry_counts = [0] * workers
 
     def _worker(worker_index: int) -> None:
-        client = ServiceClient(host, port, timeout=timeout, caller=f"loadgen-{worker_index}")
+        client = ServiceClient(
+            host,
+            port,
+            timeout=timeout,
+            caller=f"loadgen-{worker_index}",
+            max_retries=max_retries,
+            seed=seed + worker_index,
+        )
         records = observations[worker_index]
         try:
             while True:
@@ -309,6 +391,7 @@ def run_load(
                     )
                 )
         finally:
+            retry_counts[worker_index] = client.retries_total
             client.close()
 
     threads = [
@@ -358,5 +441,6 @@ def run_load(
         status_counts=status_counts,
         coalesced=sum(r.coalesced for r in flat),
         workers=workers,
+        retries=sum(retry_counts),
         server_stats=server_stats,
     )

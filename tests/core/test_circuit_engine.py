@@ -98,29 +98,46 @@ def test_ensemble_shots_are_sampled_from_the_same_distribution():
 
 
 def test_resolve_circuit_route_table():
+    from repro.core.backends.statevector import PTM_AUTO_QUBIT_THRESHOLD
+
     noiseless = QTDAConfig(backend="statevector")
     assert resolve_circuit_route(noiseless, None) == "ensemble"
-    for engine in ("ensemble", "trajectory", "purified", "density"):
+    for engine in ("ensemble", "ptm", "trajectory", "purified", "density"):
         config = QTDAConfig(backend="statevector", circuit_engine=engine)
         assert resolve_circuit_route(config, None) == engine
     noise = NoiseModel.depolarizing(0.01)
-    # Declarative (spec-expressible) noise resolves auto to the trajectory
-    # route; an explicit density request is honoured.
-    assert resolve_circuit_route(noiseless, noise) == "trajectory"
+    # Declarative (spec-expressible) noise resolves auto to the exact PTM
+    # route while the register fits, trajectory above the threshold; explicit
+    # density/trajectory/ptm requests are honoured.
+    assert resolve_circuit_route(noiseless, noise) == "ptm"
+    assert (
+        resolve_circuit_route(noiseless, noise, total_qubits=PTM_AUTO_QUBIT_THRESHOLD)
+        == "ptm"
+    )
+    assert (
+        resolve_circuit_route(
+            noiseless, noise, total_qubits=PTM_AUTO_QUBIT_THRESHOLD + 1
+        )
+        == "trajectory"
+    )
     density = QTDAConfig(backend="statevector", circuit_engine="density")
     assert resolve_circuit_route(density, noise) == "density"
     trajectory = QTDAConfig(backend="statevector", circuit_engine="trajectory")
     assert resolve_circuit_route(trajectory, noise) == "trajectory"
+    ptm = QTDAConfig(backend="statevector", circuit_engine="ptm")
+    assert resolve_circuit_route(ptm, noise) == "ptm"
     # Zero-strength channels count as noise-free.
     assert resolve_circuit_route(noiseless, NoiseModel.depolarizing(0.0)) == "ensemble"
     # Hand-built Kraus lists have no NoiseSpec form: auto falls back to the
-    # exact density contraction, and an explicit trajectory request raises.
+    # exact density contraction, and explicit trajectory/ptm requests raise.
     custom = NoiseModel(
         [np.sqrt(0.99) * np.eye(2), np.sqrt(0.01) * np.array([[0, 1], [1, 0]])]
     )
     assert resolve_circuit_route(noiseless, custom) == "density"
     with pytest.raises(ValueError, match="density route"):
         resolve_circuit_route(trajectory, custom)
+    with pytest.raises(ValueError, match="density route"):
+        resolve_circuit_route(ptm, custom)
 
 
 def test_pure_state_engines_reject_noise():
@@ -172,7 +189,9 @@ def test_noisy_density_backend_still_routes_density():
 # ---------------------------------------------------------------------------
 
 
-def test_auto_resolves_noisy_config_to_trajectory_route():
+def test_auto_resolves_small_noisy_config_to_ptm_route():
+    """Auto + declarative noise now prefers the exact PTM route while the
+    register fits under ``PTM_AUTO_QUBIT_THRESHOLD``."""
     estimate = QTDABettiEstimator(
         precision_qubits=3,
         shots=None,
@@ -180,14 +199,32 @@ def test_auto_resolves_noisy_config_to_trajectory_route():
         delta=6.0,
         noise_channel="depolarizing",
         noise_strength=0.02,
+        seed=7,
+    ).estimate(appendix_complex(), 1)
+    assert estimate.engine_route == "ptm"
+    assert estimate.fused_gates is not None and estimate.fused_gates > 0
+    assert estimate.n_trajectories is None
+    assert estimate.noise_spec is not None
+    assert estimate.noise_spec["channel"] == "depolarizing"
+    assert estimate.noise_spec["strength"] == 0.02
+    # The PTM route is exact: no sampling, no error bar.
+    assert estimate.betti_std is None
+
+
+def test_explicit_trajectory_engine_still_runs_trajectories():
+    estimate = QTDABettiEstimator(
+        precision_qubits=3,
+        shots=None,
+        backend="statevector",
+        delta=6.0,
+        circuit_engine="trajectory",
+        noise_channel="depolarizing",
+        noise_strength=0.02,
         n_trajectories=4,
         seed=7,
     ).estimate(appendix_complex(), 1)
     assert estimate.engine_route == "trajectory"
     assert estimate.n_trajectories == 4
-    assert estimate.noise_spec is not None
-    assert estimate.noise_spec["channel"] == "depolarizing"
-    assert estimate.noise_spec["strength"] == 0.02
     assert estimate.betti_std is not None and estimate.betti_std > 0
 
 
@@ -218,6 +255,7 @@ def test_trajectory_route_is_deterministic_given_seed():
         shots=None,
         backend="statevector",
         delta=6.0,
+        circuit_engine="trajectory",
         noise_channel="depolarizing",
         noise_strength=0.02,
         n_trajectories=4,
@@ -227,6 +265,119 @@ def test_trajectory_route_is_deterministic_given_seed():
     b = QTDABettiEstimator(**kwargs).estimate(appendix_complex(), 1)
     assert a.betti_estimate == b.betti_estimate
     assert a.betti_std == b.betti_std
+
+
+# ---------------------------------------------------------------------------
+# PTM route (DESIGN.md §16)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", sorted(_REFERENCE))
+def test_ptm_route_matches_noisy_density_to_1e8(case):
+    """The PR's acceptance pin: exact agreement (≤1e-8, no statistical
+    tolerance) between the fused-PTM route and the density contraction under
+    declarative noise on every reference complex."""
+    common = dict(
+        noise_channel="depolarizing",
+        noise_strength=0.02,
+        noise_gate_strengths={"c-U": 0.01},
+        readout_error=0.01,
+    )
+    ptm = _estimate("statevector", case, "ptm", **common)
+    density = _estimate("statevector", case, "density", **common)
+    assert ptm.engine_route == "ptm"
+    assert density.engine_route == "density"
+    assert ptm.p_zero == pytest.approx(density.p_zero, abs=1e-8)
+    assert ptm.betti_estimate == pytest.approx(density.betti_estimate, abs=1e-8)
+    assert ptm.fused_gates is not None and ptm.fused_gates > 0
+
+
+def test_ptm_route_matches_ensemble_when_noise_free():
+    ensemble = _estimate("statevector", "appendix", "ensemble")
+    ptm = _estimate("statevector", "appendix", "ptm")
+    assert ptm.engine_route == "ptm"
+    assert ptm.noise_spec is None
+    assert ptm.p_zero == pytest.approx(ensemble.p_zero, abs=1e-9)
+
+
+def test_ptm_route_ignores_shards_gracefully():
+    """The PTM route evolves a single Pauli column: ``shards`` has no batch
+    axis to split, so the run succeeds and provenance carries no shard
+    stamp."""
+    sharded = _estimate(
+        "statevector",
+        "appendix",
+        "ptm",
+        noise_channel="depolarizing",
+        noise_strength=0.02,
+        shards=2,
+        shard_backend="serial",
+    )
+    plain = _estimate(
+        "statevector",
+        "appendix",
+        "ptm",
+        noise_channel="depolarizing",
+        noise_strength=0.02,
+    )
+    assert sharded.engine_route == "ptm"
+    assert sharded.shards is None
+    assert sharded.p_zero == plain.p_zero
+
+
+def test_ptm_runs_leave_density_and_trajectory_routes_bit_identical():
+    """Satellite pin: adding the PTM route must not perturb the existing
+    noisy routes — identical configs produce bit-identical results whether
+    or not a PTM run happened in between."""
+    noise = dict(noise_channel="depolarizing", noise_strength=0.02)
+    density_before = _estimate("statevector", "appendix", "density", **noise)
+    trajectory_before = _estimate(
+        "statevector", "appendix", "trajectory", n_trajectories=4, seed=11, **noise
+    )
+    _estimate("statevector", "appendix", "ptm", **noise)
+    density_after = _estimate("statevector", "appendix", "density", **noise)
+    trajectory_after = _estimate(
+        "statevector", "appendix", "trajectory", n_trajectories=4, seed=11, **noise
+    )
+    assert density_after.p_zero == density_before.p_zero
+    assert density_after.betti_estimate == density_before.betti_estimate
+    assert trajectory_after.p_zero == trajectory_before.p_zero
+    assert trajectory_after.betti_std == trajectory_before.betti_std
+
+
+def test_service_provenance_records_ptm_route_and_fused_superoperators():
+    """Acceptance: ``engine_route="ptm"`` plus the fused superoperator count
+    round-trip through the wire format."""
+    import json
+
+    from repro.api import EstimationRequest, EstimationResult, QTDAService
+    from repro.experiments.worked_example import APPENDIX_SIMPLICES
+
+    with QTDAService(max_workers=1) as service:
+        result = service.run(
+            EstimationRequest(
+                simplices=APPENDIX_SIMPLICES,
+                k=1,
+                config=QTDAConfig(
+                    precision_qubits=3,
+                    shots=None,
+                    delta=6.0,
+                    backend="statevector",
+                    noise_channel="depolarizing",
+                    noise_strength=0.02,
+                ),
+            )
+        )
+    assert result.provenance.engine_route == "ptm"
+    assert result.provenance.fused_gates is not None
+    assert result.provenance.fused_gates > 0
+    assert result.provenance.noise_spec["channel"] == "depolarizing"
+    assert result.payload["engine_route"] == "ptm"
+    assert result.payload["fused_gates"] == result.provenance.fused_gates
+    document = json.loads(result.to_json())
+    EstimationResult.validate_dict(document)
+    assert document["provenance"]["engine_route"] == "ptm"
+    assert document["provenance"]["fused_gates"] == result.provenance.fused_gates
 
 
 def test_readout_error_composes_with_the_ensemble_route():
@@ -300,6 +451,7 @@ def test_service_provenance_records_trajectory_route_and_noise_spec():
                     shots=None,
                     delta=6.0,
                     backend="statevector",
+                    circuit_engine="trajectory",
                     noise_channel="depolarizing",
                     noise_strength=0.02,
                     n_trajectories=4,
@@ -381,6 +533,7 @@ def test_sharded_trajectory_route_through_service_is_bit_identical():
         shots=None,
         delta=6.0,
         backend="statevector",
+        circuit_engine="trajectory",
         noise_channel="depolarizing",
         noise_strength=0.02,
         n_trajectories=4,

@@ -74,13 +74,15 @@ def test_zne_validates_scale_factors():
         )
 
 
-def test_zne_sweep_runs_on_the_trajectory_route():
+def test_zne_sweep_runs_on_the_exact_ptm_route():
+    # `auto` resolves the declarative-noise sweep to the fused-PTM route,
+    # so every point in the extrapolation fit is an exact expectation.
     result = zero_noise_extrapolation(
         appendix_complex(), 1, _noisy_config(), scale_factors=(1.0, 2.0, 3.0)
     )
     assert result.strengths == (0.01, 0.02, 0.03)
     assert len(result.estimates) == 3
-    assert all(e.engine_route == "trajectory" for e in result.estimates)
+    assert all(e.engine_route == "ptm" for e in result.estimates)
     # β̃ = 2^q · p(0) holds for the extrapolated pair too.
     dim = 2 ** result.estimates[0].num_system_qubits
     assert result.betti_extrapolated == pytest.approx(dim * result.p_zero_extrapolated)
@@ -88,5 +90,16 @@ def test_zne_sweep_runs_on_the_trajectory_route():
     # The extrapolation pulls the noisy estimates towards the noiseless value.
     np.testing.assert_allclose(result.betti_estimates, [e.betti_estimate for e in result.estimates])
     payload = result.as_dict()
-    assert payload["engine_routes"] == ["trajectory", "trajectory", "trajectory"]
+    assert payload["engine_routes"] == ["ptm", "ptm", "ptm"]
     assert payload["strengths"] == [0.01, 0.02, 0.03]
+
+
+def test_zne_sweep_honours_an_explicit_trajectory_engine():
+    result = zero_noise_extrapolation(
+        appendix_complex(),
+        1,
+        _noisy_config(circuit_engine="trajectory"),
+        scale_factors=(1.0, 2.0),
+    )
+    assert all(e.engine_route == "trajectory" for e in result.estimates)
+    assert all(e.betti_std is not None for e in result.estimates)

@@ -142,3 +142,117 @@ def test_highdim_config_validation():
         HighDimStreamConfig(noise_std=-0.1)
     with pytest.raises(ValueError):
         generate_highdim_cloud_stream(0)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial corruption wrapper
+# ---------------------------------------------------------------------------
+
+
+def test_corrupt_signal_is_deterministic_and_leaves_input_unchanged():
+    from repro.datasets.synthetic import AdversarialStreamConfig, corrupt_signal
+
+    clean = generate_drift_signal(2000, anomalous=False, seed=3)
+    before = clean.copy()
+    a = corrupt_signal(clean, seed=11)
+    b = corrupt_signal(clean, seed=11)
+    c = corrupt_signal(clean, seed=12)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert np.array_equal(clean, before)  # input untouched
+    assert a.shape == clean.shape
+    # Corruption actually happened.
+    assert not np.array_equal(a, clean)
+    # No corruption configured == identity.
+    identity = AdversarialStreamConfig(
+        impulse_fraction=0.0, occlusions_per_signal=0
+    )
+    assert np.array_equal(corrupt_signal(clean, config=identity, seed=1), clean)
+
+
+def test_heavy_tailed_impulses_exceed_gaussian_range():
+    from repro.datasets.synthetic import AdversarialStreamConfig, corrupt_signal
+
+    clean = generate_drift_signal(5000, anomalous=False, seed=3)
+    cfg = AdversarialStreamConfig(
+        impulse_fraction=0.05, impulse_df=1.2, impulse_scale=2.0, occlusions_per_signal=0
+    )
+    corrupted = corrupt_signal(clean, config=cfg, seed=4)
+    residual = corrupted - clean
+    hit = residual[residual != 0.0]
+    assert hit.size == pytest.approx(0.05 * 5000, abs=2)
+    # df=1.2 Student-t: the largest shocks dwarf the unit-scale carrier.
+    assert np.abs(hit).max() > 5.0
+
+
+def test_occlusion_modes_hold_and_zero():
+    from repro.datasets.synthetic import AdversarialStreamConfig, corrupt_signal
+
+    clean = generate_drift_signal(1000, anomalous=False, seed=3)
+    hold = corrupt_signal(
+        clean,
+        config=AdversarialStreamConfig(
+            impulse_fraction=0.0, occlusions_per_signal=1, occlusion_length=50,
+            occlusion_mode="hold",
+        ),
+        seed=9,
+    )
+    zero = corrupt_signal(
+        clean,
+        config=AdversarialStreamConfig(
+            impulse_fraction=0.0, occlusions_per_signal=1, occlusion_length=50,
+            occlusion_mode="zero",
+        ),
+        seed=9,
+    )
+    # hold: a 50-sample constant run exists; zero: a 50-sample zero run.
+    def longest_constant_run(x):
+        runs, current = 1, 1
+        for i in range(1, x.size):
+            current = current + 1 if x[i] == x[i - 1] else 1
+            runs = max(runs, current)
+        return runs
+
+    assert longest_constant_run(hold) >= 50
+    assert int((zero == 0.0).sum()) >= 50
+
+
+def test_adversarial_dataset_is_balanced_and_deterministic():
+    from repro.datasets.synthetic import generate_adversarial_dataset
+
+    windows_a, labels_a = generate_adversarial_dataset(
+        num_samples_per_class=6, window_length=300, seed=2
+    )
+    windows_b, labels_b = generate_adversarial_dataset(
+        num_samples_per_class=6, window_length=300, seed=2
+    )
+    assert windows_a.shape == (12, 300)
+    assert np.array_equal(windows_a, windows_b)
+    assert np.array_equal(labels_a, labels_b)
+    assert int(labels_a.sum()) == 6
+
+
+def test_adversarial_config_validation():
+    from repro.datasets.synthetic import AdversarialStreamConfig
+
+    with pytest.raises(ValueError, match="impulse_fraction"):
+        AdversarialStreamConfig(impulse_fraction=1.5)
+    with pytest.raises(ValueError, match="impulse_df"):
+        AdversarialStreamConfig(impulse_df=0.0)
+    with pytest.raises(ValueError, match="occlusion_mode"):
+        AdversarialStreamConfig(occlusion_mode="blur")
+
+
+def test_timeseries_experiment_accepts_adversarial_signal():
+    from repro.experiments.gearbox_table1 import run_timeseries_classification
+
+    result = run_timeseries_classification(
+        num_samples_per_class=3,
+        window_length=200,
+        use_quantum=False,
+        signal="adversarial",
+        seed=7,
+    )
+    assert result.signal == "adversarial"
+    assert result.num_windows == 6
+    assert 0.0 <= result.validation_accuracy <= 1.0

@@ -1,0 +1,192 @@
+"""Tests for the ServiceClient's opt-in 429/503 retry/backoff loop.
+
+The delay policy and retry loop are pinned against a fake transport (no
+sockets, no sleeping); recovery is then proven end-to-end against a real
+quota-limited server, both for a single client and through
+:func:`repro.serve.run_load`.
+"""
+
+import pytest
+
+from repro.core.api import EstimationRequest
+from repro.serve import QTDAServer, RequestClass, ServeConfig, ServiceClient, ServiceError, run_load
+
+TRIANGLE = ((0,), (1,), (2,), (0, 1), (0, 2), (1, 2))
+
+
+def _estimate_document(seed=7):
+    return EstimationRequest(
+        simplices=TRIANGLE, k=1, config={"precision_qubits": 3, "shots": 100, "seed": seed}
+    ).as_dict()
+
+
+def _client(**kwargs):
+    kwargs.setdefault("sleep", lambda _s: None)
+    return ServiceClient("localhost", 1, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Delay policy
+# ---------------------------------------------------------------------------
+
+
+def test_retry_delay_is_capped_exponential():
+    client = _client(backoff_base_s=0.1, backoff_cap_s=0.5, backoff_jitter=0.0)
+    assert client.retry_delay(0, None) == pytest.approx(0.1)
+    assert client.retry_delay(1, None) == pytest.approx(0.2)
+    assert client.retry_delay(2, None) == pytest.approx(0.4)
+    assert client.retry_delay(3, None) == pytest.approx(0.5)  # capped
+    assert client.retry_delay(10, None) == pytest.approx(0.5)
+
+
+def test_retry_delay_honours_retry_after_as_floor():
+    client = _client(backoff_base_s=0.1, backoff_cap_s=0.5, backoff_jitter=0.0)
+    # The hint wins when it exceeds the backoff — even past the cap: the
+    # cap bounds *our* exponential, not the server's explicit request.
+    assert client.retry_delay(0, 2.0) == pytest.approx(2.0)
+    # ...but a stale tiny hint never shrinks the backoff.
+    assert client.retry_delay(3, 0.01) == pytest.approx(0.5)
+
+
+def test_retry_delay_jitter_is_bounded_and_seeded():
+    a = _client(backoff_base_s=0.1, backoff_jitter=0.5, seed=42)
+    b = _client(backoff_base_s=0.1, backoff_jitter=0.5, seed=42)
+    delays_a = [a.retry_delay(0, None) for _ in range(8)]
+    delays_b = [b.retry_delay(0, None) for _ in range(8)]
+    assert delays_a == delays_b  # deterministic per seed
+    assert all(0.1 <= d <= 0.1 * 1.5 for d in delays_a)
+    assert len(set(delays_a)) > 1  # actually jittered
+
+
+def test_client_validates_retry_parameters():
+    with pytest.raises(ValueError, match="max_retries"):
+        _client(max_retries=-1)
+    with pytest.raises(ValueError, match="backoff_jitter"):
+        _client(backoff_jitter=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Retry loop against a fake transport
+# ---------------------------------------------------------------------------
+
+
+def _scripted_client(responses, **kwargs):
+    """A client whose round trips replay ``responses`` and record sleeps."""
+    slept = []
+    kwargs["sleep"] = slept.append
+    client = ServiceClient("localhost", 1, **kwargs)
+    script = list(responses)
+    sent = []
+
+    def _fake_round_trip(method, path, body):
+        sent.append((method, path))
+        return script.pop(0)
+
+    client._round_trip = _fake_round_trip
+    return client, sent, slept
+
+
+def _rejection(status, retry_after=0.05):
+    return (
+        status,
+        {"error": {"reason": "quota", "message": "slow down", "retry_after_s": retry_after}},
+    )
+
+
+def test_retries_are_opt_in_default_raises_immediately():
+    client, sent, slept = _scripted_client([_rejection(429)])
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/estimate", {"x": 1})
+    assert excinfo.value.status == 429
+    assert len(sent) == 1 and slept == [] and client.retries_total == 0
+
+
+def test_retry_loop_resends_429_until_success():
+    client, sent, slept = _scripted_client(
+        [_rejection(429, 0.2), _rejection(503, 0.3), (200, {"ok": True})],
+        max_retries=3,
+        backoff_base_s=0.01,
+        backoff_jitter=0.0,
+    )
+    assert client.request("POST", "/v1/estimate", {"x": 1}) == {"ok": True}
+    assert len(sent) == 3
+    assert slept == [pytest.approx(0.2), pytest.approx(0.3)]  # Retry-After floors
+    assert client.retries_total == 2
+
+
+def test_retry_budget_exhaustion_raises_the_last_rejection():
+    client, sent, slept = _scripted_client(
+        [_rejection(429), _rejection(429), _rejection(429)],
+        max_retries=2,
+        backoff_jitter=0.0,
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/estimate", {"x": 1})
+    assert excinfo.value.status == 429
+    assert len(sent) == 3 and len(slept) == 2
+
+
+def test_non_backpressure_errors_are_never_retried():
+    client, sent, slept = _scripted_client(
+        [(400, {"error": {"reason": "invalid", "message": "bad"}})], max_retries=5
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        client.request("POST", "/v1/estimate", {"x": 1})
+    assert excinfo.value.status == 400
+    assert len(sent) == 1 and slept == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end recovery against a real quota-limited server
+# ---------------------------------------------------------------------------
+
+
+def test_client_recovers_from_quota_rejections_over_http():
+    server = QTDAServer(ServeConfig(port=0, quota_rate=25.0, quota_burst=1.0))
+    with server:
+        with ServiceClient(
+            server.host, server.port, caller="retrying", max_retries=8, backoff_base_s=0.02
+        ) as client:
+            # Burst of 1: back-to-back requests overrun the bucket, and the
+            # retry loop waits out the ~1/25 s refill instead of failing.
+            for seed in (1, 2, 3):
+                envelope = client.request(
+                    "POST", "/v1/estimate", _estimate_document(seed=seed)
+                )
+                assert envelope["payload"]["betti_rounded"] == 1
+            assert client.retries_total > 0
+
+
+def test_run_load_exercises_quota_recovery():
+    server = QTDAServer(ServeConfig(port=0, quota_rate=25.0, quota_burst=1.0))
+    classes = [
+        RequestClass(name="estimate", kind="estimate", documents=[_estimate_document()])
+    ]
+    with server:
+        report = run_load(
+            server.host,
+            server.port,
+            classes,
+            total_requests=6,
+            workers=2,
+            seed=0,
+            max_retries=10,
+        )
+    assert report.total_requests == 6
+    assert report.errors == 0  # every rejection was waited out
+    assert report.retries > 0
+    assert set(report.status_counts) == {"200"}
+    assert report.as_dict()["retries"] == report.retries
+
+
+def test_run_load_without_retries_still_reports_rejections():
+    server = QTDAServer(ServeConfig(port=0, quota_rate=0.001, quota_burst=2.0))
+    classes = [
+        RequestClass(name="estimate", kind="estimate", documents=[_estimate_document()])
+    ]
+    with server:
+        report = run_load(
+            server.host, server.port, classes, total_requests=5, workers=1, seed=0
+        )
+    assert report.retries == 0
+    assert report.status_counts.get("429", 0) > 0
